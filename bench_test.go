@@ -1,0 +1,321 @@
+// Top-level benchmarks: one per table and figure of the paper's evaluation
+// (§V), plus per-algorithm sub-benchmarks over the dataset suite that
+// produce the raw series behind those tables. cmd/benchtab prints the same
+// experiments as formatted rows; EXPERIMENTS.md records the results.
+package hcd_test
+
+import (
+	"io"
+	"testing"
+
+	"hcd"
+	"hcd/internal/bench"
+	core2 "hcd/internal/core"
+	"hcd/internal/coredecomp"
+	"hcd/internal/gen"
+	"hcd/internal/graph"
+	"hcd/internal/hierarchy"
+	"hcd/internal/lcps"
+	"hcd/internal/metrics"
+	"hcd/internal/rc"
+	"hcd/internal/search"
+)
+
+// benchScale sizes the synthetic datasets for the per-algorithm series
+// (scale 2 ≈ 10-100k edges per graph).
+const benchScale = 2
+
+// benchDatasets is the representative subset used for per-dataset series
+// (the full ten-dataset sweep lives in cmd/benchtab).
+var benchDatasets = []string{"AS", "LJ", "H", "O", "SK"}
+
+func datasets(b *testing.B) []gen.Dataset {
+	b.Helper()
+	want := map[string]bool{}
+	for _, a := range benchDatasets {
+		want[a] = true
+	}
+	var out []gen.Dataset
+	for _, d := range gen.Suite(benchScale) {
+		if want[d.Abbrev] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+type prepared struct {
+	g    *graph.Graph
+	core []int32
+	h    *hierarchy.HCD
+	ix   *search.Index
+	bks  *search.BKS
+}
+
+func prepare(d gen.Dataset) prepared {
+	g := gen.BuildCached(d, benchScale)
+	core := coredecomp.Serial(g)
+	h := core2.PHCD(g, core, 0)
+	return prepared{
+		g:    g,
+		core: core,
+		h:    h,
+		ix:   search.NewIndex(g, core, h, 0),
+		bks:  search.NewBKS(g, core, h),
+	}
+}
+
+// --- Table II: dataset statistics --------------------------------------
+
+func BenchmarkTable2DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Table2(bench.Config{Scale: 1, Reps: 1, Out: io.Discard})
+	}
+}
+
+// --- Table III / Figures 4-5: HCD construction --------------------------
+
+func BenchmarkTable3Construction(b *testing.B) {
+	for _, d := range datasets(b) {
+		p := prepare(d)
+		b.Run("PHCD1/"+d.Abbrev, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core2.PHCD(p.g, p.core, 1)
+			}
+		})
+		b.Run("PHCDP/"+d.Abbrev, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core2.PHCD(p.g, p.core, 0)
+			}
+		})
+		b.Run("LCPS/"+d.Abbrev, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lcps.Build(p.g, p.core)
+			}
+		})
+		b.Run("LB/"+d.Abbrev, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core2.LB(p.g, p.core, 0)
+			}
+		})
+		b.Run("RC/"+d.Abbrev, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rc.RebuildParents(p.g, p.core, p.h)
+			}
+		})
+	}
+}
+
+func BenchmarkFig4PHCDSpeedup(b *testing.B) {
+	// The figure is a thread sweep; each sub-benchmark is one (dataset,
+	// threads) point of the PHCD series (LCPS's flat line is the
+	// Table3Construction LCPS series).
+	for _, d := range datasets(b) {
+		p := prepare(d)
+		for _, threads := range []int{1, 2, 4} {
+			b.Run(d.Abbrev+"/p="+itoa(threads), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					core2.PHCD(p.g, p.core, threads)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFig5EndToEndConstruction(b *testing.B) {
+	for _, d := range datasets(b) {
+		g := gen.BuildCached(d, benchScale)
+		b.Run("PKC+PHCD/"+d.Abbrev, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := coredecomp.Parallel(g, 0)
+				core2.PHCD(g, c, 0)
+			}
+		})
+		b.Run("CD+LCPS/"+d.Abbrev, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := coredecomp.Serial(g)
+				lcps.Build(g, c)
+			}
+		})
+	}
+}
+
+// --- Table IV: densest subgraph & maximum clique ------------------------
+
+func BenchmarkTable4Densest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Table4(bench.Config{Scale: 1, Reps: 1, Out: io.Discard,
+			Datasets: []string{"AS", "LJ", "H"}})
+	}
+}
+
+// --- Table V / Figures 6-9: subgraph search ------------------------------
+
+func BenchmarkTable5Search(b *testing.B) {
+	mA := metrics.AverageDegree{}
+	mB := metrics.ClusteringCoefficient{}
+	for _, d := range datasets(b) {
+		p := prepare(d)
+		b.Run("PBKS-A/"+d.Abbrev, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.ix.Search(mA, 0)
+			}
+		})
+		b.Run("BKS-A/"+d.Abbrev, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.bks.Search(mA)
+			}
+		})
+		b.Run("PBKS-B/"+d.Abbrev, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.ix.Search(mB, 0)
+			}
+		})
+		b.Run("BKS-B/"+d.Abbrev, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.bks.Search(mB)
+			}
+		})
+	}
+}
+
+func BenchmarkFig6TypeASpeedup(b *testing.B) {
+	m := metrics.AverageDegree{}
+	for _, d := range datasets(b) {
+		p := prepare(d)
+		for _, threads := range []int{1, 2, 4} {
+			b.Run(d.Abbrev+"/p="+itoa(threads), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					p.ix.Search(m, threads)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFig7TypeAEndToEnd(b *testing.B) {
+	m := metrics.AverageDegree{}
+	for _, d := range datasets(b) {
+		g := gen.BuildCached(d, benchScale)
+		b.Run("parallel/"+d.Abbrev, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := coredecomp.Parallel(g, 0)
+				h := core2.PHCD(g, c, 0)
+				search.NewIndex(g, c, h, 0).Search(m, 0)
+			}
+		})
+		b.Run("serial/"+d.Abbrev, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := coredecomp.Serial(g)
+				h := lcps.Build(g, c)
+				search.NewBKS(g, c, h).Search(m)
+			}
+		})
+	}
+}
+
+func BenchmarkFig8TypeBSpeedup(b *testing.B) {
+	m := metrics.ClusteringCoefficient{}
+	for _, d := range datasets(b) {
+		p := prepare(d)
+		for _, threads := range []int{1, 2, 4} {
+			b.Run(d.Abbrev+"/p="+itoa(threads), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					p.ix.Search(m, threads)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFig9TypeBEndToEnd(b *testing.B) {
+	m := metrics.ClusteringCoefficient{}
+	for _, d := range datasets(b) {
+		g := gen.BuildCached(d, benchScale)
+		b.Run("parallel/"+d.Abbrev, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := coredecomp.Parallel(g, 0)
+				h := core2.PHCD(g, c, 0)
+				search.NewIndex(g, c, h, 0).Search(m, 0)
+			}
+		})
+		b.Run("serial/"+d.Abbrev, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := coredecomp.Serial(g)
+				h := lcps.Build(g, c)
+				search.NewBKS(g, c, h).Search(m)
+			}
+		})
+	}
+}
+
+// --- Figure 10: per-component speedup ------------------------------------
+
+func BenchmarkFig10Components(b *testing.B) {
+	for _, d := range datasets(b)[:2] {
+		p := prepare(d)
+		b.Run("CD-serial/"+d.Abbrev, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				coredecomp.Serial(p.g)
+			}
+		})
+		b.Run("CD-parallel/"+d.Abbrev, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				coredecomp.Parallel(p.g, 0)
+			}
+		})
+		b.Run("HCD-serial/"+d.Abbrev, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lcps.Build(p.g, p.core)
+			}
+		})
+		b.Run("HCD-parallel/"+d.Abbrev, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core2.PHCD(p.g, p.core, 0)
+			}
+		})
+	}
+}
+
+// --- Ablations and extensions -------------------------------------------
+
+func BenchmarkAblationDivideConquer(b *testing.B) {
+	for _, d := range datasets(b)[:2] {
+		p := prepare(d)
+		b.Run("PHCD/"+d.Abbrev, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core2.PHCD(p.g, p.core, 0)
+			}
+		})
+		b.Run("DivideConquer/"+d.Abbrev, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core2.DivideConquer(p.g, p.core, 0)
+			}
+		})
+	}
+}
+
+func BenchmarkExtBestK(b *testing.B) {
+	d := datasets(b)[0]
+	g := gen.BuildCached(d, benchScale)
+	h, core := hcd.Build(g, hcd.Options{})
+	s := hcd.NewSearcher(g, core, h, hcd.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.BestK(hcd.AverageDegree(), hcd.Options{})
+	}
+}
+
+func itoa(v int) string {
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return string(rune('0'+v/10)) + string(rune('0'+v%10))
+}
+
+func BenchmarkAblationMaintenance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Maintenance(bench.Config{Scale: 1, Reps: 1, Out: io.Discard,
+			Datasets: []string{"AS", "FS"}})
+	}
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hcd/internal/graph"
+)
+
+func runGen(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestList(t *testing.T) {
+	out, _, code := runGen(t, "-list", "-scale", "1")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, abbrev := range []string{"AS", "LJ", "UK"} {
+		if !strings.Contains(out, abbrev) {
+			t.Errorf("list output missing %s:\n%s", abbrev, out)
+		}
+	}
+}
+
+func TestWriteSuiteDatasetBinary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "h.bin")
+	out, _, code := runGen(t, "-dataset", "H", "-scale", "1", "-o", path)
+	if code != 0 || !strings.Contains(out, "wrote "+path) {
+		t.Fatalf("exit %d output %q", code, out)
+	}
+	g, err := graph.ReadBinaryFile(path)
+	if err != nil || g.NumVertices() == 0 {
+		t.Fatalf("written file unreadable: %v", err)
+	}
+}
+
+func TestWriteCustomModelText(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "er.txt")
+	_, _, code := runGen(t, "-model", "er", "-n", "50", "-m", "100", "-o", path, "-format", "text")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	g, err := graph.ReadEdgeListFile(path)
+	if err != nil || g.NumEdges() == 0 {
+		t.Fatalf("text file unreadable: %v", err)
+	}
+	// All five models must be accepted.
+	for _, model := range []string{"ba", "rmat", "onion", "planted"} {
+		p := filepath.Join(t.TempDir(), model+".bin")
+		args := []string{"-model", model, "-o", p, "-n", "50", "-m", "200",
+			"-logn", "6", "-layers", "3", "-width", "10", "-comms", "3", "-size", "10"}
+		if _, errOut, code := runGen(t, args...); code != 0 {
+			t.Errorf("model %s failed (exit %d): %s", model, code, errOut)
+		}
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	if _, _, code := runGen(t); code != 2 {
+		t.Error("missing -o and -model not rejected")
+	}
+	if _, _, code := runGen(t, "-o", "/tmp/x.bin"); code != 2 {
+		t.Error("missing -model/-dataset not rejected")
+	}
+	if _, _, code := runGen(t, "-dataset", "ZZ", "-o", "/tmp/x.bin"); code != 2 {
+		t.Error("unknown dataset not rejected")
+	}
+	if _, _, code := runGen(t, "-model", "er", "-o", "/tmp/x.bin", "-format", "xml"); code != 2 {
+		t.Error("unknown format not rejected")
+	}
+	if _, _, code := runGen(t, "-model", "er", "-o", filepath.Join(t.TempDir(), "no", "dir", "x.bin")); code != 1 {
+		t.Error("unwritable path not reported")
+	}
+	if _, _, code := runGen(t, "-definitely-not-a-flag"); code != 2 {
+		t.Error("bad flag not rejected")
+	}
+}

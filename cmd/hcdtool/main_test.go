@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hcd"
+)
+
+// writeTestGraph writes the two-K4-plus-bridge graph to a temp binary file.
+func writeTestGraph(t *testing.T) string {
+	t.Helper()
+	g, err := hcd.NewGraph(9, []hcd.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2}, {U: 1, V: 3}, {U: 2, V: 3},
+		{U: 4, V: 5}, {U: 4, V: 6}, {U: 4, V: 7}, {U: 5, V: 6}, {U: 5, V: 7}, {U: 6, V: 7},
+		{U: 3, V: 8}, {U: 8, V: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.bin")
+	if err := g.WriteBinaryFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runTool(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestRunStats(t *testing.T) {
+	path := writeTestGraph(t)
+	out, _, code := runTool(t, "-cmd", "stats", "-in", path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "n=9 m=14") || !strings.Contains(out, "components=1") {
+		t.Errorf("stats output wrong:\n%s", out)
+	}
+}
+
+func TestRunDecompose(t *testing.T) {
+	path := writeTestGraph(t)
+	out, _, code := runTool(t, "-cmd", "decompose", "-in", path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "kmax=3") || !strings.Contains(out, "shell    2: 1 vertices") {
+		t.Errorf("decompose output wrong:\n%s", out)
+	}
+}
+
+func TestRunBuildWithExports(t *testing.T) {
+	path := writeTestGraph(t)
+	dir := t.TempDir()
+	dot := filepath.Join(dir, "h.dot")
+	idx := filepath.Join(dir, "h.idx")
+	out, _, code := runTool(t, "-cmd", "build", "-in", path, "-dot", dot, "-index", idx)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "nodes=3") {
+		t.Errorf("build output wrong:\n%s", out)
+	}
+	for _, p := range []string{dot, idx} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("export %s missing or empty", p)
+		}
+	}
+}
+
+func TestRunSearchAndBestK(t *testing.T) {
+	path := writeTestGraph(t)
+	out, _, code := runTool(t, "-cmd", "search", "-in", path, "-metric", "internal-density", "-top", "2")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "best k-core: k=3 score=1.000000") {
+		t.Errorf("search output wrong:\n%s", out)
+	}
+	out, _, code = runTool(t, "-cmd", "bestk", "-in", path)
+	if code != 0 || !strings.Contains(out, "best k for average-degree: k=2") {
+		t.Errorf("bestk output wrong (exit %d):\n%s", code, out)
+	}
+}
+
+func TestRunDensestCliqueKcoreTrussInfluence(t *testing.T) {
+	path := writeTestGraph(t)
+	out, _, code := runTool(t, "-cmd", "densest", "-in", path)
+	if code != 0 || !strings.Contains(out, "avg-degree=3.1111") {
+		t.Errorf("densest wrong (exit %d):\n%s", code, out)
+	}
+	out, _, code = runTool(t, "-cmd", "clique", "-in", path)
+	if code != 0 || !strings.Contains(out, "size 4") {
+		t.Errorf("clique wrong (exit %d):\n%s", code, out)
+	}
+	out, _, code = runTool(t, "-cmd", "kcore", "-in", path, "-v", "0", "-k", "3")
+	if code != 0 || !strings.Contains(out, "has 4 vertices") {
+		t.Errorf("kcore wrong (exit %d):\n%s", code, out)
+	}
+	out, _, code = runTool(t, "-cmd", "kcore", "-in", path, "-v", "8", "-k", "3")
+	if code != 0 || !strings.Contains(out, "no 3-core") {
+		t.Errorf("kcore-miss wrong (exit %d):\n%s", code, out)
+	}
+	out, _, code = runTool(t, "-cmd", "truss", "-in", path)
+	if code != 0 || !strings.Contains(out, "max trussness=4") {
+		t.Errorf("truss wrong (exit %d):\n%s", code, out)
+	}
+	out, _, code = runTool(t, "-cmd", "influence", "-in", path, "-k", "3", "-top", "2")
+	if code != 0 || !strings.Contains(out, "#1 influence=") {
+		t.Errorf("influence wrong (exit %d):\n%s", code, out)
+	}
+}
+
+func TestRunTextFormat(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n2 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, code := runTool(t, "-cmd", "stats", "-in", path, "-format", "text")
+	if code != 0 || !strings.Contains(out, "n=3 m=3") {
+		t.Errorf("text format wrong (exit %d):\n%s", code, out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTestGraph(t)
+	if _, _, code := runTool(t); code != 2 {
+		t.Error("missing -in not rejected")
+	}
+	if _, errOut, code := runTool(t, "-cmd", "nonsense", "-in", path); code != 2 || !strings.Contains(errOut, "unknown command") {
+		t.Error("unknown command not rejected")
+	}
+	if _, _, code := runTool(t, "-cmd", "stats", "-in", filepath.Join(t.TempDir(), "absent.bin")); code != 1 {
+		t.Error("missing file not reported")
+	}
+	if _, _, code := runTool(t, "-cmd", "search", "-in", path, "-metric", "bogus"); code != 1 {
+		t.Error("unknown metric not rejected")
+	}
+	if _, _, code := runTool(t, "-cmd", "kcore", "-in", path, "-v", "99"); code != 2 {
+		t.Error("out-of-range vertex not rejected")
+	}
+	if _, _, code := runTool(t, "-bad-flag"); code != 2 {
+		t.Error("bad flag not rejected")
+	}
+}
+
+func TestRunMaintain(t *testing.T) {
+	path := writeTestGraph(t)
+	dir := t.TempDir()
+	streamPath := filepath.Join(dir, "ops.txt")
+	ops := "# connect the two K4s, then undo\ni 0 4\ni 1 5\nd 0 4\nd 1 5\n"
+	if err := os.WriteFile(streamPath, []byte(ops), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range []string{"traversal", "order"} {
+		out, errOut, code := runTool(t, "-cmd", "maintain", "-in", path,
+			"-stream", streamPath, "-engine", engine)
+		if code != 0 {
+			t.Fatalf("engine %s: exit %d: %s", engine, code, errOut)
+		}
+		if !strings.Contains(out, "applied 4 operations") || !strings.Contains(out, "kmax=3") {
+			t.Errorf("engine %s output wrong:\n%s", engine, out)
+		}
+	}
+	// Errors.
+	if _, _, code := runTool(t, "-cmd", "maintain", "-in", path); code != 2 {
+		t.Error("missing -stream not rejected")
+	}
+	if _, _, code := runTool(t, "-cmd", "maintain", "-in", path,
+		"-stream", streamPath, "-engine", "warp"); code != 2 {
+		t.Error("unknown engine not rejected")
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("x 1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, code := runTool(t, "-cmd", "maintain", "-in", path, "-stream", bad); code != 1 {
+		t.Error("malformed stream not rejected")
+	}
+	dup := filepath.Join(dir, "dup.txt")
+	if err := os.WriteFile(dup, []byte("i 0 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, code := runTool(t, "-cmd", "maintain", "-in", path, "-stream", dup); code != 1 {
+		t.Error("duplicate edge insert not reported")
+	}
+}

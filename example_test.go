@@ -1,0 +1,148 @@
+package hcd_test
+
+import (
+	"fmt"
+	"sort"
+
+	"hcd"
+)
+
+// fig1Graph builds the paper's Figure 1 pattern: an octahedral 4-core, a
+// surrounding 3-core, a disjoint K4 3-core, and a 2-shell gluing all of it
+// into one 2-core.
+func fig1Graph() *hcd.Graph {
+	edges := []hcd.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 4}, {U: 0, V: 5},
+		{U: 1, V: 2}, {U: 1, V: 3}, {U: 1, V: 5},
+		{U: 2, V: 3}, {U: 2, V: 4},
+		{U: 3, V: 4}, {U: 3, V: 5},
+		{U: 4, V: 5},
+		{U: 6, V: 0}, {U: 6, V: 1}, {U: 6, V: 7},
+		{U: 7, V: 2}, {U: 7, V: 8},
+		{U: 8, V: 3}, {U: 8, V: 4},
+		{U: 9, V: 10}, {U: 9, V: 11}, {U: 9, V: 12},
+		{U: 10, V: 11}, {U: 10, V: 12}, {U: 11, V: 12},
+		{U: 13, V: 0}, {U: 13, V: 9},
+		{U: 14, V: 5}, {U: 14, V: 10},
+	}
+	g, err := hcd.NewGraph(15, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// The full pipeline: core decomposition, PHCD construction, PBKS search.
+func Example() {
+	g := fig1Graph()
+	h, core := hcd.Build(g, hcd.Options{})
+	fmt.Println("tree nodes:", h.NumNodes(), "kmax:", core[0])
+
+	s := hcd.NewSearcher(g, core, h, hcd.Options{})
+	r := s.Best(hcd.AverageDegree(), hcd.Options{})
+	fmt.Printf("best k-core: k=%d avg-degree=%.2f\n", r.K, r.Score)
+	// Output:
+	// tree nodes: 4 kmax: 4
+	// best k-core: k=3 avg-degree=4.22
+}
+
+func ExampleSearcher_Best() {
+	g := fig1Graph()
+	h, core := hcd.Build(g, hcd.Options{})
+	s := hcd.NewSearcher(g, core, h, hcd.Options{})
+	for _, name := range []string{"internal-density", "conductance"} {
+		m, _ := hcd.MetricByName(name)
+		r := s.Best(m, hcd.Options{})
+		fmt.Printf("%s: k=%d score=%.3f\n", m.Name(), r.K, r.Score)
+	}
+	// Output:
+	// internal-density: k=3 score=1.000
+	// conductance: k=2 score=1.000
+}
+
+func ExampleSearcher_BestK() {
+	g := fig1Graph()
+	h, core := hcd.Build(g, hcd.Options{})
+	s := hcd.NewSearcher(g, core, h, hcd.Options{})
+	k, score, _ := s.BestK(hcd.AverageDegree(), hcd.Options{})
+	fmt.Printf("best k-core set: k=%d avg-degree=%.2f\n", k, score)
+	// Output:
+	// best k-core set: k=4 avg-degree=4.00
+}
+
+func ExampleDensestSubgraph() {
+	g := fig1Graph()
+	h, core := hcd.Build(g, hcd.Options{})
+	d := hcd.DensestSubgraph(g, core, h, hcd.Options{})
+	fmt.Printf("0.5-approx densest: k=%d avg-degree=%.2f over %d vertices\n",
+		d.K, d.AvgDegree, len(d.Vertices))
+	// Output:
+	// 0.5-approx densest: k=3 avg-degree=4.22 over 9 vertices
+}
+
+func ExampleMaximumClique() {
+	g := fig1Graph()
+	fmt.Println("maximum clique:", hcd.MaximumClique(g))
+	// Output:
+	// maximum clique: [9 10 11 12]
+}
+
+func ExampleNewLocalQuery() {
+	g := fig1Graph()
+	h, _ := hcd.Build(g, hcd.Options{})
+	q := hcd.NewLocalQuery(h)
+	kc := q.KCore(0, 3)
+	sort.Slice(kc, func(i, j int) bool { return kc[i] < kc[j] })
+	fmt.Println("3-core around vertex 0:", kc)
+	fmt.Println("0 and 9 share the 2-core:", q.SameKCore(0, 9, 2))
+	fmt.Println("0 and 9 share a 3-core:", q.SameKCore(0, 9, 3))
+	// Output:
+	// 3-core around vertex 0: [0 1 2 3 4 5 6 7 8]
+	// 0 and 9 share the 2-core: true
+	// 0 and 9 share a 3-core: false
+}
+
+func ExampleNewMaintainer() {
+	g := fig1Graph()
+	m := hcd.NewMaintainer(g)
+	fmt.Println("coreness of 13:", m.Coreness(13))
+	// A third strong connection pulls the 2-shell vertex into a 3-core
+	// (it now joins the two 3-cores through itself).
+	if err := m.InsertEdge(13, 1); err != nil {
+		panic(err)
+	}
+	fmt.Println("after insert:", m.Coreness(13))
+	// Output:
+	// coreness of 13: 2
+	// after insert: 3
+}
+
+func ExampleTopInfluentialCommunities() {
+	g := fig1Graph()
+	weights := make([]float64, g.NumVertices())
+	for v := range weights {
+		weights[v] = float64(v) // vertex id as its influence weight
+	}
+	top, err := hcd.TopInfluentialCommunities(g, weights, 3, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("top community: influence=%.0f size=%d\n",
+		top[0].Influence, len(top[0].Vertices))
+	// Output:
+	// top community: influence=9 size=4
+}
+
+func ExampleTrussDecomposition() {
+	g := fig1Graph()
+	_, trussness := hcd.TrussDecomposition(g)
+	maxT := int32(0)
+	for _, k := range trussness {
+		if k > maxT {
+			maxT = k
+		}
+	}
+	fmt.Println("max trussness:", maxT)
+	// Output:
+	// max trussness: 4
+}

@@ -1,0 +1,61 @@
+// User-engagement analysis (an application from the paper's introduction):
+// coreness estimates a user's engagement level, and the HCD refines the
+// estimate — users with the same coreness but in different tree nodes can
+// behave differently.
+//
+// We simulate a social network with per-user activity that combines a
+// coreness trend with a per-community effect, then run the library's
+// engagement analysis: (i) average activity rises with coreness (the
+// classical observation), and (ii) grouping users by HCD tree node removes
+// additional residual variance — the refinement reported in [15].
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hcd"
+)
+
+func main() {
+	// Several independent sub-communities with nested engagement tiers:
+	// the onion generator plants parallel branches, so the same coreness
+	// value occurs in several different k-cores — exactly the situation
+	// where coreness alone cannot separate user populations.
+	g := hcd.GenerateOnion(6, 80, 2, 3, 4, 7)
+	fmt.Printf("social network: n=%d m=%d\n", g.NumVertices(), g.NumEdges())
+
+	h, core := hcd.Build(g, hcd.Options{})
+	fmt.Printf("hierarchy: %s\n", h.ComputeStats())
+
+	// Simulated activity: a coreness trend, plus a per-community effect
+	// (each k-core community has its own engagement culture), plus noise.
+	// The community effect is what coreness alone cannot see.
+	rng := rand.New(rand.NewSource(1))
+	n := g.NumVertices()
+	communityEffect := make([]float64, h.NumNodes())
+	for i := range communityEffect {
+		communityEffect[i] = rng.Float64() * 12
+	}
+	activity := make([]float64, n)
+	for v := 0; v < n; v++ {
+		activity[v] = 5 + 3*float64(core[v]) + communityEffect[h.TID[v]] + rng.NormFloat64()*2
+	}
+
+	rep, err := hcd.AnalyzeEngagement(h, core, activity)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\navg activity by coreness (classical engagement estimate):")
+	for _, s := range rep.Shells {
+		fmt.Printf("  coreness %2d: %6.2f ± %5.2f  (%d users)\n", s.K, s.Mean, s.Std, s.Count)
+	}
+	fmt.Printf("\ncoreness-activity correlation: %.3f\n", rep.Correlation)
+	fmt.Printf("pooled within-group variance:\n")
+	fmt.Printf("  grouped by coreness only : %.3f\n", rep.VarCoreness)
+	fmt.Printf("  grouped by HCD tree node : %.3f\n", rep.VarNode)
+	fmt.Printf("  -> HCD position removes %.0f%% of the residual variance\n",
+		100*rep.Refinement())
+}

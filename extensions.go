@@ -1,0 +1,114 @@
+package hcd
+
+import (
+	"io"
+
+	"hcd/internal/attributed"
+	"hcd/internal/dynamic"
+	"hcd/internal/ecc"
+	"hcd/internal/engagement"
+	"hcd/internal/influence"
+	"hcd/internal/query"
+	"hcd/internal/truss"
+	"hcd/internal/viz"
+)
+
+// This file exposes the §VI/§VII extension subsystems: dynamic
+// maintenance, local k-core queries, influential community search, and the
+// k-truss hierarchy built with the PHCD paradigm.
+
+type (
+	// Maintainer is a mutable graph whose core decomposition is maintained
+	// incrementally under edge insertions and deletions (subcore
+	// traversal: simple, work proportional to the affected subcore).
+	Maintainer = dynamic.Maintainer
+	// OrderMaintainer maintains coreness with the order-based algorithm:
+	// O(1) fast-path insertions even on graphs with giant k-shells, at the
+	// cost of maintaining a peeling order.
+	OrderMaintainer = dynamic.OrderMaintainer
+	// LocalQuery answers "the k-core containing v" in output-linear time
+	// over a built HCD.
+	LocalQuery = query.Index
+	// InfluentialCommunity is one result of influential community search.
+	InfluentialCommunity = influence.Community
+	// TrussIndex maps undirected edges to dense ids for the k-truss
+	// decomposition.
+	TrussIndex = truss.EdgeIndex
+	// VertexKeywords maps each vertex to its attribute keywords for
+	// attributed community search.
+	VertexKeywords = attributed.Keywords
+	// EngagementReport is the output of user-engagement analysis.
+	EngagementReport = engagement.Report
+	// AttributedCommunity is one attributed-community-search answer.
+	AttributedCommunity = attributed.Community
+)
+
+// NewMaintainer wraps g in a dynamic Maintainer: InsertEdge and RemoveEdge
+// update coreness incrementally with subcore traversal; Hierarchy rebuilds
+// the HCD lazily on demand.
+func NewMaintainer(g *Graph) *Maintainer { return dynamic.New(g) }
+
+// NewOrderMaintainer wraps g in an order-based dynamic maintainer (Zhang
+// et al., ICDE 2017): it additionally maintains a valid peeling order, so
+// most insertions are O(1) regardless of shell sizes. Prefer it for
+// insertion-heavy streams on graphs whose k-shells form giant components.
+func NewOrderMaintainer(g *Graph) *OrderMaintainer { return dynamic.NewOrder(g) }
+
+// NewLocalQuery preprocesses an HCD for local k-core queries (binary
+// lifting over the forest; O(|T| log |T|) space).
+func NewLocalQuery(h *HCD) *LocalQuery { return query.NewIndex(h) }
+
+// TopInfluentialCommunities returns the r highest-influence non-contained
+// k-influential communities of g under the given vertex weights, highest
+// influence first (Li et al., PVLDB 2015 — the §VII application).
+func TopInfluentialCommunities(g *Graph, weights []float64, k int32, r int) ([]InfluentialCommunity, error) {
+	return influence.TopR(g, weights, k, r)
+}
+
+// TrussDecomposition computes the trussness of every edge by support
+// peeling, returning the edge index and per-edge trussness (>= 2).
+func TrussDecomposition(g *Graph) (*TrussIndex, []int32) { return truss.Decompose(g) }
+
+// TrussHierarchy builds the k-truss hierarchy with the PHCD union-find
+// paradigm (§VI: the framework generalised to another cohesive model).
+// The returned forest stores edge ids where the HCD stores vertex ids.
+func TrussHierarchy(g *Graph, ix *TrussIndex, trussness []int32) *HCD {
+	return truss.BuildHierarchy(g, ix, trussness)
+}
+
+// ECCDecompose partitions the graph into maximal k-edge-connected
+// components (k-ECCs): label[v] is v's component id, or -1 when v belongs
+// to no k-ECC of at least two vertices.
+func ECCDecompose(g *Graph, k int32) (label []int32, count int32) {
+	return ecc.Decompose(g, k)
+}
+
+// ECCHierarchy builds the k-ECC hierarchy — the second §VI generalisation
+// alongside the truss hierarchy — returning the forest (in the shared HCD
+// container) and each vertex's connectivity number.
+func ECCHierarchy(g *Graph) (*HCD, []int32) { return ecc.BuildHierarchy(g) }
+
+// AttributedSearch answers an attributed community query (ACQ, Fang et
+// al., PVLDB 2016 — the CL-Tree application of §VII): the connected k-core
+// containing q whose members share a maximum-size subset of q's keywords
+// (or of queryKeywords when non-nil). All maximal-size winners are
+// returned; nil means no k-core contains q at all.
+func AttributedSearch(g *Graph, attrs VertexKeywords, q int32, k int32, queryKeywords []int32) ([]AttributedCommunity, error) {
+	return attributed.Search(g, attrs, q, k, queryKeywords)
+}
+
+// WriteSVG renders the hierarchy as a self-contained SVG icicle diagram —
+// the §I graph-visualisation application. Zero-valued options pick
+// sensible defaults.
+func WriteSVG(w io.Writer, h *HCD, opt SVGOptions) error { return viz.WriteSVG(w, h, opt) }
+
+// SVGOptions tunes WriteSVG (width, row height, label threshold).
+type SVGOptions = viz.Options
+
+// AnalyzeEngagement runs the §I user-engagement analysis: per-shell
+// activity profiles, the coreness-activity correlation, and the variance
+// decomposition showing how much the HCD position refines the
+// coreness-only engagement estimate.
+func AnalyzeEngagement(h *HCD, core []int32, activity []float64) (EngagementReport, error) {
+	return engagement.Analyze(h, core, activity)
+}

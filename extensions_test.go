@@ -1,0 +1,151 @@
+package hcd_test
+
+import (
+	"testing"
+
+	"hcd"
+)
+
+func TestMaintainerFacade(t *testing.T) {
+	g := twoK4Bridge(t)
+	m := hcd.NewMaintainer(g)
+	if m.NumEdges() != g.NumEdges() {
+		t.Fatalf("maintainer edges %d != %d", m.NumEdges(), g.NumEdges())
+	}
+	// Connect the two K4s directly: vertex 8 still coreness 2, but 3 and 4
+	// gain an edge.
+	if err := m.InsertEdge(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	want := hcd.CoreDecompositionSerial(m.Snapshot())
+	for v := int32(0); v < int32(m.NumVertices()); v++ {
+		if m.Coreness(v) != want[v] {
+			t.Fatalf("coreness[%d] = %d, want %d", v, m.Coreness(v), want[v])
+		}
+	}
+	h := m.Hierarchy(2)
+	if h.NumNodes() == 0 {
+		t.Fatal("hierarchy empty after rebuild")
+	}
+	if err := m.RemoveEdge(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if m.Hierarchy(2) == h {
+		t.Error("hierarchy not invalidated by mutation")
+	}
+}
+
+func TestLocalQueryFacade(t *testing.T) {
+	g := twoK4Bridge(t)
+	h, _ := hcd.Build(g, hcd.Options{})
+	q := hcd.NewLocalQuery(h)
+	kc := q.KCore(0, 3)
+	if len(kc) != 4 {
+		t.Errorf("3-core of vertex 0 has %d vertices, want 4", len(kc))
+	}
+	if !q.SameKCore(0, 8, 2) {
+		t.Error("everything shares the 2-core")
+	}
+	if q.SameKCore(0, 4, 3) {
+		t.Error("the two K4s are distinct 3-cores")
+	}
+}
+
+func TestInfluentialCommunitiesFacade(t *testing.T) {
+	g := twoK4Bridge(t)
+	w := make([]float64, g.NumVertices())
+	for i := range w {
+		w[i] = float64(i + 1)
+	}
+	top, err := hcd.TopInfluentialCommunities(g, w, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) == 0 {
+		t.Fatal("no influential communities found")
+	}
+	// The highest-influence 3-influential community is the second K4
+	// (vertices 4-7, min weight 5).
+	if top[0].Influence != 5 || len(top[0].Vertices) != 4 {
+		t.Errorf("top community = %+v, want the second K4 (influence 5)", top[0])
+	}
+}
+
+func TestTrussFacade(t *testing.T) {
+	g := twoK4Bridge(t)
+	ix, tr := hcd.TrussDecomposition(g)
+	// K4 edges have trussness 4; the two bridge edges 2.
+	fours, twos := 0, 0
+	for _, k := range tr {
+		switch k {
+		case 4:
+			fours++
+		case 2:
+			twos++
+		default:
+			t.Errorf("unexpected trussness %d", k)
+		}
+	}
+	if fours != 12 || twos != 2 {
+		t.Errorf("trussness histogram: %d fours, %d twos", fours, twos)
+	}
+	th := hcd.TrussHierarchy(g, ix, tr)
+	if th.NumNodes() != 3 {
+		t.Errorf("truss hierarchy has %d nodes, want 3 (two K4 trusses + bridge)", th.NumNodes())
+	}
+}
+
+func TestAttributedSearchFacade(t *testing.T) {
+	g := twoK4Bridge(t)
+	attrs := make(hcd.VertexKeywords, g.NumVertices())
+	for v := 0; v < 4; v++ {
+		attrs[v] = []int32{1}
+	}
+	for v := 4; v < 8; v++ {
+		attrs[v] = []int32{2}
+	}
+	attrs[8] = []int32{1, 2}
+	got, err := hcd.AttributedSearch(g, attrs, 0, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Vertices) != 4 || len(got[0].Shared) != 1 {
+		t.Fatalf("attributed search = %+v, want the keyword-1 K4", got)
+	}
+}
+
+func TestOrderMaintainerFacade(t *testing.T) {
+	g := twoK4Bridge(t)
+	m := hcd.NewOrderMaintainer(g)
+	if err := m.InsertEdge(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RemoveEdge(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	want := hcd.CoreDecompositionSerial(m.Snapshot())
+	for v := int32(0); v < int32(m.NumVertices()); v++ {
+		if m.Coreness(v) != want[v] {
+			t.Fatalf("order maintainer coreness[%d] = %d, want %d", v, m.Coreness(v), want[v])
+		}
+	}
+}
+
+func TestECCFacade(t *testing.T) {
+	g := twoK4Bridge(t)
+	// Each K4 is 3-edge-connected; the bridge vertex 8 has connectivity 1.
+	label, count := hcd.ECCDecompose(g, 3)
+	if count != 2 {
+		t.Fatalf("3-ECC count = %d, want 2", count)
+	}
+	if label[8] != -1 {
+		t.Errorf("bridge vertex should be in no 3-ECC")
+	}
+	h, lambda := hcd.ECCHierarchy(g)
+	if lambda[0] != 3 || lambda[8] != 1 {
+		t.Errorf("lambda = %v", lambda)
+	}
+	if h.NumNodes() != 3 {
+		t.Errorf("ECC hierarchy |T| = %d, want 3", h.NumNodes())
+	}
+}

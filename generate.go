@@ -1,0 +1,32 @@
+package hcd
+
+import "hcd/internal/gen"
+
+// Deterministic synthetic graph generators, re-exported so examples,
+// benchmarks and downstream experiments can build workloads without
+// external datasets. See internal/gen for the structural rationale of each
+// family.
+
+// GenerateErdosRenyi samples a G(n, m)-style uniform random graph.
+func GenerateErdosRenyi(n, m int, seed int64) *Graph { return gen.ErdosRenyi(n, m, seed) }
+
+// GenerateBarabasiAlbert grows a preferential-attachment graph where each
+// new vertex attaches to k degree-weighted targets.
+func GenerateBarabasiAlbert(n, k int, seed int64) *Graph { return gen.BarabasiAlbert(n, k, seed) }
+
+// GenerateRMAT samples m edges from a 2^scale-vertex recursive-matrix
+// (Kronecker-style) distribution, producing skewed web-like graphs.
+func GenerateRMAT(scale, m int, seed int64) *Graph { return gen.RMAT(scale, m, seed) }
+
+// GenerateOnion plants an explicit nested-core hierarchy: `layers` shells
+// of `width` vertices per branch, wiring layer i with degree base+i*step
+// into layers at least as deep, across `branches` sub-onions.
+func GenerateOnion(layers, width, base, step, branches int, seed int64) *Graph {
+	return gen.Onion(layers, width, base, step, branches, seed)
+}
+
+// GeneratePlantedPartition builds `comms` communities of `size` vertices
+// with intra-community edge probability pin and inter-community pout.
+func GeneratePlantedPartition(comms, size int, pin, pout float64, seed int64) *Graph {
+	return gen.PlantedPartition(comms, size, pin, pout, seed)
+}

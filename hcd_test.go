@@ -1,0 +1,207 @@
+package hcd_test
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hcd"
+)
+
+// twoK4Bridge: two K4s (3-cores) joined through a coreness-2 vertex.
+func twoK4Bridge(t *testing.T) *hcd.Graph {
+	t.Helper()
+	g, err := hcd.NewGraph(9, []hcd.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2}, {U: 1, V: 3}, {U: 2, V: 3},
+		{U: 4, V: 5}, {U: 4, V: 6}, {U: 4, V: 7}, {U: 5, V: 6}, {U: 5, V: 7}, {U: 6, V: 7},
+		{U: 3, V: 8}, {U: 8, V: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPublicPipeline(t *testing.T) {
+	g := twoK4Bridge(t)
+	h, core := hcd.Build(g, hcd.Options{Threads: 2})
+	if h.NumNodes() != 3 {
+		t.Fatalf("|T| = %d, want 3", h.NumNodes())
+	}
+	if core[8] != 2 || core[0] != 3 {
+		t.Fatalf("coreness wrong: %v", core)
+	}
+	s := hcd.NewSearcher(g, core, h, hcd.Options{})
+	// The whole graph (2-core) has average degree 28/9 ≈ 3.11, beating
+	// each K4's 3, so the root wins the average-degree search; internal
+	// density, in contrast, is maximised by a K4.
+	r := s.Best(hcd.AverageDegree(), hcd.Options{})
+	if r.K != 2 || math.Abs(r.Score-28.0/9) > 1e-9 {
+		t.Errorf("best k-core by avg degree should be the 2-core, got k=%d score %v", r.K, r.Score)
+	}
+	if got := len(s.CoreVertices(r.Node)); got != 9 {
+		t.Errorf("winner core has %d vertices, want 9", got)
+	}
+	rd := s.Best(hcd.InternalDensity(), hcd.Options{})
+	if rd.K != 3 || math.Abs(rd.Score-1) > 1e-9 {
+		t.Errorf("best k-core by internal density should be a K4, got k=%d score %v", rd.K, rd.Score)
+	}
+}
+
+func TestSerialBaselinesAgree(t *testing.T) {
+	g := twoK4Bridge(t)
+	coreS := hcd.CoreDecompositionSerial(g)
+	coreP := hcd.CoreDecomposition(g, hcd.Options{Threads: 3})
+	for v := range coreS {
+		if coreS[v] != coreP[v] {
+			t.Fatalf("serial/parallel coreness differ at %d", v)
+		}
+	}
+	hs := hcd.BuildHCDSerial(g, coreS)
+	hp := hcd.BuildHCD(g, coreS, hcd.Options{Threads: 3})
+	if hs.NumNodes() != hp.NumNodes() {
+		t.Errorf("LCPS and PHCD node counts differ: %d vs %d", hs.NumNodes(), hp.NumNodes())
+	}
+}
+
+func TestMetricsRegistry(t *testing.T) {
+	if len(hcd.Metrics()) != 8 {
+		t.Errorf("Metrics() = %d entries, want 8", len(hcd.Metrics()))
+	}
+	m, err := hcd.MetricByName("conductance")
+	if err != nil || m.Name() != "conductance" {
+		t.Errorf("MetricByName failed: %v", err)
+	}
+	if _, err := hcd.MetricByName("nope"); err == nil {
+		t.Error("unknown metric accepted")
+	}
+}
+
+func TestDensestAndClique(t *testing.T) {
+	g := twoK4Bridge(t)
+	h, core := hcd.Build(g, hcd.Options{})
+	// The whole graph is the 2-core with average degree 28/9 ≈ 3.11, which
+	// beats each K4's 3 — the best k-core is the root's core.
+	d := hcd.DensestSubgraph(g, core, h, hcd.Options{})
+	if math.Abs(d.AvgDegree-28.0/9) > 1e-9 || len(d.Vertices) != 9 {
+		t.Errorf("densest = %v (%d verts), want 28/9 over the whole graph", d.AvgDegree, len(d.Vertices))
+	}
+	mc := hcd.MaximumClique(g)
+	if len(mc) != 4 {
+		t.Errorf("max clique size %d, want 4", len(mc))
+	}
+}
+
+func TestBestK(t *testing.T) {
+	g := twoK4Bridge(t)
+	h, core := hcd.Build(g, hcd.Options{})
+	s := hcd.NewSearcher(g, core, h, hcd.Options{})
+	k, score, all := s.BestK(hcd.AverageDegree(), hcd.Options{})
+	// K3 set = both K4s (8 vertices, 12 edges): avg degree 3; K2 set =
+	// whole graph (9 vertices, 14 edges): 28/9 ≈ 3.11 — the best k is 2.
+	if k != 2 || math.Abs(score-28.0/9) > 1e-9 {
+		t.Errorf("BestK = (%d, %v), want (2, 3.111)", k, score)
+	}
+	if len(all) != 4 { // k = 0..3
+		t.Errorf("per-level scores = %d entries, want 4", len(all))
+	}
+}
+
+func TestReadEdgeListFacade(t *testing.T) {
+	g, err := hcd.ReadEdgeList(strings.NewReader("0 1\n1 2\n2 0\n"))
+	if err != nil || g.NumEdges() != 3 {
+		t.Fatalf("ReadEdgeList: %v %v", g, err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.bin")
+	if err := g.WriteBinaryFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := hcd.ReadBinaryFile(path)
+	if err != nil || g2.NumEdges() != 3 {
+		t.Fatalf("ReadBinaryFile: %v %v", g2, err)
+	}
+	textPath := filepath.Join(dir, "g.txt")
+	f, err := os.Create(textPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteEdgeList(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	g3, err := hcd.ReadEdgeListFile(textPath)
+	if err != nil || g3.NumEdges() != 3 {
+		t.Fatalf("ReadEdgeListFile: %v %v", g3, err)
+	}
+}
+
+func TestGeneratorsAndVizFacade(t *testing.T) {
+	gens := map[string]*hcd.Graph{
+		"er":      hcd.GenerateErdosRenyi(100, 300, 1),
+		"ba":      hcd.GenerateBarabasiAlbert(100, 3, 2),
+		"rmat":    hcd.GenerateRMAT(7, 300, 3),
+		"onion":   hcd.GenerateOnion(3, 10, 2, 2, 2, 4),
+		"planted": hcd.GeneratePlantedPartition(3, 20, 0.3, 0.01, 5),
+	}
+	for name, g := range gens {
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Errorf("%s: degenerate graph", name)
+		}
+	}
+	g := gens["onion"]
+	h, core := hcd.Build(g, hcd.Options{})
+	var buf strings.Builder
+	if err := hcd.WriteSVG(&buf, h, hcd.SVGOptions{Width: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<svg") || !strings.Contains(buf.String(), `width="300"`) {
+		t.Error("SVG output wrong")
+	}
+	activity := make([]float64, g.NumVertices())
+	for v := range activity {
+		activity[v] = float64(core[v])
+	}
+	rep, err := hcd.AnalyzeEngagement(h, core, activity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Correlation-1) > 1e-9 {
+		t.Errorf("correlation = %v, want 1", rep.Correlation)
+	}
+	// Touch the remaining metric constructors.
+	for _, m := range []hcd.Metric{hcd.CutRatio(), hcd.Conductance(), hcd.Modularity(), hcd.ClusteringCoefficient()} {
+		if m.Name() == "" {
+			t.Error("empty metric name")
+		}
+	}
+}
+
+func TestWeightedAndConstrainedFacade(t *testing.T) {
+	g := twoK4Bridge(t)
+	h, core := hcd.Build(g, hcd.Options{})
+	s := hcd.NewSearcher(g, core, h, hcd.Options{})
+	// Constrained to <= 4 vertices: the whole-graph 2-core is excluded and
+	// a K4 wins.
+	r := s.BestConstrained(hcd.AverageDegree(), 0, 4, hcd.Options{})
+	if r.Node == hcd.NilNode || r.Values.N != 4 || math.Abs(r.Score-3) > 1e-9 {
+		t.Errorf("constrained search = %+v, want a K4", r)
+	}
+	if r2 := s.BestConstrained(hcd.AverageDegree(), 50, 60, hcd.Options{}); r2.Node != hcd.NilNode {
+		t.Error("impossible constraint should return NilNode")
+	}
+	// Assembled metric through the facade.
+	w := hcd.WeightedMetric("density+cc",
+		hcd.MetricTerm{Metric: hcd.InternalDensity(), Coeff: 1},
+		hcd.MetricTerm{Metric: hcd.ClusteringCoefficient(), Coeff: 1},
+	)
+	if w.Name() != "density+cc" {
+		t.Errorf("Name = %q", w.Name())
+	}
+	rw := s.Best(w, hcd.Options{})
+	if math.Abs(rw.Score-2) > 1e-9 {
+		t.Errorf("weighted best = %v, want 2 (K4: density 1 + clustering 1)", rw.Score)
+	}
+}

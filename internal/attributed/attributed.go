@@ -1,0 +1,215 @@
+// Package attributed implements attributed community search (ACQ — Fang,
+// Cheng, Luo, Hu, PVLDB 2016), the application §VII cites as using a
+// CL-Tree index "equivalent to HCD": on a graph whose vertices carry
+// keyword sets, find the community of a query vertex that is both
+// structurally cohesive (a connected k-core containing the query) and
+// attribute-homogeneous (its members share as many of the query's
+// keywords as possible).
+//
+// Search enumerates candidate keyword subsets from largest to smallest
+// (the paper's "Dec" strategy): for a candidate W, the subgraph induced by
+// {v : W ⊆ attr(v)} is peeled to min degree k and the component of the
+// query vertex, if it survives, is a valid community whose shared keyword
+// set includes W. All maximal-size winning subsets are reported. The
+// enumeration is exponential in the number of query keywords, which ACQ
+// keeps small by design (callers pass the query vertex's own keywords,
+// typically < 10).
+package attributed
+
+import (
+	"fmt"
+	"sort"
+
+	"hcd/internal/graph"
+)
+
+// Keywords maps each vertex to its attribute keywords (dense ids; order
+// and duplicates are irrelevant).
+type Keywords [][]int32
+
+// Community is one ACQ answer.
+type Community struct {
+	// Vertices of the community, ascending, including the query vertex.
+	Vertices []int32
+	// Shared is the keyword subset every member carries, ascending.
+	Shared []int32
+}
+
+// Search answers an attributed community query: the connected k-core
+// containing q within the subgraph of vertices sharing a maximum-size
+// subset of q's keywords (or of queryKeywords if non-nil). It returns
+// every maximal-size winning keyword subset with its community; if even
+// the empty keyword set admits no k-core around q, it returns nil.
+func Search(g *graph.Graph, attrs Keywords, q int32, k int32, queryKeywords []int32) ([]Community, error) {
+	n := g.NumVertices()
+	if len(attrs) != n {
+		return nil, fmt.Errorf("attributed: %d keyword sets for %d vertices", len(attrs), n)
+	}
+	if q < 0 || int(q) >= n {
+		return nil, fmt.Errorf("attributed: query vertex %d out of range", q)
+	}
+	base := queryKeywords
+	if base == nil {
+		base = attrs[q]
+	}
+	kw := dedupSorted(base)
+	if len(kw) > 20 {
+		return nil, fmt.Errorf("attributed: %d query keywords (limit 20; ACQ keyword sets are small by design)", len(kw))
+	}
+
+	// Precompute per-vertex keyword sets as maps for O(1) containment.
+	has := make([]map[int32]bool, n)
+	for v := 0; v < n; v++ {
+		mset := make(map[int32]bool, len(attrs[v]))
+		for _, w := range attrs[v] {
+			mset[w] = true
+		}
+		has[v] = mset
+	}
+
+	// Candidate subsets by decreasing size; within a size, enumerate in
+	// deterministic order.
+	for size := len(kw); size >= 0; size-- {
+		var winners []Community
+		forEachSubset(kw, size, func(W []int32) {
+			comm := communityFor(g, has, q, k, W)
+			if comm != nil {
+				winners = append(winners, Community{
+					Vertices: comm,
+					Shared:   append([]int32(nil), W...),
+				})
+			}
+		})
+		if len(winners) > 0 {
+			return winners, nil
+		}
+	}
+	return nil, nil
+}
+
+// communityFor peels the W-induced subgraph to min degree k and returns
+// q's surviving component (nil if q does not survive).
+func communityFor(g *graph.Graph, has []map[int32]bool, q int32, k int32, W []int32) []int32 {
+	carries := func(v int32) bool {
+		for _, w := range W {
+			if !has[v][w] {
+				return false
+			}
+		}
+		return true
+	}
+	if !carries(q) {
+		return nil
+	}
+	// Collect the induced vertex set lazily from q's side of the graph:
+	// only q's component matters, so BFS within carriers first.
+	inComp := map[int32]bool{q: true}
+	queue := []int32{q}
+	var verts []int32
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		verts = append(verts, v)
+		for _, u := range g.Neighbors(v) {
+			if !inComp[u] && carries(u) {
+				inComp[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	// Peel to min degree k within the component.
+	deg := make(map[int32]int32, len(verts))
+	for _, v := range verts {
+		var d int32
+		for _, u := range g.Neighbors(v) {
+			if inComp[u] {
+				d++
+			}
+		}
+		deg[v] = d
+	}
+	var peel []int32
+	for _, v := range verts {
+		if deg[v] < k {
+			peel = append(peel, v)
+			inComp[v] = false
+		}
+	}
+	for len(peel) > 0 {
+		v := peel[len(peel)-1]
+		peel = peel[:len(peel)-1]
+		for _, u := range g.Neighbors(v) {
+			if inComp[u] {
+				deg[u]--
+				if deg[u] < k {
+					inComp[u] = false
+					peel = append(peel, u)
+				}
+			}
+		}
+	}
+	if !inComp[q] {
+		return nil
+	}
+	// q's component of the peeled subgraph.
+	comp := map[int32]bool{q: true}
+	queue = append(queue[:0], q)
+	var out []int32
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		out = append(out, v)
+		for _, u := range g.Neighbors(v) {
+			if inComp[u] && !comp[u] {
+				comp[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// forEachSubset calls fn with every size-`size` subset of kw (which must
+// be sorted), in lexicographic order. fn must not retain its argument.
+func forEachSubset(kw []int32, size int, fn func([]int32)) {
+	if size > len(kw) {
+		return
+	}
+	idx := make([]int, size)
+	for i := range idx {
+		idx[i] = i
+	}
+	buf := make([]int32, size)
+	for {
+		for i, j := range idx {
+			buf[i] = kw[j]
+		}
+		fn(buf)
+		// Advance the combination.
+		i := size - 1
+		for i >= 0 && idx[i] == len(kw)-size+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < size; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+func dedupSorted(s []int32) []int32 {
+	out := append([]int32(nil), s...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 0
+	for i := range out {
+		if i == 0 || out[i] != out[i-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}

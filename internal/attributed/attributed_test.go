@@ -1,0 +1,238 @@
+package attributed
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"hcd/internal/gen"
+	"hcd/internal/graph"
+)
+
+func TestSearchHandExample(t *testing.T) {
+	// Two triangles sharing vertex 2. Left triangle all carry keyword 1;
+	// right triangle carries keyword 2; vertex 2 carries both.
+	g := graph.MustFromEdges(5, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+		{U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 2},
+	})
+	attrs := Keywords{{1}, {1}, {1, 2}, {2}, {2}}
+	// Query at vertex 2 with k=2: both keywords admit a triangle, but no
+	// single community carries {1,2}; maximal shared size is 1, and both
+	// subsets {1} and {2} win.
+	got, err := Search(g, attrs, 2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d winners, want 2: %+v", len(got), got)
+	}
+	byKw := map[int32][]int32{}
+	for _, c := range got {
+		if len(c.Shared) != 1 {
+			t.Fatalf("shared set %v, want singletons", c.Shared)
+		}
+		byKw[c.Shared[0]] = c.Vertices
+	}
+	if !reflect.DeepEqual(byKw[1], []int32{0, 1, 2}) {
+		t.Errorf("keyword-1 community = %v", byKw[1])
+	}
+	if !reflect.DeepEqual(byKw[2], []int32{2, 3, 4}) {
+		t.Errorf("keyword-2 community = %v", byKw[2])
+	}
+}
+
+func TestSearchFullSharedSet(t *testing.T) {
+	// A K4 where everyone shares both keywords.
+	var edges []graph.Edge
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			edges = append(edges, graph.Edge{U: int32(i), V: int32(j)})
+		}
+	}
+	g := graph.MustFromEdges(4, edges)
+	attrs := Keywords{{7, 9}, {9, 7}, {7, 9, 11}, {9, 7}}
+	got, err := Search(g, attrs, 0, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !reflect.DeepEqual(got[0].Shared, []int32{7, 9}) {
+		t.Fatalf("want the full shared set {7,9}, got %+v", got)
+	}
+	if len(got[0].Vertices) != 4 {
+		t.Errorf("community should be the whole K4")
+	}
+}
+
+func TestSearchFallsBackToStructureOnly(t *testing.T) {
+	// Query vertex whose keywords nobody else shares: the maximal winning
+	// subset is empty and the answer is the plain k-core community.
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	attrs := Keywords{{42}, {}, {}}
+	got, err := Search(g, attrs, 0, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Shared) != 0 {
+		t.Fatalf("want structure-only community, got %+v", got)
+	}
+	if len(got[0].Vertices) != 3 {
+		t.Errorf("community = %v, want the triangle", got[0].Vertices)
+	}
+}
+
+func TestSearchNoCommunity(t *testing.T) {
+	// q has degree 1; no 2-core contains it under any keyword subset.
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	attrs := Keywords{{1}, {1}, {1}, {1}}
+	got, err := Search(g, attrs, 0, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Errorf("want no community, got %+v", got)
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	g := graph.MustFromEdges(2, []graph.Edge{{U: 0, V: 1}})
+	if _, err := Search(g, Keywords{{1}}, 0, 1, nil); err == nil {
+		t.Error("keyword/vertex count mismatch accepted")
+	}
+	if _, err := Search(g, Keywords{{1}, {1}}, 5, 1, nil); err == nil {
+		t.Error("out-of-range query accepted")
+	}
+	big := make([]int32, 25)
+	for i := range big {
+		big[i] = int32(i)
+	}
+	if _, err := Search(g, Keywords{{1}, {1}}, 0, 1, big); err == nil {
+		t.Error("oversized keyword set accepted")
+	}
+}
+
+// bruteACQ: enumerate every keyword subset of q's keywords by decreasing
+// size; for each, compute q's peeled component over carriers directly.
+func bruteACQ(g *graph.Graph, attrs Keywords, q int32, k int32) []Community {
+	kw := dedupSorted(attrs[q])
+	for size := len(kw); size >= 0; size-- {
+		var winners []Community
+		forEachSubset(kw, size, func(W []int32) {
+			in := make([]bool, g.NumVertices())
+			for v := 0; v < g.NumVertices(); v++ {
+				ok := true
+				for _, w := range W {
+					found := false
+					for _, a := range attrs[v] {
+						if a == w {
+							found = true
+							break
+						}
+					}
+					if !found {
+						ok = false
+						break
+					}
+				}
+				in[v] = ok
+			}
+			// Peel to min degree k globally (q's component extracted last).
+			changed := true
+			for changed {
+				changed = false
+				for v := int32(0); v < int32(g.NumVertices()); v++ {
+					if !in[v] {
+						continue
+					}
+					d := 0
+					for _, u := range g.Neighbors(v) {
+						if in[u] {
+							d++
+						}
+					}
+					if int32(d) < k {
+						in[v] = false
+						changed = true
+					}
+				}
+			}
+			if !in[q] {
+				return
+			}
+			seen := map[int32]bool{q: true}
+			queue := []int32{q}
+			var comp []int32
+			for len(queue) > 0 {
+				v := queue[len(queue)-1]
+				queue = queue[:len(queue)-1]
+				comp = append(comp, v)
+				for _, u := range g.Neighbors(v) {
+					if in[u] && !seen[u] {
+						seen[u] = true
+						queue = append(queue, u)
+					}
+				}
+			}
+			sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+			winners = append(winners, Community{Vertices: comp, Shared: append([]int32(nil), W...)})
+		})
+		if len(winners) > 0 {
+			return winners
+		}
+	}
+	return nil
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		n := 8 + rng.Intn(20)
+		g := gen.ErdosRenyi(n, 3*n, int64(trial))
+		attrs := make(Keywords, n)
+		for v := range attrs {
+			nk := rng.Intn(4)
+			for i := 0; i < nk; i++ {
+				attrs[v] = append(attrs[v], int32(rng.Intn(5)))
+			}
+		}
+		q := int32(rng.Intn(n))
+		k := int32(1 + rng.Intn(3))
+		got, err := Search(g, attrs, q, k, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteACQ(g, attrs, q, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d winners, brute force %d\n got %+v\nwant %+v",
+				trial, len(got), len(want), got, want)
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("trial %d winner %d: %+v vs %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachSubset(t *testing.T) {
+	var got [][]int32
+	forEachSubset([]int32{1, 2, 3}, 2, func(w []int32) {
+		got = append(got, append([]int32(nil), w...))
+	})
+	want := [][]int32{{1, 2}, {1, 3}, {2, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("subsets = %v, want %v", got, want)
+	}
+	count := 0
+	forEachSubset([]int32{1, 2, 3}, 0, func(w []int32) {
+		if len(w) != 0 {
+			t.Error("empty subset expected")
+		}
+		count++
+	})
+	if count != 1 {
+		t.Errorf("empty subset visited %d times", count)
+	}
+	forEachSubset([]int32{1}, 5, func([]int32) { t.Error("oversized subset visited") })
+}

@@ -1,0 +1,158 @@
+// Package clique finds the maximum clique of a graph — the application of
+// Table IV's right half, which shows that PBKS-D's output core contains
+// the maximum clique with high probability and is thus a strong pruning
+// space for clique search.
+//
+// The solver is a classical branch-and-bound in the style of Tomita's MCS
+// with two k-core-based pruning rules the paper's setting makes natural:
+//
+//   - a clique of size q lies entirely inside the (q-1)-core, so vertices
+//     with coreness < best are skipped as search roots;
+//   - candidates are expanded in degeneracy order, bounding each root's
+//     candidate set by its coreness + 1;
+//   - within a branch, a greedy colouring of the candidate set upper-bounds
+//     the residual clique size.
+package clique
+
+import (
+	"sort"
+
+	"hcd/internal/coredecomp"
+	"hcd/internal/graph"
+)
+
+// Max returns one maximum clique of g (vertex ids, ascending) — empty for
+// an empty graph, a single vertex for an edgeless one.
+func Max(g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	core := coredecomp.Serial(g)
+	// Degeneracy order: ascending coreness, ties by id (the vertex-rank
+	// order). pos[v] = position of v in that order.
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		va, vb := order[a], order[b]
+		if core[va] != core[vb] {
+			return core[va] < core[vb]
+		}
+		return va < vb
+	})
+	pos := make([]int32, n)
+	for i, v := range order {
+		pos[v] = int32(i)
+	}
+
+	s := &solver{g: g, core: core, pos: pos, best: []int32{order[0]}}
+	// Roots in reverse degeneracy order: dense vertices first, so the
+	// coreness bound prunes aggressively.
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		if int(core[v])+1 <= len(s.best) {
+			// Every remaining root has coreness <= core[v]; no larger
+			// clique can start here or later.
+			break
+		}
+		// Candidates: neighbors after v in degeneracy order.
+		var cand []int32
+		for _, u := range g.Neighbors(v) {
+			if pos[u] > pos[v] {
+				cand = append(cand, u)
+			}
+		}
+		s.expand([]int32{v}, cand)
+	}
+	out := append([]int32(nil), s.best...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+type solver struct {
+	g    *graph.Graph
+	core []int32
+	pos  []int32
+	best []int32
+}
+
+// expand grows the current clique cur with vertices from cand (all
+// adjacent to every member of cur).
+func (s *solver) expand(cur, cand []int32) {
+	if len(cur) > len(s.best) {
+		s.best = append(s.best[:0], cur...)
+	}
+	if len(cand) == 0 || len(cur)+len(cand) <= len(s.best) {
+		return
+	}
+	// Greedy colouring bound: order cand by colour so the last vertices
+	// carry the highest bounds (Tomita's ordering).
+	colours := colourBound(s.g, cand)
+	for i := len(cand) - 1; i >= 0; i-- {
+		if len(cur)+int(colours[i]) <= len(s.best) {
+			return // colour bound: no extension from here can win
+		}
+		v := cand[i]
+		var next []int32
+		for j := 0; j < i; j++ {
+			if s.g.HasEdge(v, cand[j]) {
+				next = append(next, cand[j])
+			}
+		}
+		s.expand(append(cur, v), next)
+	}
+}
+
+// colourBound greedily colours cand's induced subgraph and returns, for
+// each position i, the colour number of cand[i] after reordering cand so
+// colour numbers are non-decreasing. cand is permuted in place.
+func colourBound(g *graph.Graph, cand []int32) []int32 {
+	n := len(cand)
+	colours := make([]int32, n)
+	var classes [][]int32
+	for _, v := range cand {
+		placed := false
+		for ci, class := range classes {
+			conflict := false
+			for _, u := range class {
+				if g.HasEdge(v, u) {
+					conflict = true
+					break
+				}
+			}
+			if !conflict {
+				classes[ci] = append(class, v)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			classes = append(classes, []int32{v})
+		}
+	}
+	i := 0
+	for ci, class := range classes {
+		for _, v := range class {
+			cand[i] = v
+			colours[i] = int32(ci + 1)
+			i++
+		}
+	}
+	return colours
+}
+
+// Contains reports whether every vertex of clique lies in set.
+func Contains(set []int32, clique []int32) bool {
+	in := make(map[int32]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	for _, v := range clique {
+		if !in[v] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,150 @@
+package clique
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hcd/internal/gen"
+	"hcd/internal/graph"
+)
+
+// bruteMaxCliqueSize enumerates all subsets (n <= 20).
+func bruteMaxCliqueSize(g *graph.Graph) int {
+	n := g.NumVertices()
+	best := 0
+	for mask := 1; mask < 1<<n; mask++ {
+		var verts []int32
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				verts = append(verts, int32(v))
+			}
+		}
+		if len(verts) <= best {
+			continue
+		}
+		ok := true
+		for i := 0; i < len(verts) && ok; i++ {
+			for j := i + 1; j < len(verts); j++ {
+				if !g.HasEdge(verts[i], verts[j]) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			best = len(verts)
+		}
+	}
+	return best
+}
+
+func isClique(g *graph.Graph, verts []int32) bool {
+	for i := 0; i < len(verts); i++ {
+		for j := i + 1; j < len(verts); j++ {
+			if !g.HasEdge(verts[i], verts[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestMaxKnownGraphs(t *testing.T) {
+	if got := Max(graph.MustFromEdges(0, nil)); got != nil {
+		t.Errorf("empty graph clique = %v", got)
+	}
+	if got := Max(graph.MustFromEdges(3, nil)); len(got) != 1 {
+		t.Errorf("edgeless clique = %v, want single vertex", got)
+	}
+	// Triangle plus a tail.
+	g := graph.MustFromEdges(5, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3}, {U: 3, V: 4},
+	})
+	if got := Max(g); !reflect.DeepEqual(got, []int32{0, 1, 2}) {
+		t.Errorf("triangle clique = %v", got)
+	}
+	// K6.
+	var edges []graph.Edge
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			edges = append(edges, graph.Edge{U: int32(i), V: int32(j)})
+		}
+	}
+	k6 := graph.MustFromEdges(6, edges)
+	if got := Max(k6); len(got) != 6 {
+		t.Errorf("K6 clique size = %d", len(got))
+	}
+	// Bipartite K3,3 has max clique 2.
+	bip := graph.MustFromEdges(6, []graph.Edge{
+		{U: 0, V: 3}, {U: 0, V: 4}, {U: 0, V: 5},
+		{U: 1, V: 3}, {U: 1, V: 4}, {U: 1, V: 5},
+		{U: 2, V: 3}, {U: 2, V: 4}, {U: 2, V: 5},
+	})
+	if got := Max(bip); len(got) != 2 {
+		t.Errorf("K3,3 clique size = %d, want 2", len(got))
+	}
+}
+
+func TestMaxMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(12)
+		m := rng.Intn(n * n / 2)
+		edges := make([]graph.Edge, m)
+		for i := range edges {
+			edges[i] = graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))}
+		}
+		g := graph.MustFromEdges(n, edges)
+		got := Max(g)
+		if !isClique(g, got) {
+			t.Fatalf("trial %d: output %v is not a clique", trial, got)
+		}
+		if want := bruteMaxCliqueSize(g); len(got) != want {
+			t.Fatalf("trial %d: clique size %d, want %d", trial, len(got), want)
+		}
+	}
+}
+
+func TestMaxFindsPlantedClique(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := 300
+	var edges []graph.Edge
+	for i := 0; i < 900; i++ {
+		edges = append(edges, graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))})
+	}
+	// Plant a K10 on vertices 50..59.
+	for i := 50; i < 60; i++ {
+		for j := i + 1; j < 60; j++ {
+			edges = append(edges, graph.Edge{U: int32(i), V: int32(j)})
+		}
+	}
+	g := graph.MustFromEdges(n, edges)
+	got := Max(g)
+	if len(got) < 10 {
+		t.Errorf("planted K10 missed: found size %d (%v)", len(got), got)
+	}
+	if !isClique(g, got) {
+		t.Errorf("output is not a clique")
+	}
+}
+
+func TestContains(t *testing.T) {
+	if !Contains([]int32{1, 2, 3, 4}, []int32{2, 4}) {
+		t.Error("subset not detected")
+	}
+	if Contains([]int32{1, 2}, []int32{2, 5}) {
+		t.Error("non-subset accepted")
+	}
+	if !Contains(nil, nil) {
+		t.Error("empty clique is always contained")
+	}
+}
+
+func BenchmarkMaxClique(b *testing.B) {
+	g := gen.BarabasiAlbert(2000, 10, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Max(g)
+	}
+}

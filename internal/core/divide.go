@@ -1,0 +1,117 @@
+package core
+
+import (
+	"hcd/internal/coredecomp"
+	"hcd/internal/graph"
+	"hcd/internal/hierarchy"
+	"hcd/internal/par"
+	"hcd/internal/rc"
+	"hcd/internal/unionfind"
+)
+
+// DivideConquer is the partition-based alternative construction of §III-E,
+// implemented so Table III's ablation can measure it:
+//
+//  1. coreness is computed globally (by the caller, like PHCD);
+//  2. the vertex set is split into `threads` contiguous partitions;
+//  3. each partition independently groups its own vertices into partial
+//     tree nodes (a per-partition union-find over intra-partition edges,
+//     level by level — the parallelisable part);
+//  4. partial nodes are merged into true k-core tree nodes with local
+//     k-core searches (RC) over the full graph; and
+//  5. parent-child relations fall out of the same RC traversals.
+//
+// Steps 4-5 are serial and RC-bound: every tree node costs a traversal of
+// its entire original core, Σ|core(T_i)| work in total, which is why the
+// paper rejects this paradigm (PHCD is 4-125x faster, Table III).
+func DivideConquer(g *graph.Graph, core []int32, threads int) *hierarchy.HCD {
+	n := g.NumVertices()
+	h := &hierarchy.HCD{TID: make([]hierarchy.NodeID, n)}
+	for i := range h.TID {
+		h.TID[i] = hierarchy.Nil
+	}
+	if n == 0 {
+		return h
+	}
+	p := par.Threads(threads)
+	if p > n {
+		p = n
+	}
+	rank := coredecomp.RankVertices(core, p)
+	kmax := rank.KMax
+
+	// Steps 2-3: per-partition partial nodes. seedsByLevel[k] collects one
+	// seed vertex per partial node at level k (its partition-local pivot).
+	seedLocal := make([][][]int32, p) // [thread][level][]seed
+	par.For(p, p, func(tlo, thi int) {
+		for t := tlo; t < thi; t++ {
+			lo, hi := t*n/p, (t+1)*n/p
+			seeds := make([][]int32, kmax+1)
+			uf := unionfind.New(n, rank.Rank) // sparse use: only [lo,hi) touched
+			for k := kmax; k >= 0; k-- {
+				shell := rank.Shell(k)
+				for _, v := range shell {
+					if int(v) < lo || int(v) >= hi {
+						continue
+					}
+					for _, u := range g.Neighbors(v) {
+						if int(u) < lo || int(u) >= hi {
+							continue
+						}
+						if core[u] > k || (core[u] == k && u > v) {
+							uf.Union(v, u)
+						}
+					}
+				}
+				for _, v := range shell {
+					if int(v) >= lo && int(v) < hi && uf.Pivot(v) == v {
+						seeds[k] = append(seeds[k], v)
+					}
+				}
+			}
+			seedLocal[t] = seeds
+		}
+	})
+
+	// Steps 4-5: serial RC-based merge, innermost level first. Each seed
+	// whose vertex is still unassigned triggers a local k-core search that
+	// materialises the full tree node and absorbs every other partial node
+	// in the same k-core.
+	searcher := rc.NewSearcher(g, core)
+	deepest := make([]hierarchy.NodeID, n)
+	for i := range deepest {
+		deepest[i] = hierarchy.Nil
+	}
+	for k := kmax; k >= 0; k-- {
+		for t := 0; t < p; t++ {
+			for _, seed := range seedLocal[t][k] {
+				if h.TID[seed] != hierarchy.Nil {
+					continue // absorbed by an earlier merge at this level
+				}
+				comp := searcher.Search(seed, k)
+				id := hierarchy.NodeID(len(h.K))
+				h.K = append(h.K, k)
+				h.Parent = append(h.Parent, hierarchy.Nil)
+				h.Children = append(h.Children, nil)
+				var verts []int32
+				seen := map[hierarchy.NodeID]bool{}
+				for _, v := range comp {
+					if core[v] == k {
+						verts = append(verts, v)
+						h.TID[v] = id
+					}
+					if d := deepest[v]; d != hierarchy.Nil && d != id && !seen[d] && h.Parent[d] == hierarchy.Nil {
+						seen[d] = true
+						h.Parent[d] = id
+						h.Children[id] = append(h.Children[id], d)
+					}
+				}
+				h.Vertices = append(h.Vertices, verts)
+				for _, v := range comp {
+					deepest[v] = id
+				}
+			}
+		}
+	}
+	return h
+}

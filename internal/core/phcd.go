@@ -1,0 +1,248 @@
+// Package core implements the paper's primary contribution: PHCD, the
+// first parallel algorithm for hierarchical core decomposition (§III).
+//
+// PHCD abandons LCPS's inherently sequential priority search (the problem
+// is P-complete, Theorem 1). Instead it adds the k-shells to an initially
+// empty graph in descending coreness order and grows the HCD bottom-up,
+// maintaining component connectivity — and each component's pivot, the
+// vertex of minimum vertex rank — in a concurrent union-find. Per level k
+// it runs the four barrier-separated steps of Algorithm 2:
+//
+//	Step 1: for every k-shell vertex, record the pivots of the adjacent
+//	        deeper cores (kpc_pivot) — these will become children.
+//	Step 2: union every k-shell vertex with its neighbors of coreness
+//	        >= k, merging deeper cores into the new k-cores.
+//	Step 3: every component now has a k-shell pivot; one tree node is
+//	        created per pivot and the k-shell vertices are grouped into
+//	        the nodes by their pivots.
+//	Step 4: each recorded deeper-core pivot now lives in a component whose
+//	        pivot owns a new k-core node: link parent and child.
+//
+// Total work is O(n√p + m·α(n) + F), near-linear in m (§III-D).
+//
+// The package also provides the two comparison baselines of Table III: LB,
+// the lower-bound cost of any union-find-based construction (one union per
+// edge, nothing else), and DivideConquer, the partition-merge alternative
+// of §III-E whose RC-based merge the paper shows to be uncompetitive.
+package core
+
+import (
+	"sync/atomic"
+
+	"hcd/internal/coredecomp"
+	"hcd/internal/graph"
+	"hcd/internal/hierarchy"
+	"hcd/internal/par"
+	"hcd/internal/unionfind"
+)
+
+// PHCD constructs the HCD of g in parallel using `threads` goroutines
+// (0 = GOMAXPROCS). core must be g's core decomposition (e.g. from
+// coredecomp.Parallel). Implements Algorithm 2.
+func PHCD(g *graph.Graph, core []int32, threads int) *hierarchy.HCD {
+	n := g.NumVertices()
+	h := &hierarchy.HCD{TID: make([]hierarchy.NodeID, n)}
+	for i := range h.TID {
+		h.TID[i] = hierarchy.Nil
+	}
+	if n == 0 {
+		return h
+	}
+	p := par.Threads(threads)
+
+	// Algorithm 1: vertex ranks and the k-shell index.
+	rank := coredecomp.RankVertices(core, p)
+
+	if p == 1 {
+		// The sequential version of PHCD (§V-B compares it against LCPS):
+		// same four steps, but over the serial union-find with in-union
+		// pivot maintenance — no atomics, no barriers.
+		phcdSerial(g, core, rank, h)
+		return h
+	}
+
+	// Union-find with pivot (§III-B). Linking by vertex rank makes every
+	// set's root its pivot; see the unionfind package comment for the
+	// equivalence argument.
+	uf := unionfind.NewConcurrent(n, rank.Rank)
+
+	// inKpc[v] guards the "add pvt to kpc_pivot if not exists" of Step 1,
+	// reset after every level.
+	inKpc := make([]atomic.Bool, n)
+
+	newNode := func(k int32) hierarchy.NodeID {
+		id := hierarchy.NodeID(len(h.K))
+		h.K = append(h.K, k)
+		h.Parent = append(h.Parent, hierarchy.Nil)
+		h.Children = append(h.Children, nil)
+		h.Vertices = append(h.Vertices, nil)
+		return id
+	}
+
+	kpcLocal := make([][]int32, p)
+	pivLocal := make([][]int32, p)
+	type link struct{ child, pivot int32 }
+	linkLocal := make([][]link, p)
+
+	for k := rank.KMax; k >= 0; k-- {
+		shell := rank.Shell(k)
+		ns := len(shell)
+		if ns == 0 {
+			continue
+		}
+
+		// Step 1: find the deeper-core pivots that will merge with this
+		// shell. Must complete before any Step 2 union (par.For barriers).
+		par.For(p, p, func(tlo, thi int) {
+			for t := tlo; t < thi; t++ {
+				local := kpcLocal[t][:0]
+				for i := t * ns / p; i < (t+1)*ns/p; i++ {
+					v := shell[i]
+					for _, u := range g.Neighbors(v) {
+						if core[u] > k {
+							pvt := uf.Find(u)
+							// Cheap read before the CAS: most deeper
+							// neighbors share a few pivots, so the flag is
+							// usually already set.
+							if !inKpc[pvt].Load() && inKpc[pvt].CompareAndSwap(false, true) {
+								local = append(local, pvt)
+							}
+						}
+					}
+				}
+				kpcLocal[t] = local
+			}
+		})
+
+		// Step 2: connect the shell to everything of coreness >= k. For
+		// same-shell edges one direction suffices (union is symmetric).
+		par.For(p, p, func(tlo, thi int) {
+			for t := tlo; t < thi; t++ {
+				for i := t * ns / p; i < (t+1)*ns/p; i++ {
+					v := shell[i]
+					for _, u := range g.Neighbors(v) {
+						if core[u] > k || (core[u] == k && u > v) {
+							uf.Union(v, u)
+						}
+					}
+				}
+			}
+		})
+
+		// Step 3: one node per pivot; group shell vertices by pivot.
+		// Every component touched this level has a k-shell pivot, and in
+		// the rank-linked union-find the pivot is the root, so the pivots
+		// are exactly the shell vertices that are their own root.
+		par.For(p, p, func(tlo, thi int) {
+			for t := tlo; t < thi; t++ {
+				local := pivLocal[t][:0]
+				for i := t * ns / p; i < (t+1)*ns/p; i++ {
+					v := shell[i]
+					if uf.Find(v) == v {
+						local = append(local, v)
+					}
+				}
+				pivLocal[t] = local
+			}
+		})
+		firstNode := len(h.K)
+		for t := 0; t < p; t++ {
+			for _, pvt := range pivLocal[t] {
+				h.TID[pvt] = newNode(k)
+			}
+		}
+		numNew := len(h.K) - firstNode
+		sizes := make([]atomic.Int64, numNew)
+		par.ForEach(ns, p, func(i int) {
+			v := shell[i]
+			pvt := uf.Find(v)
+			id := h.TID[pvt]
+			if v != pvt { // the pivot's own tid was already set serially
+				h.TID[v] = id
+			}
+			sizes[int(id)-firstNode].Add(1)
+		})
+		for j := 0; j < numNew; j++ {
+			h.Vertices[firstNode+j] = make([]int32, sizes[j].Load())
+		}
+		cursors := make([]atomic.Int64, numNew)
+		par.ForEach(ns, p, func(i int) {
+			v := shell[i]
+			j := int(h.TID[v]) - firstNode
+			h.Vertices[firstNode+j][cursors[j].Add(1)-1] = v
+		})
+
+		// Step 4: the recorded deeper-core pivots hang under the new
+		// nodes. The Find runs in parallel; the child-list appends are
+		// applied serially (their total count is |T|-1 over the whole run).
+		par.For(p, p, func(tlo, thi int) {
+			for t := tlo; t < thi; t++ {
+				links := linkLocal[t][:0]
+				for _, v := range kpcLocal[t] {
+					links = append(links, link{child: v, pivot: uf.Find(v)})
+					inKpc[v].Store(false)
+				}
+				linkLocal[t] = links
+			}
+		})
+		for t := 0; t < p; t++ {
+			for _, l := range linkLocal[t] {
+				ch := h.TID[l.child]
+				pa := h.TID[l.pivot]
+				h.Parent[ch] = pa
+				h.Children[pa] = append(h.Children[pa], ch)
+			}
+		}
+	}
+	return h
+}
+
+// LB is Table III's lower-bound baseline: the cost of a union-find-based
+// construction stripped to its minimum — one union per edge of the graph
+// over the same rank-linked structure, with no hierarchy bookkeeping. It
+// returns the number of connected components so the work cannot be
+// optimised away.
+func LB(g *graph.Graph, core []int32, threads int) int {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	p := par.Threads(threads)
+	rank := coredecomp.RankVertices(core, p)
+	if p == 1 {
+		// Serial lower bound over the serial union-find, matching the
+		// structure phcdSerial runs on.
+		uf := unionfind.New(n, rank.Rank)
+		for v := int32(0); v < int32(n); v++ {
+			rv := uf.Find(v)
+			for _, u := range g.Neighbors(v) {
+				if u > v {
+					rv = uf.UnionRoot(rv, u)
+				}
+			}
+		}
+		count := 0
+		for v := int32(0); v < int32(n); v++ {
+			if uf.Find(v) == v {
+				count++
+			}
+		}
+		return count
+	}
+	uf := unionfind.NewConcurrent(n, rank.Rank)
+	par.ForEach(n, p, func(i int) {
+		v := int32(i)
+		for _, u := range g.Neighbors(v) {
+			if u > v {
+				uf.Union(v, u)
+			}
+		}
+	})
+	count := 0
+	for v := int32(0); v < int32(n); v++ {
+		if uf.Find(v) == v {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"hcd/internal/coredecomp"
+	"hcd/internal/graph"
+	"hcd/internal/hierarchy"
+	"hcd/internal/unionfind"
+)
+
+// phcdSerial is the single-thread specialisation of Algorithm 2: identical
+// step structure, but running over the serial union-find (§III-B: parent
+// pointer, size-based union, pivot stored at the cardinal element) with no
+// atomic operations. This is the configuration Table III's "(1)" column
+// measures against LCPS.
+func phcdSerial(g *graph.Graph, core []int32, rank *coredecomp.Ranking, h *hierarchy.HCD) {
+	n := g.NumVertices()
+	uf := unionfind.New(n, rank.Rank)
+	inKpc := make([]bool, n)
+	kpc := make([]int32, 0, 64)
+
+	newNode := func(k int32) hierarchy.NodeID {
+		id := hierarchy.NodeID(len(h.K))
+		h.K = append(h.K, k)
+		h.Parent = append(h.Parent, hierarchy.Nil)
+		h.Children = append(h.Children, nil)
+		h.Vertices = append(h.Vertices, nil)
+		return id
+	}
+
+	for k := rank.KMax; k >= 0; k-- {
+		shell := rank.Shell(k)
+		if len(shell) == 0 {
+			continue
+		}
+		// Steps 1+2, fused into one edge scan (serial-only optimisation).
+		// In Algorithm 2 the kpc_pivot collection (Step 1) finishes before
+		// any union (Step 2); sequentially the same pivots are observed by
+		// reading each edge's far-side pivot immediately before the union
+		// that uses it: a deeper core C only ever merges into the growing
+		// k-core through a union issued by some shell vertex adjacent to
+		// C, and that vertex reads C's pivot (still of coreness > k) first.
+		// Once merged, C's component's pivot is a k-shell vertex, so later
+		// edges into C see coreness k and skip the record. Each edge costs
+		// exactly one Find this way.
+		kpc = kpc[:0]
+		for _, v := range shell {
+			rv := uf.Find(v)
+			for _, u := range g.Neighbors(v) {
+				if core[u] > k {
+					ru := uf.Find(u)
+					if pvt := uf.PivotOfRoot(ru); core[pvt] > k && !inKpc[pvt] {
+						inKpc[pvt] = true
+						kpc = append(kpc, pvt)
+					}
+					rv = uf.LinkRoots(rv, ru)
+				} else if core[u] == k && u > v {
+					rv = uf.LinkRoots(rv, uf.Find(u))
+				}
+			}
+		}
+		// Step 3: one node per pivot; group the shell by pivot.
+		for _, v := range shell {
+			pvt := uf.Pivot(v)
+			id := h.TID[pvt]
+			if id == hierarchy.Nil {
+				id = newNode(k)
+				h.TID[pvt] = id
+			}
+			h.TID[v] = id
+			h.Vertices[id] = append(h.Vertices[id], v)
+		}
+		// Step 4: the recorded deeper pivots hang under the new nodes.
+		for _, v := range kpc {
+			inKpc[v] = false
+			ch := h.TID[v]
+			pa := h.TID[uf.Pivot(v)]
+			h.Parent[ch] = pa
+			h.Children[pa] = append(h.Children[pa], ch)
+		}
+	}
+}

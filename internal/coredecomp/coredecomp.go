@@ -1,0 +1,281 @@
+// Package coredecomp computes k-core decompositions: the coreness c(v) of
+// every vertex (the largest k such that v belongs to a k-core).
+//
+// Two algorithms are provided, matching the paper's experimental setup:
+//
+//   - Serial: the Batagelj–Zaversnik bin-sort peeling algorithm [19],
+//     O(m) time, used as the input stage of the serial LCPS pipeline.
+//   - Parallel: a PKC/ParK-style level-synchronous peeling [20, 24]:
+//     level k processes (in parallel) every remaining vertex whose degree
+//     has fallen to k, cascading atomic degree decrements. O(n·kmax + m)
+//     work, the same bound as PKC.
+//
+// The package also implements the paper's Algorithm 1: the parallel
+// computation of the vertex-rank permutation (Definition 4: order by
+// coreness, ties by id) and the k-shell index Hk used throughout PHCD and
+// PBKS.
+package coredecomp
+
+import (
+	"sync/atomic"
+
+	"hcd/internal/graph"
+	"hcd/internal/par"
+)
+
+// Serial computes the coreness of every vertex with the Batagelj–Zaversnik
+// O(m) bin-sort peeling algorithm.
+func Serial(g *graph.Graph) []int32 {
+	core, _ := SerialOrder(g)
+	return core
+}
+
+// SerialOrder is Serial but additionally returns the peeling order: the
+// sequence in which Batagelj–Zaversnik removes the vertices. The order is
+// a valid k-order (cores are non-decreasing along it, and every vertex's
+// remaining degree at removal equals its coreness) — the starting state
+// for order-based core maintenance.
+func SerialOrder(g *graph.Graph) (core []int32, order []int32) {
+	n := g.NumVertices()
+	core = make([]int32, n)
+	if n == 0 {
+		return core, nil
+	}
+	deg := make([]int32, n)
+	md := 0
+	for v := 0; v < n; v++ {
+		d := g.Degree(int32(v))
+		deg[v] = int32(d)
+		if d > md {
+			md = d
+		}
+	}
+	// bin[d] = start index in vert of vertices with current degree d.
+	bin := make([]int32, md+2)
+	for v := 0; v < n; v++ {
+		bin[deg[v]+1]++
+	}
+	for d := 1; d <= md+1; d++ {
+		bin[d] += bin[d-1]
+	}
+	vert := make([]int32, n) // vertices sorted by current degree
+	pos := make([]int32, n)  // position of each vertex in vert
+	cursor := make([]int32, md+1)
+	copy(cursor, bin[:md+1])
+	for v := 0; v < n; v++ {
+		p := cursor[deg[v]]
+		cursor[deg[v]]++
+		vert[p] = int32(v)
+		pos[v] = p
+	}
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		core[v] = deg[v]
+		for _, u := range g.Neighbors(v) {
+			if deg[u] > deg[v] {
+				// Move u to the front of its bin, then shrink its degree.
+				du := deg[u]
+				pu := pos[u]
+				pw := bin[du]
+				w := vert[pw]
+				if u != w {
+					vert[pu], vert[pw] = w, u
+					pos[u], pos[w] = pw, pu
+				}
+				bin[du]++
+				deg[u]--
+			}
+		}
+	}
+	return core, vert
+}
+
+// Parallel computes coreness with PKC-style level-synchronous peeling
+// using the given number of threads (0 = GOMAXPROCS).
+func Parallel(g *graph.Graph, threads int) []int32 {
+	n := g.NumVertices()
+	core := make([]int32, n)
+	if n == 0 {
+		return core
+	}
+	p := par.Threads(threads)
+	deg := make([]atomic.Int32, n)
+	for v := 0; v < n; v++ {
+		deg[v].Store(int32(g.Degree(int32(v))))
+	}
+	var visited atomic.Int64
+	frontiers := make([][]int32, p)
+	// Active-list compaction (PKC's key optimisation): instead of
+	// rescanning all n vertices at every level, each thread keeps the
+	// shrinking list of vertices still above the current level, so the
+	// total scan work is O(n + Σ_v c(v)) rather than O(n · kmax).
+	actives := make([][]int32, p)
+	par.For(p, p, func(tlo, thi int) {
+		for t := tlo; t < thi; t++ {
+			lo, hi := t*n/p, (t+1)*n/p
+			buf := make([]int32, 0, hi-lo)
+			for v := lo; v < hi; v++ {
+				buf = append(buf, int32(v))
+			}
+			actives[t] = buf
+		}
+	})
+	for level := int32(0); visited.Load() < int64(n); level++ {
+		// Phase 1 (with a trailing barrier): collect the frontier of
+		// vertices whose degree equals `level` and compact the active
+		// list. No decrements run during this phase, so each frontier
+		// vertex is collected exactly once by the thread owning it.
+		par.For(p, p, func(tlo, thi int) {
+			for t := tlo; t < thi; t++ {
+				buf := frontiers[t][:0]
+				act := actives[t]
+				w := 0
+				for _, v := range act {
+					d := deg[v].Load()
+					if d == level {
+						buf = append(buf, v)
+					} else if d > level {
+						act[w] = v
+						w++
+					}
+					// d < level: already processed at an earlier level via
+					// a cascade; drop it from the active list.
+				}
+				actives[t] = act[:w]
+				frontiers[t] = buf
+			}
+		})
+		// Phase 2: process the frontier, cascading atomic decrements. A
+		// vertex can now reach `level` only through a decrement, and only
+		// the thread whose decrement lands exactly on `level` adopts it.
+		par.For(p, p, func(tlo, thi int) {
+			for t := tlo; t < thi; t++ {
+				buf := frontiers[t]
+				processed := int64(len(buf))
+				for len(buf) > 0 {
+					v := buf[len(buf)-1]
+					buf = buf[:len(buf)-1]
+					core[v] = level
+					for _, u := range g.Neighbors(v) {
+						// Decrement deg[u], clamped at level.
+						for {
+							d := deg[u].Load()
+							if d <= level {
+								break
+							}
+							if deg[u].CompareAndSwap(d, d-1) {
+								if d-1 == level {
+									buf = append(buf, u)
+									processed++
+								}
+								break
+							}
+						}
+					}
+				}
+				frontiers[t] = buf
+				visited.Add(processed)
+			}
+		})
+	}
+	return core
+}
+
+// KMax returns the graph degeneracy: the largest coreness value (0 for an
+// empty slice).
+func KMax(core []int32) int32 {
+	var km int32
+	for _, c := range core {
+		if c > km {
+			km = c
+		}
+	}
+	return km
+}
+
+// Ranking is the output of Algorithm 1: the vertex-rank permutation and
+// the k-shell index.
+type Ranking struct {
+	// Order lists all vertices sorted by ascending vertex rank
+	// (coreness, then id): Order[r] is the vertex with rank r.
+	Order []int32
+	// Rank is the inverse permutation: Rank[v] = vertex rank of v.
+	Rank []int32
+	// ShellStart[k] is the index in Order where the k-shell begins;
+	// the k-shell Hk is Order[ShellStart[k]:ShellStart[k+1]], sorted by id.
+	// len(ShellStart) = kmax + 2.
+	ShellStart []int64
+	// KMax is the graph degeneracy.
+	KMax int32
+}
+
+// Shell returns Hk, the vertices of coreness k, sorted by ascending id.
+func (r *Ranking) Shell(k int32) []int32 {
+	return r.Order[r.ShellStart[k]:r.ShellStart[k+1]]
+}
+
+// RankVertices implements Algorithm 1: each thread bins its contiguous
+// vertex range by coreness; the per-thread bins are concatenated in thread
+// order, which yields each shell sorted by id, and the concatenation of
+// shells in ascending k is the rank order. O(n + kmax·p) work.
+func RankVertices(core []int32, threads int) *Ranking {
+	n := len(core)
+	kmax := KMax(core)
+	p := par.Threads(threads)
+	if p > n && n > 0 {
+		p = n
+	}
+	r := &Ranking{
+		Order:      make([]int32, n),
+		Rank:       make([]int32, n),
+		ShellStart: make([]int64, kmax+2),
+		KMax:       kmax,
+	}
+	if n == 0 {
+		return r
+	}
+	// Per-thread histogram of shell sizes.
+	counts := make([][]int64, p)
+	par.For(p, p, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			cnt := make([]int64, kmax+1)
+			vlo, vhi := t*n/p, (t+1)*n/p
+			for v := vlo; v < vhi; v++ {
+				cnt[core[v]]++
+			}
+			counts[t] = cnt
+		}
+	})
+	// Prefix sums: offset[t][k] = where thread t writes its k-shell chunk.
+	offsets := make([][]int64, p)
+	var run int64
+	for k := int32(0); k <= kmax; k++ {
+		r.ShellStart[k] = run
+		for t := 0; t < p; t++ {
+			if offsets[t] == nil {
+				offsets[t] = make([]int64, kmax+1)
+			}
+			offsets[t][k] = run
+			run += counts[t][k]
+		}
+	}
+	r.ShellStart[kmax+1] = run
+	// Scatter pass: each thread writes its vertices in ascending id into
+	// its private chunk of every shell.
+	par.For(p, p, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			cur := make([]int64, kmax+1)
+			copy(cur, offsets[t])
+			vlo, vhi := t*n/p, (t+1)*n/p
+			for v := vlo; v < vhi; v++ {
+				k := core[v]
+				r.Order[cur[k]] = int32(v)
+				cur[k]++
+			}
+		}
+	})
+	par.ForEach(n, p, func(i int) {
+		r.Rank[r.Order[i]] = int32(i)
+	})
+	return r
+}

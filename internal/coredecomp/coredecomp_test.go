@@ -1,0 +1,246 @@
+package coredecomp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hcd/internal/gen"
+	"hcd/internal/graph"
+)
+
+// bruteCore computes coreness by repeated minimum-degree removal over an
+// adjacency-map copy — the definition, with no cleverness.
+func bruteCore(g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	alive := make([]bool, n)
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		alive[v] = true
+		deg[v] = g.Degree(int32(v))
+	}
+	core := make([]int32, n)
+	removed := 0
+	k := 0
+	for removed < n {
+		// Remove any alive vertex with degree <= k until none remain.
+		progress := true
+		for progress {
+			progress = false
+			for v := 0; v < n; v++ {
+				if alive[v] && deg[v] <= k {
+					alive[v] = false
+					core[v] = int32(k)
+					removed++
+					for _, u := range g.Neighbors(int32(v)) {
+						if alive[u] {
+							deg[u]--
+						}
+					}
+					progress = true
+				}
+			}
+		}
+		k++
+	}
+	return core
+}
+
+func pathGraph(n int) *graph.Graph {
+	var edges []graph.Edge
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, graph.Edge{U: int32(i), V: int32(i + 1)})
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+func clique(n int) *graph.Graph {
+	var edges []graph.Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, graph.Edge{U: int32(i), V: int32(j)})
+		}
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+func TestSerialKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want []int32
+	}{
+		{"empty", graph.MustFromEdges(0, nil), []int32{}},
+		{"isolated", graph.MustFromEdges(3, nil), []int32{0, 0, 0}},
+		{"path4", pathGraph(4), []int32{1, 1, 1, 1}},
+		{"triangle", clique(3), []int32{2, 2, 2}},
+		{"k5", clique(5), []int32{4, 4, 4, 4, 4}},
+		{"triangle+tail", graph.MustFromEdges(5, []graph.Edge{
+			{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3}, {U: 3, V: 4},
+		}), []int32{2, 2, 2, 1, 1}},
+	}
+	for _, c := range cases {
+		got := Serial(c.g)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: Serial = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSerialMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(60)
+		m := rng.Intn(4 * n)
+		edges := make([]graph.Edge, m)
+		for i := range edges {
+			edges[i] = graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))}
+		}
+		g := graph.MustFromEdges(n, edges)
+		want := bruteCore(g)
+		if got := Serial(g); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: Serial = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	graphs := []*graph.Graph{
+		gen.ErdosRenyi(500, 2500, 1),
+		gen.BarabasiAlbert(400, 4, 2),
+		gen.RMAT(9, 3000, 3),
+		gen.Onion(5, 20, 2, 3, 2, 4),
+		pathGraph(10),
+		clique(8),
+		graph.MustFromEdges(4, nil),
+	}
+	for i, g := range graphs {
+		want := Serial(g)
+		for _, threads := range []int{1, 2, 4, 8} {
+			got := Parallel(g, threads)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("graph %d threads %d: parallel coreness differs", i, threads)
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSerialProperty(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%150) + 1
+		m := int(mRaw % 800)
+		rng := rand.New(rand.NewSource(seed))
+		edges := make([]graph.Edge, m)
+		for i := range edges {
+			edges[i] = graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))}
+		}
+		g := graph.MustFromEdges(n, edges)
+		return reflect.DeepEqual(Serial(g), Parallel(g, 4))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKMax(t *testing.T) {
+	if KMax(nil) != 0 {
+		t.Error("KMax(nil) != 0")
+	}
+	if KMax([]int32{0, 3, 2, 3, 1}) != 3 {
+		t.Error("KMax wrong")
+	}
+}
+
+func TestRankVerticesBasic(t *testing.T) {
+	// Coreness: v0..v5 = {2, 0, 1, 1, 2, 0}
+	core := []int32{2, 0, 1, 1, 2, 0}
+	for _, threads := range []int{1, 2, 3, 8} {
+		r := RankVertices(core, threads)
+		wantOrder := []int32{1, 5, 2, 3, 0, 4}
+		if !reflect.DeepEqual(r.Order, wantOrder) {
+			t.Fatalf("threads=%d: Order = %v, want %v", threads, r.Order, wantOrder)
+		}
+		for i, v := range r.Order {
+			if r.Rank[v] != int32(i) {
+				t.Errorf("Rank[%d] = %d, want %d", v, r.Rank[v], i)
+			}
+		}
+		if r.KMax != 2 {
+			t.Errorf("KMax = %d", r.KMax)
+		}
+		if !reflect.DeepEqual(r.Shell(0), []int32{1, 5}) ||
+			!reflect.DeepEqual(r.Shell(1), []int32{2, 3}) ||
+			!reflect.DeepEqual(r.Shell(2), []int32{0, 4}) {
+			t.Errorf("shells wrong: %v %v %v", r.Shell(0), r.Shell(1), r.Shell(2))
+		}
+	}
+}
+
+func TestRankVerticesEmpty(t *testing.T) {
+	r := RankVertices(nil, 4)
+	if len(r.Order) != 0 || r.KMax != 0 {
+		t.Error("empty ranking not empty")
+	}
+}
+
+// Property: Order is exactly sorted by (coreness, id) and Rank inverts it,
+// for any thread count.
+func TestRankVerticesProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16, p uint8) bool {
+		n := int(nRaw % 500)
+		rng := rand.New(rand.NewSource(seed))
+		core := make([]int32, n)
+		for i := range core {
+			core[i] = int32(rng.Intn(8))
+		}
+		r := RankVertices(core, int(p%7)+1)
+		if len(r.Order) != n {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			a, b := r.Order[i-1], r.Order[i]
+			if core[a] > core[b] || (core[a] == core[b] && a >= b) {
+				return false
+			}
+		}
+		for i, v := range r.Order {
+			if r.Rank[v] != int32(i) {
+				return false
+			}
+		}
+		// Shells partition the order array.
+		var total int64
+		for k := int32(0); k <= r.KMax; k++ {
+			for _, v := range r.Shell(k) {
+				if core[v] != k {
+					return false
+				}
+				total++
+			}
+		}
+		return total == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSerialCoreDecomp(b *testing.B) {
+	g := gen.BarabasiAlbert(20000, 8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Serial(g)
+	}
+}
+
+func BenchmarkParallelCoreDecomp(b *testing.B) {
+	g := gen.BarabasiAlbert(20000, 8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Parallel(g, 0)
+	}
+}

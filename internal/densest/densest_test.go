@@ -1,0 +1,162 @@
+package densest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hcd/internal/coredecomp"
+	"hcd/internal/gen"
+	"hcd/internal/graph"
+	"hcd/internal/hierarchy"
+	"hcd/internal/search"
+)
+
+func avgDegreeOf(g *graph.Graph, verts []int32) float64 {
+	in := make(map[int32]bool, len(verts))
+	for _, v := range verts {
+		in[v] = true
+	}
+	var m int64
+	for _, v := range verts {
+		for _, u := range g.Neighbors(v) {
+			if v < u && in[u] {
+				m++
+			}
+		}
+	}
+	return 2 * float64(m) / float64(len(verts))
+}
+
+func solveAll(t *testing.T, g *graph.Graph) (Solution, Solution, Solution, Solution) {
+	t.Helper()
+	core := coredecomp.Serial(g)
+	h := hierarchy.BruteForce(g, core)
+	ix := search.NewIndex(g, core, h, 2)
+	bks := search.NewBKS(g, core, h)
+	return PBKSD(ix, 2), OptD(bks, h), CoreApp(g, core), Peel(g)
+}
+
+func TestSolversOnPlantedDenseCore(t *testing.T) {
+	// ER background with a planted K12: the clique (avg degree 11) should
+	// dominate whatever the sparse background offers.
+	rng := rand.New(rand.NewSource(5))
+	var edges []graph.Edge
+	n := 200
+	for i := 0; i < 400; i++ {
+		edges = append(edges, graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))})
+	}
+	for i := 0; i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			edges = append(edges, graph.Edge{U: int32(i), V: int32(j)})
+		}
+	}
+	g := graph.MustFromEdges(n, edges)
+	pbksd, optd, coreapp, peel := solveAll(t, g)
+
+	if pbksd.AvgDegree < 10 {
+		t.Errorf("PBKSD missed the planted clique: avg degree %v", pbksd.AvgDegree)
+	}
+	// PBKS-D and Opt-D must agree exactly (same search space).
+	if math.Abs(pbksd.AvgDegree-optd.AvgDegree) > 1e-9 || pbksd.K != optd.K {
+		t.Errorf("PBKSD (%v, k=%d) != OptD (%v, k=%d)",
+			pbksd.AvgDegree, pbksd.K, optd.AvgDegree, optd.K)
+	}
+	// PBKS-D dominates CoreApp (Table IV shape).
+	if coreapp.AvgDegree > pbksd.AvgDegree+1e-9 {
+		t.Errorf("CoreApp %v beat PBKSD %v", coreapp.AvgDegree, pbksd.AvgDegree)
+	}
+	// Reported average degrees must match the actual subgraphs.
+	for name, s := range map[string]Solution{"pbksd": pbksd, "coreapp": coreapp, "peel": peel} {
+		if got := avgDegreeOf(g, s.Vertices); math.Abs(got-s.AvgDegree) > 1e-9 {
+			t.Errorf("%s: reported %v, recomputed %v", name, s.AvgDegree, got)
+		}
+	}
+}
+
+func TestHalfApproximationBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := 6 + rng.Intn(9) // <= 14 vertices: exact enumeration feasible
+		m := rng.Intn(3 * n)
+		edges := make([]graph.Edge, m)
+		for i := range edges {
+			edges[i] = graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))}
+		}
+		g := graph.MustFromEdges(n, edges)
+		if g.NumEdges() == 0 {
+			continue
+		}
+		exact := ExactTiny(g)
+		pbksd, _, coreapp, peel := solveAll(t, g)
+		for name, s := range map[string]Solution{"pbksd": pbksd, "coreapp": coreapp, "peel": peel} {
+			if s.AvgDegree < exact.AvgDegree/2-1e-9 {
+				t.Errorf("trial %d %s: %v violates 0.5-approx of exact %v",
+					trial, name, s.AvgDegree, exact.AvgDegree)
+			}
+		}
+		// PBKSD >= CoreApp always.
+		if coreapp.AvgDegree > pbksd.AvgDegree+1e-9 {
+			t.Errorf("trial %d: CoreApp %v beat PBKSD %v", trial, coreapp.AvgDegree, pbksd.AvgDegree)
+		}
+	}
+}
+
+func TestPeelExactOnClique(t *testing.T) {
+	var edges []graph.Edge
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			edges = append(edges, graph.Edge{U: int32(i), V: int32(j)})
+		}
+	}
+	g := graph.MustFromEdges(8, edges)
+	p := Peel(g)
+	if math.Abs(p.AvgDegree-7) > 1e-9 || len(p.Vertices) != 8 {
+		t.Errorf("Peel on K8 = %v (%d verts), want 7 (8 verts)", p.AvgDegree, len(p.Vertices))
+	}
+}
+
+func TestEmptyGraphs(t *testing.T) {
+	g := graph.MustFromEdges(0, nil)
+	if s := CoreApp(g, nil); s.K != -1 {
+		t.Error("CoreApp on empty graph should signal no solution")
+	}
+	if s := Peel(g); s.K != -1 {
+		t.Error("Peel on empty graph should signal no solution")
+	}
+	core := coredecomp.Serial(g)
+	h := hierarchy.BruteForce(g, core)
+	ix := search.NewIndex(g, core, h, 1)
+	if s := PBKSD(ix, 1); s.Vertices != nil {
+		t.Error("PBKSD on empty graph should return no vertices")
+	}
+}
+
+func TestExactTinyRefusesLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ExactTiny must refuse large graphs")
+		}
+	}()
+	ExactTiny(gen.ErdosRenyi(30, 60, 1))
+}
+
+func BenchmarkPBKSD(b *testing.B) {
+	g := gen.BarabasiAlbert(20000, 8, 1)
+	core := coredecomp.Serial(g)
+	h := hierarchy.BruteForce(g, core)
+	ix := search.NewIndex(g, core, h, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PBKSD(ix, 0)
+	}
+}
+
+func BenchmarkCoreApp(b *testing.B) {
+	g := gen.BarabasiAlbert(20000, 8, 1)
+	core := coredecomp.Serial(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CoreApp(g, core)
+	}
+}

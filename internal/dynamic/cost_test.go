@@ -1,0 +1,46 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"hcd/internal/gen"
+)
+
+// TestOpCostSmallShells documents the performance envelope of
+// traversal-based maintenance: on graphs whose k-shells are small (the
+// onion family), operations are microseconds; giant-shell graphs (dense
+// ER) degrade toward shell-sized traversals, the known weakness the
+// package comment calls out.
+func TestOpCostSmallShells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	m := New(gen.Onion(8, 300, 2, 3, 4, 5))
+	n := int32(m.NumVertices())
+	rng := rand.New(rand.NewSource(8))
+	start := time.Now()
+	ops := 0
+	for i := 0; i < 4000; i++ {
+		u, v := rng.Int31n(n), rng.Int31n(n)
+		if u == v {
+			continue
+		}
+		if m.HasEdge(u, v) {
+			if err := m.RemoveEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := m.InsertEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ops++
+	}
+	el := time.Since(start)
+	t.Logf("onion: %d ops in %v (%.1f µs/op)", ops, el, float64(el.Microseconds())/float64(ops))
+	if el > 10*time.Second {
+		t.Errorf("small-shell maintenance too slow: %v for %d ops", el, ops)
+	}
+}

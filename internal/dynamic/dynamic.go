@@ -1,0 +1,346 @@
+// Package dynamic maintains a core decomposition — and, on demand, the
+// HCD — under edge insertions and deletions, the setting of the paper's
+// companion work on hierarchical core maintenance [15] (Lin et al.,
+// PVLDB 2021) cited in §VII.
+//
+// Coreness is maintained incrementally with the classical subcore
+// traversal algorithms (Sarıyüce et al., PVLDB 2013; Li, Yu, Mao, TKDE
+// 2014): an inserted or deleted edge (u, v) can only change the coreness
+// of vertices with coreness r = min(c(u), c(v)), by exactly one, and only
+// inside a region reachable from the endpoints through coreness-r
+// vertices.
+//
+//   - Insertion: the candidate region is the *purecore* — coreness-r
+//     vertices whose upper-bound degree MCD = |{x : c(x) >= r}| exceeds r,
+//     reachable through such vertices (every rising vertex qualifies and
+//     the rising set is connected through rising vertices). Peeling
+//     candidates whose bound falls to r leaves exactly the vertices whose
+//     coreness becomes r+1.
+//   - Deletion: a lazy dissolve cascade from the endpoints; supports are
+//     computed on first touch, so work is proportional to the dropped
+//     region plus its boundary.
+//
+// Traversal-based maintenance is simple and exact, but on graphs whose
+// k-shells form giant components a single insertion can traverse a large
+// purecore; the order-based algorithm of Zhang et al. (ICDE 2017) removes
+// that weakness and is noted as future work in DESIGN.md.
+//
+// The hierarchy itself is rebuilt lazily with PHCD when requested after
+// mutations; coreness maintenance is where the incremental asymptotics
+// matter.
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+
+	core2 "hcd/internal/core"
+	"hcd/internal/coredecomp"
+	"hcd/internal/graph"
+	"hcd/internal/hierarchy"
+)
+
+// Maintainer is a mutable graph with an incrementally-maintained core
+// decomposition. Not safe for concurrent use.
+type Maintainer struct {
+	adj   [][]int32 // unsorted adjacency lists
+	core  []int32
+	edges int64
+
+	h      *hierarchy.HCD
+	hDirty bool
+
+	// Epoch-stamped scratch state, reused across operations.
+	mark    []int64 // traversal marks
+	epoch   int64
+	candVal []int32 // cd / support values, valid when stamp matches
+	candEp  []int64
+	mcdVal  []int32 // per-operation MCD memo
+	mcdEp   []int64
+}
+
+// New creates a Maintainer holding a copy of g and its core decomposition.
+func New(g *graph.Graph) *Maintainer {
+	n := g.NumVertices()
+	m := &Maintainer{
+		adj:     make([][]int32, n),
+		core:    coredecomp.Serial(g),
+		edges:   g.NumEdges(),
+		hDirty:  true,
+		mark:    make([]int64, n),
+		candVal: make([]int32, n),
+		candEp:  make([]int64, n),
+		mcdVal:  make([]int32, n),
+		mcdEp:   make([]int64, n),
+	}
+	for v := 0; v < n; v++ {
+		m.adj[v] = append([]int32(nil), g.Neighbors(int32(v))...)
+	}
+	return m
+}
+
+// NumVertices returns the number of vertices.
+func (m *Maintainer) NumVertices() int { return len(m.adj) }
+
+// NumEdges returns the current number of undirected edges.
+func (m *Maintainer) NumEdges() int64 { return m.edges }
+
+// Coreness returns the current coreness of v.
+func (m *Maintainer) Coreness(v int32) int32 { return m.core[v] }
+
+// CorenessAll returns a copy of the full coreness array.
+func (m *Maintainer) CorenessAll() []int32 {
+	out := make([]int32, len(m.core))
+	copy(out, m.core)
+	return out
+}
+
+// HasEdge reports whether (u, v) currently exists. O(min degree).
+func (m *Maintainer) HasEdge(u, v int32) bool {
+	a := m.adj[u]
+	if len(m.adj[v]) < len(a) {
+		a, u, v = m.adj[v], v, u
+	}
+	for _, x := range a {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Degree returns v's current degree.
+func (m *Maintainer) Degree(v int32) int { return len(m.adj[v]) }
+
+// Snapshot materialises the current graph as an immutable CSR graph.
+func (m *Maintainer) Snapshot() *graph.Graph {
+	var edges []graph.Edge
+	for v := range m.adj {
+		for _, u := range m.adj[v] {
+			if int32(v) < u {
+				edges = append(edges, graph.Edge{U: int32(v), V: u})
+			}
+		}
+	}
+	return graph.MustFromEdges(len(m.adj), edges)
+}
+
+// Hierarchy returns the HCD of the current graph, rebuilding it with PHCD
+// if any mutation happened since the previous call.
+func (m *Maintainer) Hierarchy(threads int) *hierarchy.HCD {
+	if m.hDirty || m.h == nil {
+		m.h = core2.PHCD(m.Snapshot(), m.CorenessAll(), threads)
+		m.hDirty = false
+	}
+	return m.h
+}
+
+// mcd counts v's neighbors with coreness at least r.
+func (m *Maintainer) mcd(v int32, r int32) int32 {
+	var d int32
+	for _, x := range m.adj[v] {
+		if m.core[x] >= r {
+			d++
+		}
+	}
+	return d
+}
+
+// InsertEdge adds the undirected edge (u, v), updating coreness
+// incrementally. Inserting an existing edge or a self-loop is an error.
+func (m *Maintainer) InsertEdge(u, v int32) error {
+	if err := m.checkEnds(u, v); err != nil {
+		return err
+	}
+	if m.HasEdge(u, v) {
+		return fmt.Errorf("dynamic: edge (%d,%d) already present", u, v)
+	}
+	m.adj[u] = append(m.adj[u], v)
+	m.adj[v] = append(m.adj[v], u)
+	m.edges++
+	m.hDirty = true
+
+	r := min(m.core[u], m.core[v])
+	cand := m.purecore(u, v, r)
+	if len(cand) == 0 {
+		return nil
+	}
+	// inCand is encoded in candEp/candVal: stamp == epoch means candidate,
+	// value is the cd upper bound (neighbors with coreness > r plus
+	// candidate neighbors).
+	m.epoch++
+	ep := m.epoch
+	for _, w := range cand {
+		m.candEp[w] = ep
+	}
+	for _, w := range cand {
+		var d int32
+		for _, x := range m.adj[w] {
+			if m.core[x] > r || m.candEp[x] == ep {
+				d++
+			}
+		}
+		m.candVal[w] = d
+	}
+	// Peel candidates that cannot reach degree r+1. Eviction clears the
+	// stamp so evicted vertices stop counting for their neighbors.
+	queue := make([]int32, 0, len(cand))
+	for _, w := range cand {
+		if m.candVal[w] <= r {
+			queue = append(queue, w)
+			m.candEp[w] = 0
+		}
+	}
+	for len(queue) > 0 {
+		w := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, x := range m.adj[w] {
+			if m.candEp[x] == ep {
+				m.candVal[x]--
+				if m.candVal[x] <= r {
+					m.candEp[x] = 0
+					queue = append(queue, x)
+				}
+			}
+		}
+	}
+	for _, w := range cand {
+		if m.candEp[w] == ep {
+			m.core[w] = r + 1
+			m.candEp[w] = 0
+		}
+	}
+	return nil
+}
+
+// RemoveEdge deletes the undirected edge (u, v), updating coreness
+// incrementally. Removing an absent edge is an error.
+func (m *Maintainer) RemoveEdge(u, v int32) error {
+	if err := m.checkEnds(u, v); err != nil {
+		return err
+	}
+	if !m.deleteArc(u, v) {
+		return fmt.Errorf("dynamic: edge (%d,%d) not present", u, v)
+	}
+	m.deleteArc(v, u)
+	m.edges--
+	m.hDirty = true
+
+	r := min(m.core[u], m.core[v])
+	// Lazy dissolve cascade: supports are computed on first touch
+	// (candEp/candVal double as the support cache), and coreness writes
+	// are deferred so each support decrements exactly once per dropped
+	// neighbor. mark stamps record "already dropped".
+	m.epoch++
+	ep := m.epoch
+	supOf := func(w int32) int32 {
+		if m.candEp[w] == ep {
+			return m.candVal[w]
+		}
+		d := m.mcd(w, r)
+		m.candEp[w] = ep
+		m.candVal[w] = d
+		return d
+	}
+	var queue, order []int32
+	for _, w := range []int32{u, v} {
+		if m.core[w] == r && m.mark[w] != ep && supOf(w) < r {
+			m.mark[w] = ep
+			queue = append(queue, w)
+		}
+	}
+	for len(queue) > 0 {
+		w := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		order = append(order, w)
+		for _, x := range m.adj[w] {
+			if m.core[x] == r && m.mark[x] != ep {
+				s := supOf(x) - 1
+				m.candVal[x] = s
+				if s < r {
+					m.mark[x] = ep
+					queue = append(queue, x)
+				}
+			}
+		}
+	}
+	for _, w := range order {
+		m.core[w] = r - 1
+	}
+	return nil
+}
+
+// deleteArc removes v from u's list, reporting whether it was present.
+func (m *Maintainer) deleteArc(u, v int32) bool {
+	a := m.adj[u]
+	for i, x := range a {
+		if x == v {
+			a[i] = a[len(a)-1]
+			m.adj[u] = a[:len(a)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// purecore returns the insertion candidate region: coreness-r vertices
+// with PCD > r reachable from the endpoints through such vertices, where
+// PCD(w) counts neighbors that could coexist with w in an (r+1)-core —
+// coreness > r, or coreness r with MCD > r (Sarıyüce's second-order
+// pruning; every rising vertex satisfies PCD > r and the rising set is
+// connected through rising vertices). Sorted ascending.
+func (m *Maintainer) purecore(u, v int32, r int32) []int32 {
+	m.epoch++
+	ep := m.epoch
+	mcdOf := func(w int32) int32 {
+		if m.mcdEp[w] == ep {
+			return m.mcdVal[w]
+		}
+		d := m.mcd(w, r)
+		m.mcdEp[w] = ep
+		m.mcdVal[w] = d
+		return d
+	}
+	pcd := func(w int32) int32 {
+		var d int32
+		for _, x := range m.adj[w] {
+			if m.core[x] > r || (m.core[x] == r && mcdOf(x) > r) {
+				d++
+			}
+		}
+		return d
+	}
+	var out, queue []int32
+	push := func(w int32) {
+		if m.core[w] != r || m.mark[w] == ep {
+			return
+		}
+		m.mark[w] = ep
+		if pcd(w) > r {
+			queue = append(queue, w)
+		}
+	}
+	push(u)
+	push(v)
+	for len(queue) > 0 {
+		w := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		out = append(out, w)
+		for _, x := range m.adj[w] {
+			push(x)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (m *Maintainer) checkEnds(u, v int32) error {
+	n := int32(len(m.adj))
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("dynamic: endpoint out of range (%d,%d) with n=%d", u, v, n)
+	}
+	if u == v {
+		return fmt.Errorf("dynamic: self-loop (%d,%d)", u, v)
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+package dynamic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hcd/internal/coredecomp"
+	"hcd/internal/gen"
+	"hcd/internal/graph"
+	"hcd/internal/hierarchy"
+)
+
+func checkAgainstRecompute(t *testing.T, m *Maintainer, label string) {
+	t.Helper()
+	want := coredecomp.Serial(m.Snapshot())
+	got := m.CorenessAll()
+	if !reflect.DeepEqual(got, want) {
+		for v := range got {
+			if got[v] != want[v] {
+				t.Fatalf("%s: coreness[%d] = %d, recompute says %d", label, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestInsertSingleEdges(t *testing.T) {
+	g := graph.MustFromEdges(6, nil)
+	m := New(g)
+	if err := m.InsertEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Coreness(0) != 1 || m.Coreness(1) != 1 {
+		t.Errorf("single edge should make both endpoints coreness 1")
+	}
+	checkAgainstRecompute(t, m, "one edge")
+	// Build a triangle.
+	if err := m.InsertEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InsertEdge(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Coreness(0) != 2 || m.Coreness(1) != 2 || m.Coreness(2) != 2 {
+		t.Errorf("triangle should be coreness 2: %v", m.CorenessAll())
+	}
+	checkAgainstRecompute(t, m, "triangle")
+}
+
+func TestInsertErrors(t *testing.T) {
+	m := New(graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}}))
+	if err := m.InsertEdge(0, 1); err == nil {
+		t.Error("duplicate insert accepted")
+	}
+	if err := m.InsertEdge(0, 0); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := m.InsertEdge(0, 9); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	if err := m.RemoveEdge(1, 2); err == nil {
+		t.Error("absent removal accepted")
+	}
+}
+
+func TestRemoveSingleEdges(t *testing.T) {
+	// Triangle plus pendant.
+	m := New(graph.MustFromEdges(4, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3},
+	}))
+	if err := m.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstRecompute(t, m, "after break triangle")
+	if m.Coreness(0) != 1 || m.Coreness(1) != 1 {
+		t.Errorf("breaking the triangle should drop coreness to 1: %v", m.CorenessAll())
+	}
+	if err := m.RemoveEdge(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if m.Coreness(3) != 0 {
+		t.Errorf("pendant removal should isolate vertex 3")
+	}
+	checkAgainstRecompute(t, m, "after pendant removal")
+}
+
+func TestCascadingRemoval(t *testing.T) {
+	// K4: removing one edge drops all four vertices from 3 to 2.
+	var edges []graph.Edge
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			edges = append(edges, graph.Edge{U: int32(i), V: int32(j)})
+		}
+	}
+	m := New(graph.MustFromEdges(4, edges))
+	if err := m.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < 4; v++ {
+		if m.Coreness(v) != 2 {
+			t.Errorf("coreness[%d] = %d, want 2", v, m.Coreness(v))
+		}
+	}
+	checkAgainstRecompute(t, m, "K4 minus edge")
+}
+
+func TestRandomMutationSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 60
+	m := New(gen.ErdosRenyi(n, 150, 5))
+	for step := 0; step < 400; step++ {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if m.HasEdge(u, v) {
+			if err := m.RemoveEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := m.InsertEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if step%20 == 0 {
+			checkAgainstRecompute(t, m, "random sequence")
+		}
+	}
+	checkAgainstRecompute(t, m, "final state")
+}
+
+func TestMutationProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, steps uint8) bool {
+		n := int(nRaw%40) + 2
+		rng := rand.New(rand.NewSource(seed))
+		m := New(gen.ErdosRenyi(n, 2*n, seed))
+		for s := 0; s < int(steps); s++ {
+			u := int32(rng.Intn(n))
+			v := int32(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			if m.HasEdge(u, v) {
+				if m.RemoveEdge(u, v) != nil {
+					return false
+				}
+			} else {
+				if m.InsertEdge(u, v) != nil {
+					return false
+				}
+			}
+		}
+		return reflect.DeepEqual(m.CorenessAll(), coredecomp.Serial(m.Snapshot()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierarchyRebuildLazily(t *testing.T) {
+	m := New(gen.ErdosRenyi(80, 240, 9))
+	h1 := m.Hierarchy(2)
+	if h1 != m.Hierarchy(2) {
+		t.Error("unchanged graph must not rebuild the hierarchy")
+	}
+	if err := m.InsertEdge(firstMissing(m)); err != nil {
+		t.Fatal(err)
+	}
+	h2 := m.Hierarchy(2)
+	if h2 == h1 {
+		t.Error("mutation must invalidate the cached hierarchy")
+	}
+	g := m.Snapshot()
+	core := coredecomp.Serial(g)
+	if err := hierarchy.Validate(h2, g, core); err != nil {
+		t.Errorf("rebuilt hierarchy invalid: %v", err)
+	}
+	if !hierarchy.Equal(h2, hierarchy.BruteForce(g, core)) {
+		t.Error("rebuilt hierarchy differs from brute force")
+	}
+}
+
+func TestSnapshotMatchesState(t *testing.T) {
+	m := New(gen.BarabasiAlbert(50, 3, 2))
+	before := m.NumEdges()
+	u, v := firstMissing(m)
+	if err := m.InsertEdge(u, v); err != nil {
+		t.Fatal(err)
+	}
+	g := m.Snapshot()
+	if g.NumEdges() != before+1 || m.NumEdges() != before+1 {
+		t.Errorf("edge counts diverge: snapshot %d, maintainer %d, want %d",
+			g.NumEdges(), m.NumEdges(), before+1)
+	}
+	if !g.HasEdge(u, v) {
+		t.Error("snapshot missing inserted edge")
+	}
+	if m.Degree(u) != g.Degree(u) {
+		t.Error("degree mismatch")
+	}
+}
+
+func firstMissing(m *Maintainer) (int32, int32) {
+	n := int32(m.NumVertices())
+	for u := int32(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !m.HasEdge(u, v) {
+				return u, v
+			}
+		}
+	}
+	panic("complete graph")
+}
+
+func BenchmarkInsertEdge(b *testing.B) {
+	g := gen.BarabasiAlbert(10000, 6, 1)
+	m := New(g)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := int32(rng.Intn(10000))
+		v := int32(rng.Intn(10000))
+		if u == v || m.HasEdge(u, v) {
+			continue
+		}
+		if err := m.InsertEdge(u, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

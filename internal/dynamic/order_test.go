@@ -1,0 +1,304 @@
+package dynamic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hcd/internal/coredecomp"
+	"hcd/internal/gen"
+	"hcd/internal/graph"
+)
+
+func checkOrderAgainstRecompute(t *testing.T, m *OrderMaintainer, label string) {
+	t.Helper()
+	want := coredecomp.Serial(m.Snapshot())
+	got := m.CorenessAll()
+	if !reflect.DeepEqual(got, want) {
+		for v := range got {
+			if got[v] != want[v] {
+				t.Fatalf("%s: coreness[%d] = %d, recompute says %d", label, v, got[v], want[v])
+			}
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+}
+
+func TestOrderInitialInvariants(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.MustFromEdges(1, nil),
+		graph.MustFromEdges(5, nil),
+		gen.ErdosRenyi(80, 250, 1),
+		gen.Onion(4, 10, 2, 2, 2, 2),
+		gen.BarabasiAlbert(60, 4, 3),
+	} {
+		m := NewOrder(g)
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("initial order invalid: %v", err)
+		}
+	}
+}
+
+func TestOrderInsertBasics(t *testing.T) {
+	m := NewOrder(graph.MustFromEdges(6, nil))
+	if err := m.InsertEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	checkOrderAgainstRecompute(t, m, "one edge")
+	if m.Coreness(0) != 1 || m.Coreness(1) != 1 {
+		t.Errorf("coreness after one edge: %v", m.CorenessAll())
+	}
+	if err := m.InsertEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InsertEdge(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	checkOrderAgainstRecompute(t, m, "triangle")
+	if m.Coreness(2) != 2 {
+		t.Errorf("triangle coreness: %v", m.CorenessAll())
+	}
+	// Errors.
+	if err := m.InsertEdge(0, 1); err == nil {
+		t.Error("duplicate insert accepted")
+	}
+	if err := m.InsertEdge(0, 0); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := m.RemoveEdge(3, 4); err == nil {
+		t.Error("absent removal accepted")
+	}
+}
+
+func TestOrderRemoveBasics(t *testing.T) {
+	var edges []graph.Edge
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			edges = append(edges, graph.Edge{U: int32(i), V: int32(j)})
+		}
+	}
+	m := NewOrder(graph.MustFromEdges(4, edges))
+	if err := m.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	checkOrderAgainstRecompute(t, m, "K4 minus edge")
+	for v := int32(0); v < 4; v++ {
+		if m.Coreness(v) != 2 {
+			t.Errorf("coreness[%d] = %d, want 2", v, m.Coreness(v))
+		}
+	}
+}
+
+func TestOrderRandomMutationSequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n := 50
+	m := NewOrder(gen.ErdosRenyi(n, 120, 6))
+	for step := 0; step < 500; step++ {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if m.HasEdge(u, v) {
+			if err := m.RemoveEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := m.InsertEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if step%10 == 0 {
+			checkOrderAgainstRecompute(t, m, "random sequence")
+		}
+	}
+	checkOrderAgainstRecompute(t, m, "final")
+}
+
+func TestOrderMatchesTraversalMaintainer(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	n := 70
+	g := gen.PlantedPartition(3, 24, 0.25, 0.01, 7)
+	n = g.NumVertices()
+	a := New(g)
+	b := NewOrder(g)
+	for step := 0; step < 600; step++ {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if a.HasEdge(u, v) {
+			if err := a.RemoveEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.RemoveEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := a.InsertEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.InsertEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !reflect.DeepEqual(a.CorenessAll(), b.CorenessAll()) {
+		t.Error("traversal and order-based maintainers diverge")
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderMutationProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, steps uint8) bool {
+		n := int(nRaw%30) + 2
+		rng := rand.New(rand.NewSource(seed))
+		m := NewOrder(gen.ErdosRenyi(n, 2*n, seed))
+		for s := 0; s < int(steps); s++ {
+			u := int32(rng.Intn(n))
+			v := int32(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			if m.HasEdge(u, v) {
+				if m.RemoveEdge(u, v) != nil {
+					return false
+				}
+			} else {
+				if m.InsertEdge(u, v) != nil {
+					return false
+				}
+			}
+			if m.CheckInvariants() != nil {
+				return false
+			}
+		}
+		return reflect.DeepEqual(m.CorenessAll(), coredecomp.Serial(m.Snapshot()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkOrderInsertER(b *testing.B) {
+	// The giant-shell regime where the traversal maintainer degrades:
+	// order-based insertion stays near O(1) on its fast path.
+	g := gen.ErdosRenyi(20000, 120000, 5)
+	m := NewOrder(g)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := int32(rng.Intn(20000))
+		v := int32(rng.Intn(20000))
+		if u == v || m.HasEdge(u, v) {
+			continue
+		}
+		if err := m.InsertEdge(u, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestOrderWheelRise builds the hardest insertion pattern: a broken wheel
+// whose repair makes hub and rim rise together (a large riser block whose
+// internal order matters for validity).
+func TestOrderWheelRise(t *testing.T) {
+	// Hub 0, rim 1..10 in a cycle with one missing rim edge (1,10).
+	var edges []graph.Edge
+	for i := int32(1); i <= 10; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: i})
+	}
+	for i := int32(1); i < 10; i++ {
+		edges = append(edges, graph.Edge{U: i, V: i + 1})
+	}
+	g := graph.MustFromEdges(11, edges)
+	m := NewOrder(g)
+	for v := int32(0); v < 11; v++ {
+		if m.Coreness(v) != 2 {
+			t.Fatalf("broken wheel should be all coreness 2: %v", m.CorenessAll())
+		}
+	}
+	if err := m.InsertEdge(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	checkOrderAgainstRecompute(t, m, "wheel closed")
+	for v := int32(0); v < 11; v++ {
+		if m.Coreness(v) != 3 {
+			t.Fatalf("closed wheel should be all coreness 3: %v", m.CorenessAll())
+		}
+	}
+	// And back.
+	if err := m.RemoveEdge(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	checkOrderAgainstRecompute(t, m, "wheel reopened")
+}
+
+// TestOrderChainedRises stresses repeated rises through the same level:
+// growing a clique edge by edge forces a coreness bump on many inserts.
+func TestOrderChainedRises(t *testing.T) {
+	n := 12
+	m := NewOrder(graph.MustFromEdges(n, nil))
+	for i := int32(0); i < int32(n); i++ {
+		for j := i + 1; j < int32(n); j++ {
+			if err := m.InsertEdge(i, j); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("after (%d,%d): %v", i, j, err)
+			}
+		}
+	}
+	checkOrderAgainstRecompute(t, m, "complete graph built")
+	for v := int32(0); v < int32(n); v++ {
+		if m.Coreness(v) != int32(n-1) {
+			t.Fatalf("K%d coreness = %v", n, m.CorenessAll())
+		}
+	}
+	// Tear it down edge by edge.
+	for i := int32(0); i < int32(n); i++ {
+		for j := i + 1; j < int32(n); j++ {
+			if err := m.RemoveEdge(i, j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	checkOrderAgainstRecompute(t, m, "complete graph dismantled")
+}
+
+// TestOrderDenseStress drives a dense mutation mix on a graph with both a
+// deep hierarchy and a giant flat shell, checking invariants throughout.
+func TestOrderDenseStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	g := gen.Onion(4, 15, 2, 3, 2, 9)
+	m := NewOrder(g)
+	rng := rand.New(rand.NewSource(55))
+	n := int32(g.NumVertices())
+	for step := 0; step < 1500; step++ {
+		u, v := rng.Int31n(n), rng.Int31n(n)
+		if u == v {
+			continue
+		}
+		if m.HasEdge(u, v) {
+			if err := m.RemoveEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := m.InsertEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if step%50 == 0 {
+			checkOrderAgainstRecompute(t, m, "dense stress")
+		}
+	}
+	checkOrderAgainstRecompute(t, m, "dense stress final")
+}

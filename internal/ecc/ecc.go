@@ -1,0 +1,341 @@
+// Package ecc implements k-edge-connected-component (k-ECC) decomposition
+// — the second "other cohesive subgraph model" §VI names alongside k-truss
+// — and its hierarchy. A k-ECC is a maximal induced subgraph whose edge
+// connectivity is at least k: removing any k-1 edges leaves it connected.
+// Like k-cores, k-ECCs nest: every (k+1)-ECC lies inside exactly one
+// k-ECC, so the decomposition forms a forest analogous to the HCD.
+//
+// The decomposition follows the classical cut-based recursion (in the
+// spirit of Chang et al., SIGMOD 2013): peel the component to the k-core
+// first (a k-ECC member needs internal degree >= k), compute a global
+// minimum cut with Stoer-Wagner's maximum-adjacency search, and either
+// certify the piece (cut >= k) or split along the cut and recurse. This is
+// O(cuts · n · m)-ish — built for the repository's laptop-scale graphs,
+// not for billion-edge inputs; it exists to demonstrate the hierarchy
+// framework generalising, with exact semantics.
+package ecc
+
+import (
+	"sort"
+
+	"hcd/internal/graph"
+	"hcd/internal/hierarchy"
+)
+
+// Decompose partitions the vertices into maximal k-edge-connected
+// components: label[v] is the component id of v, or -1 when v belongs to
+// no k-ECC of at least two vertices. Ids are dense in [0, count).
+func Decompose(g *graph.Graph, k int32) (label []int32, count int32) {
+	n := g.NumVertices()
+	label = make([]int32, n)
+	for i := range label {
+		label[i] = -1
+	}
+	if k < 1 {
+		// Everything edge-connected at level 0: components.
+		lbl, c := g.ConnectedComponents()
+		return lbl, int32(c)
+	}
+	compLabel, comps := g.ConnectedComponents()
+	groups := make([][]int32, comps)
+	for v := int32(0); v < int32(n); v++ {
+		groups[compLabel[v]] = append(groups[compLabel[v]], v)
+	}
+	for _, piece := range groups {
+		decomposePiece(g, piece, k, &label, &count)
+	}
+	return label, count
+}
+
+// decomposePiece recursively certifies or splits one candidate vertex set.
+func decomposePiece(g *graph.Graph, piece []int32, k int32, label *[]int32, count *int32) {
+	// Work stack of pieces still to resolve.
+	stack := [][]int32{piece}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		cur = peelToKCore(g, cur, k)
+		if len(cur) < 2 {
+			continue
+		}
+		// Re-split into connected sub-pieces after the peel.
+		for _, sub := range splitConnected(g, cur) {
+			if len(sub) < 2 {
+				continue
+			}
+			cutW, side := stoerWagner(g, sub)
+			if cutW >= int64(k) {
+				id := *count
+				*count = id + 1
+				for _, v := range sub {
+					(*label)[v] = id
+				}
+				continue
+			}
+			// Split along the cut and recurse on both sides.
+			inSide := make(map[int32]bool, len(side))
+			for _, v := range side {
+				inSide[v] = true
+			}
+			var a, b []int32
+			for _, v := range sub {
+				if inSide[v] {
+					a = append(a, v)
+				} else {
+					b = append(b, v)
+				}
+			}
+			stack = append(stack, a, b)
+		}
+	}
+}
+
+// peelToKCore restricts the piece to its members with internal degree >= k
+// (iterated) — a cheap superset of the k-ECC.
+func peelToKCore(g *graph.Graph, piece []int32, k int32) []int32 {
+	in := make(map[int32]bool, len(piece))
+	deg := make(map[int32]int32, len(piece))
+	for _, v := range piece {
+		in[v] = true
+	}
+	for _, v := range piece {
+		var d int32
+		for _, u := range g.Neighbors(v) {
+			if in[u] {
+				d++
+			}
+		}
+		deg[v] = d
+	}
+	var queue []int32
+	for _, v := range piece {
+		if deg[v] < k {
+			queue = append(queue, v)
+			in[v] = false
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, u := range g.Neighbors(v) {
+			if in[u] {
+				deg[u]--
+				if deg[u] < k {
+					in[u] = false
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	var out []int32
+	for _, v := range piece {
+		if in[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// splitConnected splits the vertex set into connected pieces (within the
+// induced subgraph).
+func splitConnected(g *graph.Graph, piece []int32) [][]int32 {
+	in := make(map[int32]bool, len(piece))
+	for _, v := range piece {
+		in[v] = true
+	}
+	seen := make(map[int32]bool, len(piece))
+	var out [][]int32
+	for _, s := range piece {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		queue := []int32{s}
+		var comp []int32
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			comp = append(comp, v)
+			for _, u := range g.Neighbors(v) {
+				if in[u] && !seen[u] {
+					seen[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+		out = append(out, comp)
+	}
+	return out
+}
+
+// stoerWagner computes a global minimum cut of the subgraph induced by
+// `piece` (which must be connected, |piece| >= 2). It returns the cut
+// weight and the original vertices on one side of the cut.
+func stoerWagner(g *graph.Graph, piece []int32) (int64, []int32) {
+	n := len(piece)
+	idx := make(map[int32]int, n)
+	for i, v := range piece {
+		idx[v] = i
+	}
+	// Dense weight matrix of the contracted graph (unit edge weights).
+	w := make([][]int64, n)
+	for i := range w {
+		w[i] = make([]int64, n)
+	}
+	for i, v := range piece {
+		for _, u := range g.Neighbors(v) {
+			if j, ok := idx[u]; ok && j != i {
+				w[i][j]++
+			}
+		}
+	}
+	// merged[i] = original vertices currently contracted into supernode i.
+	merged := make([][]int32, n)
+	for i, v := range piece {
+		merged[i] = []int32{v}
+	}
+	active := make([]int, n)
+	for i := range active {
+		active[i] = i
+	}
+	bestCut := int64(-1)
+	var bestSide []int32
+
+	weightTo := make([]int64, n)
+	inA := make([]bool, n)
+	for len(active) > 1 {
+		// Maximum adjacency search over the active supernodes.
+		for _, i := range active {
+			weightTo[i] = 0
+			inA[i] = false
+		}
+		prev, last := -1, -1
+		for step := 0; step < len(active); step++ {
+			sel := -1
+			for _, i := range active {
+				if !inA[i] && (sel < 0 || weightTo[i] > weightTo[sel]) {
+					sel = i
+				}
+			}
+			inA[sel] = true
+			prev, last = last, sel
+			for _, i := range active {
+				if !inA[i] {
+					weightTo[i] += w[sel][i]
+				}
+			}
+		}
+		// Cut of the phase: last supernode vs the rest.
+		if bestCut < 0 || weightTo[last] < bestCut {
+			bestCut = weightTo[last]
+			bestSide = append([]int32(nil), merged[last]...)
+		}
+		// Contract last into prev.
+		for _, i := range active {
+			if i != prev && i != last {
+				w[prev][i] += w[last][i]
+				w[i][prev] = w[prev][i]
+			}
+		}
+		merged[prev] = append(merged[prev], merged[last]...)
+		for ai, i := range active {
+			if i == last {
+				active = append(active[:ai], active[ai+1:]...)
+				break
+			}
+		}
+	}
+	return bestCut, bestSide
+}
+
+// Lambda returns each vertex's connectivity number: the largest k such
+// that v belongs to a k-ECC with at least two vertices (0 if none).
+// Computed by decomposing at successive k until everything dissolves.
+func Lambda(g *graph.Graph) []int32 {
+	n := g.NumVertices()
+	lambda := make([]int32, n)
+	// Edge connectivity of any subgraph is bounded by its minimum degree,
+	// hence by the degeneracy; iterate k upward until no k-ECC remains.
+	for k := int32(1); ; k++ {
+		label, count := Decompose(g, k)
+		if count == 0 {
+			return lambda
+		}
+		for v := 0; v < n; v++ {
+			if label[v] >= 0 {
+				lambda[v] = k
+			}
+		}
+	}
+}
+
+// BuildHierarchy assembles the ECC hierarchy into the shared forest
+// container: one tree node per (k, k-ECC) pair whose component contains
+// vertices of connectivity exactly k, with containment as tree edges —
+// the ecc analogue of the HCD, per §VI. It also returns the per-vertex
+// connectivity numbers. Isolated/never-connected vertices (lambda 0) form
+// level-0 singleton roots like the HCD's 0-shell nodes.
+func BuildHierarchy(g *graph.Graph) (*hierarchy.HCD, []int32) {
+	n := g.NumVertices()
+	lambda := Lambda(g)
+	h := &hierarchy.HCD{TID: make([]hierarchy.NodeID, n)}
+	for i := range h.TID {
+		h.TID[i] = hierarchy.Nil
+	}
+	maxL := int32(0)
+	for _, l := range lambda {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	deepest := make([]hierarchy.NodeID, n)
+	for i := range deepest {
+		deepest[i] = hierarchy.Nil
+	}
+	for k := maxL; k >= 0; k-- {
+		label, count := Decompose(g, k)
+		groups := make([][]int32, count)
+		for v := int32(0); v < int32(n); v++ {
+			if label[v] >= 0 {
+				groups[label[v]] = append(groups[label[v]], v)
+			} else if k == 0 {
+				groups = append(groups, []int32{v})
+			}
+		}
+		for _, verts := range groups {
+			var shell []int32
+			for _, v := range verts {
+				if lambda[v] == k {
+					shell = append(shell, v)
+				}
+			}
+			if len(shell) == 0 {
+				continue
+			}
+			id := hierarchy.NodeID(len(h.K))
+			h.K = append(h.K, k)
+			h.Parent = append(h.Parent, hierarchy.Nil)
+			h.Children = append(h.Children, nil)
+			h.Vertices = append(h.Vertices, shell)
+			for _, v := range shell {
+				h.TID[v] = id
+			}
+			seen := map[hierarchy.NodeID]bool{}
+			for _, v := range verts {
+				if d := deepest[v]; d != hierarchy.Nil && d != id && !seen[d] && h.Parent[d] == hierarchy.Nil {
+					seen[d] = true
+					h.Parent[d] = id
+					h.Children[id] = append(h.Children[id], d)
+				}
+			}
+			for _, v := range verts {
+				deepest[v] = id
+			}
+		}
+	}
+	// Deterministic child order for reproducibility.
+	for i := range h.Children {
+		sort.Slice(h.Children[i], func(a, b int) bool { return h.Children[i][a] < h.Children[i][b] })
+	}
+	return h, lambda
+}

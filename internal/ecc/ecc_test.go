@@ -1,0 +1,334 @@
+package ecc
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hcd/internal/gen"
+	"hcd/internal/graph"
+	"hcd/internal/hierarchy"
+)
+
+func k4pair() *graph.Graph {
+	// Two K4s joined by a single bridge edge.
+	var edges []graph.Edge
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			edges = append(edges, graph.Edge{U: int32(i), V: int32(j)})
+			edges = append(edges, graph.Edge{U: int32(i + 4), V: int32(j + 4)})
+		}
+	}
+	edges = append(edges, graph.Edge{U: 3, V: 4})
+	return graph.MustFromEdges(8, edges)
+}
+
+func groupsOf(label []int32, count int32) [][]int32 {
+	groups := make([][]int32, count)
+	for v, l := range label {
+		if l >= 0 {
+			groups[l] = append(groups[l], int32(v))
+		}
+	}
+	for _, g := range groups {
+		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+	return groups
+}
+
+func TestDecomposeKnownGraphs(t *testing.T) {
+	g := k4pair()
+	// k=3: the two K4s, separately (bridge weight 1 < 3).
+	label, count := Decompose(g, 3)
+	if count != 2 {
+		t.Fatalf("3-ECC count = %d, want 2", count)
+	}
+	gr := groupsOf(label, count)
+	if len(gr[0]) != 4 || len(gr[1]) != 4 || gr[0][0] != 0 || gr[1][0] != 4 {
+		t.Errorf("3-ECCs = %v", gr)
+	}
+	// k=1: the whole graph.
+	label, count = Decompose(g, 1)
+	if count != 1 || label[0] != label[7] {
+		t.Errorf("1-ECC should be the whole graph: count=%d", count)
+	}
+	// k=2: the bridge still splits (cut weight 1 < 2).
+	_, count = Decompose(g, 2)
+	if count != 2 {
+		t.Errorf("2-ECC count = %d, want 2", count)
+	}
+	// k=4: K4 has edge connectivity 3, so nothing survives.
+	_, count = Decompose(g, 4)
+	if count != 0 {
+		t.Errorf("4-ECC count = %d, want 0", count)
+	}
+
+	// A cycle is exactly 2-edge-connected.
+	cyc := graph.MustFromEdges(5, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 0},
+	})
+	if _, count := Decompose(cyc, 2); count != 1 {
+		t.Error("cycle should be one 2-ECC")
+	}
+	if _, count := Decompose(cyc, 3); count != 0 {
+		t.Error("cycle is not 3-edge-connected")
+	}
+
+	// A tree has no 2-ECC.
+	tree := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 1, V: 3}})
+	if _, count := Decompose(tree, 2); count != 0 {
+		t.Error("tree should have no 2-ECC")
+	}
+	if lbl, count := Decompose(tree, 1); count != 1 || lbl[3] != lbl[0] {
+		t.Error("tree is one 1-ECC")
+	}
+}
+
+func TestOverlappingDenseBlocksMerge(t *testing.T) {
+	// Two K4s sharing a vertex: the cut separating them has weight 3, so
+	// for k=3 they merge into a single 3-ECC.
+	var edges []graph.Edge
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			edges = append(edges, graph.Edge{U: int32(i), V: int32(j)})
+		}
+	}
+	// Second K4 on {3,4,5,6} (3 is shared).
+	verts := []int32{3, 4, 5, 6}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			edges = append(edges, graph.Edge{U: verts[i], V: verts[j]})
+		}
+	}
+	g := graph.MustFromEdges(7, edges)
+	_, count := Decompose(g, 3)
+	if count != 1 {
+		t.Errorf("two K4s sharing a vertex form one 3-ECC, got %d", count)
+	}
+}
+
+// --- brute-force validation ----------------------------------------------
+
+// edgeConnectivityBrute computes the induced subgraph's edge connectivity
+// by enumerating every 2-partition (|S| <= 16).
+func edgeConnectivityBrute(g *graph.Graph, verts []int32) int {
+	n := len(verts)
+	if n < 2 {
+		return 0
+	}
+	best := -1
+	for mask := 1; mask < (1<<n)-1; mask++ {
+		cut := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if (mask>>i)&1 != (mask>>j)&1 && g.HasEdge(verts[i], verts[j]) {
+					cut++
+				}
+			}
+		}
+		if best < 0 || cut < best {
+			best = cut
+		}
+	}
+	return best
+}
+
+// bruteKECC computes the maximal k-edge-connected vertex sets by subset
+// enumeration (n <= 10).
+func bruteKECC(g *graph.Graph, k int32) [][]int32 {
+	n := g.NumVertices()
+	var ok []int
+	for mask := 0; mask < 1<<n; mask++ {
+		var verts []int32
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				verts = append(verts, int32(v))
+			}
+		}
+		if len(verts) < 2 {
+			continue
+		}
+		if edgeConnectivityBrute(g, verts) >= int(k) {
+			ok = append(ok, mask)
+		}
+	}
+	var maximal [][]int32
+	for _, m := range ok {
+		isMax := true
+		for _, o := range ok {
+			if o != m && o&m == m {
+				isMax = false
+				break
+			}
+		}
+		if isMax {
+			var verts []int32
+			for v := 0; v < n; v++ {
+				if m&(1<<v) != 0 {
+					verts = append(verts, int32(v))
+				}
+			}
+			maximal = append(maximal, verts)
+		}
+	}
+	sort.Slice(maximal, func(i, j int) bool { return maximal[i][0] < maximal[j][0] })
+	return maximal
+}
+
+func TestDecomposeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(5) // <= 9 vertices
+		m := rng.Intn(2 * n * (n - 1) / 3)
+		edges := make([]graph.Edge, m)
+		for i := range edges {
+			edges[i] = graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))}
+		}
+		g := graph.MustFromEdges(n, edges)
+		for k := int32(1); k <= 3; k++ {
+			label, count := Decompose(g, k)
+			got := groupsOf(label, count)
+			want := bruteKECC(g, k)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d k=%d: %d groups, brute force %d\n got %v\nwant %v",
+					trial, k, len(got), len(want), got, want)
+			}
+			for i := range got {
+				if len(got[i]) != len(want[i]) {
+					t.Fatalf("trial %d k=%d group %d: %v vs %v", trial, k, i, got[i], want[i])
+				}
+				for j := range got[i] {
+					if got[i][j] != want[i][j] {
+						t.Fatalf("trial %d k=%d group %d: %v vs %v", trial, k, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLambdaAndHierarchy(t *testing.T) {
+	g := k4pair()
+	h, lambda := BuildHierarchy(g)
+	// K4 vertices have connectivity 3.
+	for v := 0; v < 8; v++ {
+		if lambda[v] != 3 {
+			t.Errorf("lambda[%d] = %d, want 3", v, lambda[v])
+		}
+	}
+	// Hierarchy: one 1-ECC root holding... the root's shell is empty of
+	// connectivity-1 vertices, so the forest has the two 3-ECC nodes under
+	// a level-1 node only if some vertex has lambda 1. Here all lambdas
+	// are 3, so the forest is two roots.
+	if h.NumNodes() != 2 {
+		t.Fatalf("|T| = %d, want 2", h.NumNodes())
+	}
+	for i := 0; i < h.NumNodes(); i++ {
+		if h.K[i] != 3 || h.Parent[i] != hierarchy.Nil {
+			t.Errorf("node %d: k=%d parent=%d", i, h.K[i], h.Parent[i])
+		}
+	}
+
+	// Attach a pendant to get a genuine two-level hierarchy.
+	var edges []graph.Edge
+	g.Edges(func(u, v int32) { edges = append(edges, graph.Edge{U: u, V: v}) })
+	edges = append(edges, graph.Edge{U: 0, V: 8})
+	g2 := graph.MustFromEdges(9, edges)
+	h2, lambda2 := BuildHierarchy(g2)
+	if lambda2[8] != 1 {
+		t.Errorf("pendant lambda = %d, want 1", lambda2[8])
+	}
+	if h2.NumNodes() != 3 {
+		t.Fatalf("|T| = %d, want 3", h2.NumNodes())
+	}
+	root := h2.TID[8]
+	if h2.K[root] != 1 || len(h2.Children[root]) != 2 {
+		t.Errorf("root node wrong: k=%d children=%d", h2.K[root], len(h2.Children[root]))
+	}
+}
+
+func TestHierarchyStructureOnGenerated(t *testing.T) {
+	g := gen.PlantedPartition(3, 12, 0.5, 0.02, 5)
+	h, lambda := BuildHierarchy(g)
+	// Every vertex in exactly one node, at its lambda level.
+	seen := make([]bool, g.NumVertices())
+	for i := 0; i < h.NumNodes(); i++ {
+		for _, v := range h.Vertices[i] {
+			if seen[v] {
+				t.Fatalf("vertex %d in two nodes", v)
+			}
+			seen[v] = true
+			if lambda[v] != h.K[i] {
+				t.Errorf("vertex %d lambda %d in level-%d node", v, lambda[v], h.K[i])
+			}
+		}
+		if p := h.Parent[i]; p != hierarchy.Nil && h.K[p] >= h.K[i] {
+			t.Errorf("parent level not lower")
+		}
+	}
+	for v, s := range seen {
+		if !s {
+			t.Errorf("vertex %d missing from hierarchy", v)
+		}
+	}
+	if len(h.TopDown()) != h.NumNodes() {
+		t.Error("forest traversal incomplete")
+	}
+}
+
+func TestStoerWagnerKnownCuts(t *testing.T) {
+	g := k4pair()
+	verts := []int32{0, 1, 2, 3, 4, 5, 6, 7}
+	cut, side := stoerWagner(g, verts)
+	if cut != 1 {
+		t.Errorf("min cut = %d, want 1 (the bridge)", cut)
+	}
+	if len(side) == 0 || len(side) == len(verts) {
+		t.Errorf("degenerate side: %v", side)
+	}
+	// Complete graph K5: min cut 4.
+	var edges []graph.Edge
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			edges = append(edges, graph.Edge{U: int32(i), V: int32(j)})
+		}
+	}
+	k5 := graph.MustFromEdges(5, edges)
+	cut, _ = stoerWagner(k5, []int32{0, 1, 2, 3, 4})
+	if cut != 4 {
+		t.Errorf("K5 min cut = %d, want 4", cut)
+	}
+}
+
+func TestStoerWagnerMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(6)
+		var edges []graph.Edge
+		for i := 0; i < 3*n; i++ {
+			edges = append(edges, graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))})
+		}
+		g := graph.MustFromEdges(n, edges)
+		// Use the largest connected piece.
+		label, _ := g.ConnectedComponents()
+		byComp := map[int32][]int32{}
+		for v := 0; v < n; v++ {
+			byComp[label[v]] = append(byComp[label[v]], int32(v))
+		}
+		var piece []int32
+		for _, p := range byComp {
+			if len(p) > len(piece) {
+				piece = p
+			}
+		}
+		if len(piece) < 2 {
+			continue
+		}
+		got, _ := stoerWagner(g, piece)
+		want := edgeConnectivityBrute(g, piece)
+		if got != int64(want) {
+			t.Fatalf("trial %d: stoerWagner %d, brute %d (piece %v)", trial, got, want, piece)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package engagement
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hcd/internal/coredecomp"
+	"hcd/internal/gen"
+	"hcd/internal/graph"
+	"hcd/internal/hierarchy"
+)
+
+func build(t *testing.T, g *graph.Graph) (*hierarchy.HCD, []int32) {
+	t.Helper()
+	core := coredecomp.Serial(g)
+	return hierarchy.BruteForce(g, core), core
+}
+
+func TestAnalyzePerfectCorrelation(t *testing.T) {
+	g := gen.Onion(5, 20, 2, 2, 2, 1)
+	h, core := build(t, g)
+	activity := make([]float64, g.NumVertices())
+	for v := range activity {
+		activity[v] = float64(core[v]) * 10
+	}
+	rep, err := Analyze(h, core, activity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Correlation-1) > 1e-9 {
+		t.Errorf("correlation = %v, want 1", rep.Correlation)
+	}
+	if rep.VarCoreness > 1e-9 || rep.VarNode > 1e-9 {
+		t.Errorf("noise-free activity should have zero within-group variance: %+v", rep)
+	}
+	// Shell means must increase with k.
+	for i := 1; i < len(rep.Shells); i++ {
+		if rep.Shells[i].Mean <= rep.Shells[i-1].Mean {
+			t.Errorf("shell means not increasing: %+v", rep.Shells)
+		}
+	}
+	// Counts cover every vertex.
+	total := 0
+	for _, s := range rep.Shells {
+		total += s.Count
+	}
+	if total != g.NumVertices() {
+		t.Errorf("shell counts sum to %d, want %d", total, g.NumVertices())
+	}
+}
+
+func TestAnalyzeNodeRefinement(t *testing.T) {
+	// Branched onion: the same coreness appears in several tree nodes;
+	// activity carries a per-node effect that coreness cannot see.
+	g := gen.Onion(4, 25, 2, 3, 3, 2)
+	h, core := build(t, g)
+	rng := rand.New(rand.NewSource(3))
+	nodeEffect := make([]float64, h.NumNodes())
+	for i := range nodeEffect {
+		nodeEffect[i] = rng.Float64() * 20
+	}
+	activity := make([]float64, g.NumVertices())
+	for v := range activity {
+		activity[v] = 2*float64(core[v]) + nodeEffect[h.TID[v]] + rng.NormFloat64()
+	}
+	rep, err := Analyze(h, core, activity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.VarNode >= rep.VarCoreness {
+		t.Errorf("node grouping should refine: node %v >= coreness %v", rep.VarNode, rep.VarCoreness)
+	}
+	if r := rep.Refinement(); r <= 0 || r > 1 {
+		t.Errorf("refinement = %v, want in (0, 1]", r)
+	}
+	if rep.Correlation <= 0 {
+		t.Errorf("correlation = %v, want positive", rep.Correlation)
+	}
+}
+
+func TestAnalyzeErrorsAndDegenerate(t *testing.T) {
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	h, core := build(t, g)
+	if _, err := Analyze(h, core, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Analyze(h, []int32{0}, []float64{1}); err == nil {
+		t.Error("hierarchy/core mismatch accepted")
+	}
+	// Uniform coreness: correlation undefined (NaN), not a crash.
+	rep, err := Analyze(h, core, []float64{5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(rep.Correlation) {
+		t.Errorf("single-shell correlation = %v, want NaN", rep.Correlation)
+	}
+	// Empty graph.
+	eg := graph.MustFromEdges(0, nil)
+	eh, ecore := build(t, eg)
+	if _, err := Analyze(eh, ecore, nil); err != nil {
+		t.Errorf("empty analysis failed: %v", err)
+	}
+}
+
+func TestRefinementClamps(t *testing.T) {
+	r := Report{VarCoreness: 0, VarNode: 0}
+	if r.Refinement() != 0 {
+		t.Error("zero-variance refinement should be 0")
+	}
+	r = Report{VarCoreness: 1, VarNode: 2}
+	if r.Refinement() != 0 {
+		t.Error("negative improvement must clamp to 0")
+	}
+	r = Report{VarCoreness: 4, VarNode: 1}
+	if math.Abs(r.Refinement()-0.75) > 1e-9 {
+		t.Errorf("refinement = %v, want 0.75", r.Refinement())
+	}
+}

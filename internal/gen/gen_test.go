@@ -1,0 +1,169 @@
+package gen
+
+import (
+	"testing"
+)
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(100, 500, 42)
+	b := ErdosRenyi(100, 500, 42)
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Error("same seed must give the same graph")
+	}
+	c := ErdosRenyi(100, 500, 43)
+	if a.NumEdges() == c.NumEdges() && sameAdj(a, c) {
+		t.Error("different seeds should give different graphs")
+	}
+	if a.NumVertices() != 100 {
+		t.Errorf("n = %d, want 100", a.NumVertices())
+	}
+	if a.NumEdges() > 500 || a.NumEdges() < 400 {
+		t.Errorf("m = %d, want close to but at most 500", a.NumEdges())
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(500, 4, 7)
+	if g.NumVertices() != 500 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	// Every vertex past the seed clique attaches with k draws, so min
+	// degree is >= 1 and the graph is connected.
+	if _, count := g.ConnectedComponents(); count != 1 {
+		t.Errorf("BA graph should be connected, got %d components", count)
+	}
+	// Power-law-ish: max degree must far exceed average.
+	if float64(g.MaxDegree()) < 3*g.AvgDegree() {
+		t.Errorf("max degree %d vs avg %.1f: not skewed", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestBarabasiAlbertSmallN(t *testing.T) {
+	g := BarabasiAlbert(2, 4, 1) // n < k+1 gets bumped to the seed clique
+	if g.NumVertices() != 5 {
+		t.Errorf("n = %d, want 5 (clique on k+1)", g.NumVertices())
+	}
+	if g.NumEdges() != 10 {
+		t.Errorf("m = %d, want C(5,2)=10", g.NumEdges())
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	g := RMAT(10, 5000, 3)
+	if g.NumVertices() != 1024 {
+		t.Fatalf("n = %d, want 1024", g.NumVertices())
+	}
+	if g.NumEdges() == 0 || g.NumEdges() > 5000 {
+		t.Errorf("m = %d", g.NumEdges())
+	}
+	if float64(g.MaxDegree()) < 2*g.AvgDegree() {
+		t.Errorf("RMAT should be skewed: max %d avg %.1f", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestOnionConnectedAndLayered(t *testing.T) {
+	g := Onion(5, 30, 2, 3, 2, 11)
+	if g.NumVertices() != 5*30*2 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if _, count := g.ConnectedComponents(); count != 1 {
+		t.Errorf("onion should be connected, got %d components", count)
+	}
+}
+
+func TestPlantedPartition(t *testing.T) {
+	g := PlantedPartition(4, 50, 0.3, 0.001, 9)
+	if g.NumVertices() != 200 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	// Intra-community density must dominate: count edges within community 0.
+	intra, inter := 0, 0
+	g.Edges(func(u, v int32) {
+		if int(u)/50 == int(v)/50 {
+			intra++
+		} else {
+			inter++
+		}
+	})
+	if intra <= 5*inter {
+		t.Errorf("intra=%d inter=%d: communities not dense enough", intra, inter)
+	}
+}
+
+func TestSuiteShapes(t *testing.T) {
+	suite := Suite(1)
+	if len(suite) != 10 {
+		t.Fatalf("suite has %d datasets, want 10", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, d := range suite {
+		if seen[d.Abbrev] {
+			t.Errorf("duplicate abbreviation %s", d.Abbrev)
+		}
+		seen[d.Abbrev] = true
+		g := d.Build()
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Errorf("%s: empty graph", d.Abbrev)
+		}
+		if g.NumEdges() < int64(g.NumVertices())/4 {
+			t.Errorf("%s: too sparse (n=%d m=%d)", d.Abbrev, g.NumVertices(), g.NumEdges())
+		}
+	}
+}
+
+func TestBuildCachedReturnsSameInstance(t *testing.T) {
+	d := Suite(1)[0]
+	a := BuildCached(d, 1)
+	b := BuildCached(d, 1)
+	if a != b {
+		t.Error("BuildCached must memoise")
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for in, want := range cases {
+		if got := log2ceil(in); got != want {
+			t.Errorf("log2ceil(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func sameAdj(a, b interface {
+	NumVertices() int
+	Neighbors(int32) []int32
+}) bool {
+	if a.NumVertices() != b.NumVertices() {
+		return false
+	}
+	for v := int32(0); v < int32(a.NumVertices()); v++ {
+		na, nb := a.Neighbors(v), b.Neighbors(v)
+		if len(na) != len(nb) {
+			return false
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestBarabasiAlbertVarying(t *testing.T) {
+	g := BarabasiAlbertVarying(800, 3, 20, 9)
+	if g.NumVertices() != 800 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if _, count := g.ConnectedComponents(); count != 1 {
+		t.Errorf("varying-BA should be connected, got %d components", count)
+	}
+	// Degenerate parameters get clamped.
+	g2 := BarabasiAlbertVarying(2, 0, 0, 1)
+	if g2.NumVertices() != 2 {
+		t.Errorf("clamped n = %d, want 2", g2.NumVertices())
+	}
+	if BarabasiAlbertVarying(10, 5, 3, 1).NumVertices() != 10 {
+		t.Error("kmax < kmin must be tolerated")
+	}
+}

@@ -1,0 +1,100 @@
+package gen
+
+import (
+	"sync"
+
+	"hcd/internal/graph"
+)
+
+// Dataset is one entry of the benchmark suite: a named synthetic graph
+// standing in for one of the paper's ten real networks.
+type Dataset struct {
+	// Abbrev is the paper's dataset abbreviation (Table II).
+	Abbrev string
+	// Name is the full dataset name this graph substitutes for.
+	Name string
+	// Kind describes the generator family used.
+	Kind string
+	// Build generates the graph (deterministic).
+	Build func() *graph.Graph
+}
+
+// Suite returns the ten benchmark datasets, in the paper's Table II order
+// (ascending edge count). Each is a deterministic synthetic stand-in whose
+// generator family was chosen to mimic the structural regime of the
+// original network; see package comment and DESIGN.md.
+//
+// The scale parameter multiplies the base sizes: scale 1 targets roughly
+// 2k-40k edges per graph (unit tests), scale 4 is the benchmark default.
+func Suite(scale int) []Dataset {
+	if scale < 1 {
+		scale = 1
+	}
+	s := scale
+	return []Dataset{
+		{"AS", "As-Skitter", "rmat", func() *graph.Graph {
+			return RMAT(log2ceil(1500*s), 6000*s, 101)
+		}},
+		{"LJ", "LiveJournal", "ba-varying", func() *graph.Graph {
+			return BarabasiAlbertVarying(2500*s, 3, 24, 102)
+		}},
+		{"H", "Hollywood", "onion", func() *graph.Graph {
+			return Onion(8, 60*s, 3, 4, 2, 103)
+		}},
+		{"O", "Orkut", "ba-varying", func() *graph.Graph {
+			return BarabasiAlbertVarying(2000*s, 5, 40, 104)
+		}},
+		{"HJ", "Human-Jung", "er-dense", func() *graph.Graph {
+			return ErdosRenyi(800*s, 24000*s, 105)
+		}},
+		{"A", "Arabic-2005", "rmat", func() *graph.Graph {
+			return RMAT(log2ceil(3000*s), 18000*s, 106)
+		}},
+		{"IT", "IT-2004", "rmat", func() *graph.Graph {
+			return RMAT(log2ceil(4000*s), 26000*s, 107)
+		}},
+		{"FS", "FriendSter", "er", func() *graph.Graph {
+			return ErdosRenyi(6000*s, 30000*s, 108)
+		}},
+		{"SK", "SK-2005", "onion", func() *graph.Graph {
+			return Onion(10, 50*s, 2, 5, 3, 109)
+		}},
+		{"UK", "UK-2007-05", "planted", func() *graph.Graph {
+			return PlantedPartition(24, 160*s, 0.12, 0.00025, 110)
+		}},
+	}
+}
+
+// cache for BuildCached, keyed by abbreviation+scale.
+var (
+	cacheMu sync.Mutex
+	cache   = map[[2]int]map[string]*graph.Graph{}
+)
+
+// BuildCached generates (once) and returns the graph for a dataset at the
+// given scale. Benchmarks call this repeatedly; generation cost must not
+// pollute measured times.
+func BuildCached(d Dataset, scale int) *graph.Graph {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	key := [2]int{scale, 0}
+	byName, ok := cache[key]
+	if !ok {
+		byName = map[string]*graph.Graph{}
+		cache[key] = byName
+	}
+	if g, ok := byName[d.Abbrev]; ok {
+		return g
+	}
+	g := d.Build()
+	byName[d.Abbrev] = g
+	return g
+}
+
+func log2ceil(n int) int {
+	s := 0
+	for (1 << s) < n {
+		s++
+	}
+	return s
+}

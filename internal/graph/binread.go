@@ -1,0 +1,55 @@
+package graph
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// readChunk is the allocation granularity for header-declared array sizes:
+// a corrupt or hostile header cannot force a huge up-front allocation,
+// because reading fails with EOF after the actual data runs out and only
+// O(consumed) memory has been committed.
+const readChunk = 1 << 16
+
+// ReadInt64s reads count little-endian int64 values in bounded chunks.
+func ReadInt64s(r io.Reader, count int64) ([]int64, error) {
+	out := make([]int64, 0, min64(count, readChunk))
+	buf := make([]int64, 0)
+	for int64(len(out)) < count {
+		n := min64(count-int64(len(out)), readChunk)
+		if int64(cap(buf)) < n {
+			buf = make([]int64, n)
+		}
+		chunk := buf[:n]
+		if err := binary.Read(r, binary.LittleEndian, chunk); err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+// ReadInt32s reads count little-endian int32 values in bounded chunks.
+func ReadInt32s(r io.Reader, count int64) ([]int32, error) {
+	out := make([]int32, 0, min64(count, readChunk))
+	buf := make([]int32, 0)
+	for int64(len(out)) < count {
+		n := min64(count-int64(len(out)), readChunk)
+		if int64(cap(buf)) < n {
+			buf = make([]int32, n)
+		}
+		chunk := buf[:n]
+		if err := binary.Read(r, binary.LittleEndian, chunk); err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

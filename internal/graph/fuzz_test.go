@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList checks the text loader never panics and that any graph
+// it accepts satisfies the CSR invariants.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n% other\n5 5\n")
+	f.Add("")
+	f.Add("999999999999999999999 1\n")
+	f.Add("1 2 extra fields\n")
+	f.Add("-4 7\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		n := g.NumVertices()
+		var total int64
+		for v := 0; v < n; v++ {
+			list := g.Neighbors(int32(v))
+			total += int64(len(list))
+			for i, w := range list {
+				if w < 0 || int(w) >= n {
+					t.Fatalf("neighbor out of range: %d", w)
+				}
+				if w == int32(v) {
+					t.Fatal("self-loop survived")
+				}
+				if i > 0 && list[i-1] >= w {
+					t.Fatal("unsorted or duplicate adjacency")
+				}
+			}
+		}
+		if total != 2*g.NumEdges() {
+			t.Fatalf("degree sum %d != 2m %d", total, 2*g.NumEdges())
+		}
+	})
+}
+
+// FuzzReadBinary checks the binary loader rejects or safely parses
+// arbitrary bytes — it must never panic or return a structurally corrupt
+// graph.
+func FuzzReadBinary(f *testing.F) {
+	g := MustFromEdges(5, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}})
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte("HCDG0001garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ReadBinary panicked: %v", r)
+			}
+		}()
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parses must be self-consistent enough to traverse.
+		n := g.NumVertices()
+		for v := 0; v < n; v++ {
+			for _, w := range g.Neighbors(int32(v)) {
+				if w < 0 || int(w) >= n {
+					t.Fatalf("accepted graph has out-of-range neighbor %d", w)
+				}
+			}
+		}
+	})
+}

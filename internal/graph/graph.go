@@ -1,0 +1,233 @@
+// Package graph provides the in-memory graph substrate used by every
+// algorithm in this repository: an immutable undirected simple graph in
+// compressed sparse row (CSR) form, a builder that cleans arbitrary edge
+// lists (symmetrise, deduplicate, drop self-loops), and text/binary I/O.
+//
+// Vertices are dense int32 identifiers in [0, n). The representation
+// matches what the paper's C++ implementations operate on: one offsets
+// array and one flat adjacency array, with each undirected edge stored in
+// both endpoints' lists and every adjacency list sorted ascending.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"hcd/internal/par"
+)
+
+// Graph is an immutable undirected simple graph in CSR form.
+// The zero value is an empty graph.
+type Graph struct {
+	offsets []int64 // len n+1; offsets[v]..offsets[v+1] delimit v's list
+	adj     []int32 // len 2m; sorted within each vertex's list
+}
+
+// NumVertices returns n, the number of vertices.
+func (g *Graph) NumVertices() int {
+	if len(g.offsets) == 0 {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
+
+// NumEdges returns m, the number of undirected edges.
+func (g *Graph) NumEdges() int64 { return int64(len(g.adj)) / 2 }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int32) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns v's adjacency list, sorted ascending. The returned
+// slice aliases the graph's storage and must not be modified.
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether the undirected edge (u, v) exists, by binary
+// search over the shorter adjacency list. O(log min(d(u), d(v))).
+func (g *Graph) HasEdge(u, v int32) bool {
+	if u == v {
+		return false
+	}
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	list := g.Neighbors(u)
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= v })
+	return i < len(list) && list[i] == v
+}
+
+// MaxDegree returns the largest vertex degree (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	md := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.Degree(int32(v)); d > md {
+			md = d
+		}
+	}
+	return md
+}
+
+// AvgDegree returns 2m/n, the average degree (0 for an empty graph).
+func (g *Graph) AvgDegree() float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	return 2 * float64(g.NumEdges()) / float64(n)
+}
+
+// Edges calls fn(u, v) once per undirected edge with u < v.
+func (g *Graph) Edges(fn func(u, v int32)) {
+	for u := int32(0); u < int32(g.NumVertices()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				fn(u, v)
+			}
+		}
+	}
+}
+
+// String summarises the graph for diagnostics.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d}", g.NumVertices(), g.NumEdges())
+}
+
+// Edge is one undirected edge; the builder accepts them in any orientation.
+type Edge struct{ U, V int32 }
+
+// FromEdges builds a simple undirected graph with n vertices from an
+// arbitrary edge list: both orientations are inserted, self-loops dropped,
+// and duplicate edges collapsed. Vertex ids must lie in [0, n).
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	for _, e := range edges {
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+	}
+	return fromCheckedEdges(n, edges), nil
+}
+
+// MustFromEdges is FromEdges but panics on invalid input. Intended for
+// tests and generators whose edges are correct by construction.
+func MustFromEdges(n int, edges []Edge) *Graph {
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func fromCheckedEdges(n int, edges []Edge) *Graph {
+	// Counting pass (both directions, self-loops skipped).
+	deg := make([]int64, n+1)
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		deg[e.U+1]++
+		deg[e.V+1]++
+	}
+	offsets := make([]int64, n+1)
+	for v := 1; v <= n; v++ {
+		offsets[v] = offsets[v-1] + deg[v]
+	}
+	adj := make([]int32, offsets[n])
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		adj[cursor[e.U]] = e.V
+		cursor[e.U]++
+		adj[cursor[e.V]] = e.U
+		cursor[e.V]++
+	}
+	// Sort each list and deduplicate in place.
+	newDeg := make([]int64, n)
+	par.ForEach(n, 0, func(v int) {
+		lo, hi := offsets[v], offsets[v+1]
+		list := adj[lo:hi]
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		w := 0
+		for i := range list {
+			if i == 0 || list[i] != list[i-1] {
+				list[w] = list[i]
+				w++
+			}
+		}
+		newDeg[v] = int64(w)
+	})
+	// Compact away the duplicate slack.
+	finalOffsets := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		finalOffsets[v+1] = finalOffsets[v] + newDeg[v]
+	}
+	finalAdj := make([]int32, finalOffsets[n])
+	for v := 0; v < n; v++ {
+		copy(finalAdj[finalOffsets[v]:finalOffsets[v+1]], adj[offsets[v]:offsets[v]+newDeg[v]])
+	}
+	return &Graph{offsets: finalOffsets, adj: finalAdj}
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertex set,
+// together with the mapping from new ids to original ids. Vertices keep
+// their relative order. Duplicate ids in vs are ignored.
+func (g *Graph) InducedSubgraph(vs []int32) (*Graph, []int32) {
+	n := g.NumVertices()
+	newID := make([]int32, n)
+	for i := range newID {
+		newID[i] = -1
+	}
+	var orig []int32
+	for _, v := range vs {
+		if newID[v] < 0 {
+			newID[v] = int32(len(orig))
+			orig = append(orig, v)
+		}
+	}
+	var edges []Edge
+	for newU, u := range orig {
+		for _, w := range g.Neighbors(u) {
+			if nw := newID[w]; nw >= 0 && int32(newU) < nw {
+				edges = append(edges, Edge{int32(newU), nw})
+			}
+		}
+	}
+	sub := MustFromEdges(len(orig), edges)
+	return sub, orig
+}
+
+// ConnectedComponents labels each vertex with a component id in [0, #cc)
+// and returns the labels plus the component count. BFS-based, O(n+m).
+func (g *Graph) ConnectedComponents() (label []int32, count int) {
+	n := g.NumVertices()
+	label = make([]int32, n)
+	for i := range label {
+		label[i] = -1
+	}
+	var queue []int32
+	for s := int32(0); s < int32(n); s++ {
+		if label[s] >= 0 {
+			continue
+		}
+		id := int32(count)
+		count++
+		label[s] = id
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range g.Neighbors(v) {
+				if label[w] < 0 {
+					label[w] = id
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return label, count
+}

@@ -1,0 +1,335 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	var g Graph
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Errorf("zero Graph = %v, want empty", &g)
+	}
+	if g.AvgDegree() != 0 {
+		t.Errorf("empty AvgDegree = %v", g.AvgDegree())
+	}
+	g2 := MustFromEdges(0, nil)
+	if g2.NumVertices() != 0 || g2.MaxDegree() != 0 {
+		t.Errorf("FromEdges(0) not empty: %v", g2)
+	}
+}
+
+func TestFromEdgesBasic(t *testing.T) {
+	g := MustFromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}})
+	if g.NumVertices() != 4 || g.NumEdges() != 5 {
+		t.Fatalf("got %v, want n=4 m=5", g)
+	}
+	wantDeg := []int{3, 2, 3, 2}
+	for v, w := range wantDeg {
+		if g.Degree(int32(v)) != w {
+			t.Errorf("Degree(%d) = %d, want %d", v, g.Degree(int32(v)), w)
+		}
+	}
+	if !reflect.DeepEqual(g.Neighbors(0), []int32{1, 2, 3}) {
+		t.Errorf("Neighbors(0) = %v", g.Neighbors(0))
+	}
+	if g.MaxDegree() != 3 {
+		t.Errorf("MaxDegree = %d", g.MaxDegree())
+	}
+	if g.AvgDegree() != 2.5 {
+		t.Errorf("AvgDegree = %v", g.AvgDegree())
+	}
+}
+
+func TestFromEdgesCleansInput(t *testing.T) {
+	// Self-loops, duplicates, and both orientations must collapse.
+	g := MustFromEdges(3, []Edge{{0, 0}, {0, 1}, {1, 0}, {0, 1}, {1, 2}, {1, 2}})
+	if g.NumEdges() != 2 {
+		t.Fatalf("m = %d, want 2", g.NumEdges())
+	}
+	if !reflect.DeepEqual(g.Neighbors(1), []int32{0, 2}) {
+		t.Errorf("Neighbors(1) = %v", g.Neighbors(1))
+	}
+}
+
+func TestFromEdgesRejectsOutOfRange(t *testing.T) {
+	if _, err := FromEdges(2, []Edge{{0, 2}}); err == nil {
+		t.Error("want error for out-of-range endpoint")
+	}
+	if _, err := FromEdges(2, []Edge{{-1, 0}}); err == nil {
+		t.Error("want error for negative endpoint")
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := MustFromEdges(5, []Edge{{0, 1}, {1, 2}, {3, 4}})
+	cases := []struct {
+		u, v int32
+		want bool
+	}{
+		{0, 1, true}, {1, 0, true}, {1, 2, true}, {0, 2, false},
+		{3, 4, true}, {2, 3, false}, {0, 0, false},
+	}
+	for _, c := range cases {
+		if got := g.HasEdge(c.u, c.v); got != c.want {
+			t.Errorf("HasEdge(%d,%d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestEdgesVisitsEachOnce(t *testing.T) {
+	g := MustFromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	var got []Edge
+	g.Edges(func(u, v int32) { got = append(got, Edge{u, v}) })
+	want := []Edge{{0, 1}, {0, 3}, {1, 2}, {2, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Edges() = %v, want %v", got, want)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := MustFromEdges(6, []Edge{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 5}})
+	sub, orig := g.InducedSubgraph([]int32{0, 1, 2, 4, 2})
+	if sub.NumVertices() != 4 {
+		t.Fatalf("sub n = %d, want 4 (dup must be ignored)", sub.NumVertices())
+	}
+	if !reflect.DeepEqual(orig, []int32{0, 1, 2, 4}) {
+		t.Errorf("orig = %v", orig)
+	}
+	// Triangle 0-1-2 survives; vertex 4 is isolated inside the set.
+	if sub.NumEdges() != 3 {
+		t.Errorf("sub m = %d, want 3", sub.NumEdges())
+	}
+	if sub.Degree(3) != 0 {
+		t.Errorf("vertex 4 should be isolated in subgraph, degree %d", sub.Degree(3))
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := MustFromEdges(7, []Edge{{0, 1}, {1, 2}, {3, 4}, {5, 5}})
+	label, count := g.ConnectedComponents()
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+	if label[0] != label[1] || label[1] != label[2] {
+		t.Errorf("component of {0,1,2} split: %v", label)
+	}
+	if label[3] != label[4] {
+		t.Errorf("component of {3,4} split: %v", label)
+	}
+	if label[5] == label[6] || label[5] == label[0] {
+		t.Errorf("isolated vertices mislabelled: %v", label)
+	}
+}
+
+func TestReadEdgeList(t *testing.T) {
+	input := `# a comment
+% another comment
+10 20
+20 30
+30 10
+
+10 10
+`
+	g, err := ReadEdgeList(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Errorf("got %v, want triangle", g)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	if _, err := ReadEdgeList(strings.NewReader("1\n")); err == nil {
+		t.Error("want error for one-field line")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("a b\n")); err == nil {
+		t.Error("want error for non-numeric field")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := randomGraph(50, 200, 1)
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Text format remaps ids by first appearance, so compare shape only.
+	if g2.NumEdges() != g.NumEdges() {
+		t.Errorf("round trip m: %d -> %d", g.NumEdges(), g2.NumEdges())
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := randomGraph(100, 400, 7)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(g, g2) {
+		t.Error("binary round trip changed the graph")
+	}
+}
+
+func TestReadBinaryRejectsCorruption(t *testing.T) {
+	g := randomGraph(10, 20, 3)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(raw[:4])); err == nil {
+		t.Error("want error for truncated magic")
+	}
+	bad := append([]byte("XXXXXXXX"), raw[8:]...)
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("want error for bad magic")
+	}
+	if _, err := ReadBinary(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Error("want error for truncated body")
+	}
+}
+
+// Property: for every graph, adjacency is symmetric, sorted, loop-free and
+// duplicate-free.
+func TestCSRInvariantsProperty(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%200) + 1
+		m := int(mRaw % 1000)
+		g := randomGraph(n, m, seed)
+		for v := int32(0); v < int32(g.NumVertices()); v++ {
+			list := g.Neighbors(v)
+			for i, w := range list {
+				if w == v {
+					return false // self-loop
+				}
+				if i > 0 && list[i-1] >= w {
+					return false // unsorted or duplicate
+				}
+				if !g.HasEdge(w, v) {
+					return false // asymmetric
+				}
+			}
+		}
+		var total int64
+		for v := 0; v < g.NumVertices(); v++ {
+			total += int64(g.Degree(int32(v)))
+		}
+		return total == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomGraph(n, m int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{int32(rng.Intn(n)), int32(rng.Intn(n))}
+	}
+	return MustFromEdges(n, edges)
+}
+
+func sameGraph(a, b *Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for v := int32(0); v < int32(a.NumVertices()); v++ {
+		if !reflect.DeepEqual(a.Neighbors(v), b.Neighbors(v)) {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkFromEdges(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	edges := make([]Edge, 100000)
+	for i := range edges {
+		edges[i] = Edge{int32(rng.Intn(10000)), int32(rng.Intn(10000))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MustFromEdges(10000, edges)
+	}
+}
+
+func TestStringAndFileHelpers(t *testing.T) {
+	g := MustFromEdges(3, []Edge{{U: 0, V: 1}})
+	if got := g.String(); got != "graph{n=3 m=1}" {
+		t.Errorf("String = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustFromEdges must panic on invalid input")
+		}
+	}()
+	MustFromEdges(1, []Edge{{U: 0, V: 5}})
+}
+
+func TestFileRoundTrips(t *testing.T) {
+	g := randomGraph(30, 90, 2)
+	dir := t.TempDir()
+	binPath := filepath.Join(dir, "g.bin")
+	if err := g.WriteBinaryFile(binPath); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinaryFile(binPath)
+	if err != nil || !sameGraph(g, g2) {
+		t.Fatalf("binary file round trip failed: %v", err)
+	}
+	textPath := filepath.Join(dir, "g.txt")
+	f, err := os.Create(textPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteEdgeList(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	g3, err := ReadEdgeListFile(textPath)
+	if err != nil || g3.NumEdges() != g.NumEdges() {
+		t.Fatalf("text file round trip failed: %v", err)
+	}
+	// Error paths.
+	if _, err := ReadBinaryFile(filepath.Join(dir, "absent.bin")); err == nil {
+		t.Error("absent binary file accepted")
+	}
+	if _, err := ReadEdgeListFile(filepath.Join(dir, "absent.txt")); err == nil {
+		t.Error("absent text file accepted")
+	}
+	if err := g.WriteBinaryFile(filepath.Join(dir, "no", "dir", "x.bin")); err == nil {
+		t.Error("unwritable binary path accepted")
+	}
+}
+
+func TestReadBinaryRejectsBadNeighborsAndOffsets(t *testing.T) {
+	g := MustFromEdges(3, []Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt the last adjacency entry to an out-of-range vertex.
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)-4] = 0x7f
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("out-of-range neighbor accepted")
+	}
+}

@@ -1,0 +1,187 @@
+// Package hierarchy defines the hierarchical core decomposition (HCD)
+// index of §II-B: a forest in which each tree node corresponds to one
+// k-core S and stores S ∩ Hk, the vertices of coreness exactly k in S.
+// Tree edges record k-core containment (Definition 2).
+//
+// The index layout mirrors Figure 2 of the paper: per node the vertex set
+// V(Ti), parent P(Ti) and children C(Ti); per vertex the owning node id
+// tid(v). The package also provides k-core reconstruction, traversal
+// orders, structural validation against the k-core definition, canonical
+// equality (used to cross-check LCPS, PHCD and the brute-force reference),
+// DOT export and binary serialisation.
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a tree node within one HCD. Nil means "no node".
+type NodeID int32
+
+// Nil is the absent NodeID (e.g. the parent of a root).
+const Nil NodeID = -1
+
+// HCD is the hierarchical core decomposition of a graph: a forest of
+// k-core tree nodes. Construct with lcps.Build, core.PHCD, or BruteForce.
+type HCD struct {
+	// K[i] is the coreness level of tree node i.
+	K []int32
+	// Parent[i] is the parent tree node of i, or Nil for roots.
+	Parent []NodeID
+	// Children[i] lists i's children (order unspecified).
+	Children [][]NodeID
+	// Vertices[i] is V(Ti): the vertices of coreness K[i] in node i's
+	// original k-core (order unspecified).
+	Vertices [][]int32
+	// TID[v] is tid(v): the node owning vertex v.
+	TID []NodeID
+}
+
+// NumNodes returns |T|, the number of tree nodes.
+func (h *HCD) NumNodes() int { return len(h.K) }
+
+// NumVertices returns the number of graph vertices the index covers.
+func (h *HCD) NumVertices() int { return len(h.TID) }
+
+// Roots returns the ids of all root nodes (one per connected component of
+// the graph).
+func (h *HCD) Roots() []NodeID {
+	var roots []NodeID
+	for i := range h.Parent {
+		if h.Parent[i] == Nil {
+			roots = append(roots, NodeID(i))
+		}
+	}
+	return roots
+}
+
+// CoreVertices reconstructs the original k-core of node i: the vertices of
+// i and all of its descendants. This realises V(Kk) = ∪_{c≥k} Hc restricted
+// to the subtree, per §II-B.
+func (h *HCD) CoreVertices(i NodeID) []int32 {
+	var out []int32
+	stack := []NodeID{i}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, h.Vertices[t]...)
+		stack = append(stack, h.Children[t]...)
+	}
+	return out
+}
+
+// CoreSize returns the number of vertices in node i's original k-core.
+func (h *HCD) CoreSize(i NodeID) int {
+	total := 0
+	stack := []NodeID{i}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		total += len(h.Vertices[t])
+		stack = append(stack, h.Children[t]...)
+	}
+	return total
+}
+
+// TopDown returns all node ids ordered so every parent precedes its
+// children (a forest topological order).
+func (h *HCD) TopDown() []NodeID {
+	order := make([]NodeID, 0, h.NumNodes())
+	stack := h.Roots()
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, t)
+		stack = append(stack, h.Children[t]...)
+	}
+	return order
+}
+
+// BottomUp returns all node ids ordered so every child precedes its
+// parent — the order Algorithm 3's serial accumulation loop uses.
+func (h *HCD) BottomUp() []NodeID {
+	td := h.TopDown()
+	for i, j := 0, len(td)-1; i < j; i, j = i+1, j-1 {
+		td[i], td[j] = td[j], td[i]
+	}
+	return td
+}
+
+// Depth returns each node's depth (roots have depth 0).
+func (h *HCD) Depth() []int32 {
+	depth := make([]int32, h.NumNodes())
+	for _, t := range h.TopDown() {
+		if p := h.Parent[t]; p != Nil {
+			depth[t] = depth[p] + 1
+		}
+	}
+	return depth
+}
+
+// Node formats one tree node for diagnostics.
+func (h *HCD) Node(i NodeID) string {
+	return fmt.Sprintf("T%d{k=%d |V|=%d parent=%d}", i, h.K[i], len(h.Vertices[i]), h.Parent[i])
+}
+
+// Pivots returns, for each node, its pivot under vertex ranking by
+// (coreness, id): since all vertices in a node share the node's coreness,
+// this is simply the minimum vertex id in V(Ti). Pivots uniquely identify
+// nodes (Definition 5) and are the node identity used by Equal.
+func (h *HCD) Pivots() []int32 {
+	pivots := make([]int32, h.NumNodes())
+	for i, vs := range h.Vertices {
+		p := vs[0]
+		for _, v := range vs[1:] {
+			if v < p {
+				p = v
+			}
+		}
+		pivots[i] = p
+	}
+	return pivots
+}
+
+// Equal reports whether two HCDs describe the same decomposition: the same
+// set of tree nodes (same coreness, same vertex set) wired with the same
+// parent relation. Node ids and child order are representation details and
+// ignored.
+func Equal(a, b *HCD) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumVertices() != b.NumVertices() {
+		return false
+	}
+	pa, pb := a.Pivots(), b.Pivots()
+	// Map pivot -> node for b.
+	bByPivot := make(map[int32]NodeID, len(pb))
+	for i, p := range pb {
+		bByPivot[p] = NodeID(i)
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		j, ok := bByPivot[pa[i]]
+		if !ok || a.K[i] != b.K[j] {
+			return false
+		}
+		va := append([]int32(nil), a.Vertices[i]...)
+		vb := append([]int32(nil), b.Vertices[j]...)
+		sort.Slice(va, func(x, y int) bool { return va[x] < va[y] })
+		sort.Slice(vb, func(x, y int) bool { return vb[x] < vb[y] })
+		if len(va) != len(vb) {
+			return false
+		}
+		for x := range va {
+			if va[x] != vb[x] {
+				return false
+			}
+		}
+		// Parent must map to the same pivot.
+		ap, bp := a.Parent[i], b.Parent[j]
+		switch {
+		case ap == Nil && bp == Nil:
+		case ap == Nil || bp == Nil:
+			return false
+		case pa[ap] != pb[bp]:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,301 @@
+package hierarchy
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hcd/internal/coredecomp"
+	"hcd/internal/gen"
+	"hcd/internal/graph"
+)
+
+// Fig1 builds an analogue of the paper's Figure 1: a 4-core S4
+// (octahedron, vertices 0-5), a 3-core S3.1 = S4 + {6,7,8}, a disjoint
+// 3-core S3.2 (K4 on 9-12), and a 2-shell {13,14} gluing everything into
+// one 2-core. Expected HCD: T2 -> {T3.1 -> T4, T3.2}.
+func Fig1() *graph.Graph {
+	edges := []graph.Edge{
+		// octahedron K2,2,2 (antipodal pairs (0,3),(1,4),(2,5))
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 4}, {U: 0, V: 5},
+		{U: 1, V: 2}, {U: 1, V: 3}, {U: 1, V: 5},
+		{U: 2, V: 3}, {U: 2, V: 4},
+		{U: 3, V: 4}, {U: 3, V: 5},
+		{U: 4, V: 5},
+		// T3.1 vertices 6,7,8
+		{U: 6, V: 0}, {U: 6, V: 1}, {U: 6, V: 7},
+		{U: 7, V: 2}, {U: 7, V: 8},
+		{U: 8, V: 3}, {U: 8, V: 4},
+		// S3.2: K4 on 9,10,11,12
+		{U: 9, V: 10}, {U: 9, V: 11}, {U: 9, V: 12},
+		{U: 10, V: 11}, {U: 10, V: 12}, {U: 11, V: 12},
+		// 2-shell
+		{U: 13, V: 0}, {U: 13, V: 9},
+		{U: 14, V: 5}, {U: 14, V: 10},
+	}
+	return graph.MustFromEdges(15, edges)
+}
+
+func fig1Core(t *testing.T) (*graph.Graph, []int32) {
+	t.Helper()
+	g := Fig1()
+	core := coredecomp.Serial(g)
+	want := []int32{4, 4, 4, 4, 4, 4, 3, 3, 3, 3, 3, 3, 3, 2, 2}
+	for v, k := range want {
+		if core[v] != k {
+			t.Fatalf("fig1 coreness(%d) = %d, want %d (full: %v)", v, core[v], k, core)
+		}
+	}
+	return g, core
+}
+
+func TestBruteForceFig1(t *testing.T) {
+	g, core := fig1Core(t)
+	h := BruteForce(g, core)
+	if h.NumNodes() != 4 {
+		t.Fatalf("|T| = %d, want 4", h.NumNodes())
+	}
+	if err := Validate(h, g, core); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Check the exact shape via tids.
+	t2 := h.TID[13]
+	t31 := h.TID[6]
+	t32 := h.TID[9]
+	t4 := h.TID[0]
+	if h.K[t2] != 2 || h.K[t31] != 3 || h.K[t32] != 3 || h.K[t4] != 4 {
+		t.Fatalf("node levels wrong")
+	}
+	if h.Parent[t4] != t31 {
+		t.Errorf("P(T4) = %d, want T3.1 (%d)", h.Parent[t4], t31)
+	}
+	if h.Parent[t31] != t2 || h.Parent[t32] != t2 {
+		t.Errorf("3-core nodes must hang under T2")
+	}
+	if h.Parent[t2] != Nil {
+		t.Errorf("T2 must be the root")
+	}
+	if got := sortedCopy(h.Vertices[t31]); !equalInt32(got, []int32{6, 7, 8}) {
+		t.Errorf("V(T3.1) = %v", got)
+	}
+	if got := sortedCopy(h.CoreVertices(t31)); !equalInt32(got, []int32{0, 1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Errorf("core of T3.1 = %v", got)
+	}
+	if h.CoreSize(t2) != 15 {
+		t.Errorf("CoreSize(T2) = %d, want 15", h.CoreSize(t2))
+	}
+}
+
+func TestTraversalOrders(t *testing.T) {
+	g, core := fig1Core(t)
+	h := BruteForce(g, core)
+	pos := make(map[NodeID]int)
+	for i, id := range h.TopDown() {
+		pos[id] = i
+	}
+	if len(pos) != h.NumNodes() {
+		t.Fatalf("TopDown misses nodes")
+	}
+	for i := 0; i < h.NumNodes(); i++ {
+		if p := h.Parent[i]; p != Nil && pos[p] > pos[NodeID(i)] {
+			t.Errorf("TopDown: parent %d after child %d", p, i)
+		}
+	}
+	bu := h.BottomUp()
+	posUp := make(map[NodeID]int)
+	for i, id := range bu {
+		posUp[id] = i
+	}
+	for i := 0; i < h.NumNodes(); i++ {
+		if p := h.Parent[i]; p != Nil && posUp[p] < posUp[NodeID(i)] {
+			t.Errorf("BottomUp: parent %d before child %d", p, i)
+		}
+	}
+	depth := h.Depth()
+	if depth[h.TID[13]] != 0 || depth[h.TID[6]] != 1 || depth[h.TID[0]] != 2 {
+		t.Errorf("depths wrong: %v", depth)
+	}
+}
+
+func TestRootsMultipleComponents(t *testing.T) {
+	// Two disjoint triangles.
+	g := graph.MustFromEdges(6, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 3},
+	})
+	core := coredecomp.Serial(g)
+	h := BruteForce(g, core)
+	if len(h.Roots()) != 2 {
+		t.Errorf("roots = %v, want 2", h.Roots())
+	}
+	if err := Validate(h, g, core); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsolatedVerticesFormZeroShellNodes(t *testing.T) {
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}})
+	core := coredecomp.Serial(g)
+	h := BruteForce(g, core)
+	// Components: {0,1} (1-core), {2}, {3} (0-cores). Each isolated vertex
+	// is its own 0-core node; {0,1} is a 1-core node.
+	if h.NumNodes() != 3 {
+		t.Fatalf("|T| = %d, want 3", h.NumNodes())
+	}
+	if err := Validate(h, g, core); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualDetectsDifferences(t *testing.T) {
+	g, core := fig1Core(t)
+	h1 := BruteForce(g, core)
+	h2 := BruteForce(g, core)
+	if !Equal(h1, h2) {
+		t.Fatal("identical decompositions must compare equal")
+	}
+	// Tamper: move a vertex between the two 3-core nodes.
+	h2.Vertices[h2.TID[6]] = append(h2.Vertices[h2.TID[6]], 99)
+	if Equal(h1, h2) {
+		t.Error("vertex-set difference not detected")
+	}
+	h3 := BruteForce(g, core)
+	// Tamper with a parent pointer.
+	t4 := h3.TID[0]
+	h3.Parent[t4] = h3.TID[9]
+	if Equal(h1, h3) {
+		t.Error("parent difference not detected")
+	}
+	h4 := BruteForce(g, core)
+	h4.K[h4.TID[13]] = 1
+	if Equal(h1, h4) {
+		t.Error("level difference not detected")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g, core := fig1Core(t)
+	h := BruteForce(g, core)
+	if err := Validate(h, g, core); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong tid.
+	h.TID[6], h.TID[9] = h.TID[9], h.TID[6]
+	if err := Validate(h, g, core); err == nil {
+		t.Error("swapped tids not caught")
+	}
+}
+
+func TestBruteForceOnGeneratedGraphs(t *testing.T) {
+	graphs := []*graph.Graph{
+		gen.ErdosRenyi(80, 200, 5),
+		gen.BarabasiAlbert(60, 3, 6),
+		gen.Onion(4, 10, 2, 2, 2, 7),
+		gen.PlantedPartition(3, 20, 0.3, 0.01, 8),
+	}
+	for i, g := range graphs {
+		core := coredecomp.Serial(g)
+		h := BruteForce(g, core)
+		if err := Validate(h, g, core); err != nil {
+			t.Errorf("graph %d: %v", i, err)
+		}
+	}
+}
+
+func TestPivotsUnique(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + rng.Intn(50)
+		edges := make([]graph.Edge, 3*n)
+		for i := range edges {
+			edges[i] = graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))}
+		}
+		g := graph.MustFromEdges(n, edges)
+		core := coredecomp.Serial(g)
+		h := BruteForce(g, core)
+		piv := h.Pivots()
+		seen := map[int32]bool{}
+		for _, p := range piv {
+			if seen[p] {
+				t.Fatalf("duplicate pivot %d", p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func sortedCopy(s []int32) []int32 {
+	out := append([]int32(nil), s...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestComputeStats(t *testing.T) {
+	g, core := fig1Core(t)
+	h := BruteForce(g, core)
+	s := h.ComputeStats()
+	if s.Nodes != 4 || s.Roots != 1 || s.Height != 3 || s.KMax != 4 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.MaxShell != 6 { // the octahedron's shell
+		t.Errorf("MaxShell = %d, want 6", s.MaxShell)
+	}
+	if s.MaxCore != 15 {
+		t.Errorf("MaxCore = %d, want 15", s.MaxCore)
+	}
+	// Root T2 has 2 children; T3.1 has 1: avg = 1.5.
+	if s.AvgChildren != 1.5 {
+		t.Errorf("AvgChildren = %v, want 1.5", s.AvgChildren)
+	}
+	if len(s.NodesAtLevel) != 5 || s.NodesAtLevel[3] != 2 || s.NodesAtLevel[2] != 1 {
+		t.Errorf("NodesAtLevel = %v", s.NodesAtLevel)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+	empty := (&HCD{}).ComputeStats()
+	if empty.Nodes != 0 || empty.Height != 0 {
+		t.Errorf("empty stats = %+v", empty)
+	}
+}
+
+func TestNodeString(t *testing.T) {
+	g, core := fig1Core(t)
+	h := BruteForce(g, core)
+	s := h.Node(h.TID[0])
+	if s == "" || s[0] != 'T' {
+		t.Errorf("Node() = %q", s)
+	}
+}
+
+func TestValidateMoreCorruptions(t *testing.T) {
+	g, core := fig1Core(t)
+	fresh := func() *HCD { return BruteForce(g, core) }
+	cases := map[string]func(h *HCD){
+		"empty node":     func(h *HCD) { h.Vertices[0] = nil },
+		"wrong level":    func(h *HCD) { h.K[h.TID[13]] = 3 },
+		"child level":    func(h *HCD) { h.K[h.TID[0]] = 2 },
+		"orphan child":   func(h *HCD) { h.Children[h.TID[13]] = h.Children[h.TID[13]][:1] },
+		"cycle":          func(h *HCD) { h.Parent[h.TID[13]] = h.TID[0] },
+		"missing vertex": func(h *HCD) { h.Vertices[h.TID[13]] = h.Vertices[h.TID[13]][:1] },
+	}
+	for name, corrupt := range cases {
+		h := fresh()
+		corrupt(h)
+		if err := Validate(h, g, core); err == nil {
+			t.Errorf("%s: corruption not caught", name)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package hierarchy
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"hcd/internal/graph"
+)
+
+// WriteDOT renders the forest in Graphviz DOT format, one box per tree
+// node labelled with its level and vertex count — the paper's
+// graph-visualisation application (§I).
+func (h *HCD) WriteDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "digraph hcd {")
+	fmt.Fprintln(bw, "  rankdir=BT;")
+	fmt.Fprintln(bw, "  node [shape=box];")
+	for i := 0; i < h.NumNodes(); i++ {
+		fmt.Fprintf(bw, "  t%d [label=\"k=%d\\n|V|=%d\"];\n", i, h.K[i], len(h.Vertices[i]))
+	}
+	for i := 0; i < h.NumNodes(); i++ {
+		if p := h.Parent[i]; p != Nil {
+			fmt.Fprintf(bw, "  t%d -> t%d;\n", i, p)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+const hcdMagic = "HCDT0001"
+
+// WriteBinary serialises the index in a compact little-endian format.
+func (h *HCD) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(hcdMagic); err != nil {
+		return err
+	}
+	write := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
+	if err := write(int64(h.NumNodes())); err != nil {
+		return err
+	}
+	if err := write(int64(h.NumVertices())); err != nil {
+		return err
+	}
+	if err := write(h.K); err != nil {
+		return err
+	}
+	parents := make([]int32, h.NumNodes())
+	for i, p := range h.Parent {
+		parents[i] = int32(p)
+	}
+	if err := write(parents); err != nil {
+		return err
+	}
+	for _, vs := range h.Vertices {
+		if err := write(int64(len(vs))); err != nil {
+			return err
+		}
+		if err := write(vs); err != nil {
+			return err
+		}
+	}
+	tids := make([]int32, h.NumVertices())
+	for v, t := range h.TID {
+		tids[v] = int32(t)
+	}
+	if err := write(tids); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reloads an index written by WriteBinary, rebuilding the
+// children lists from the parent pointers.
+func ReadBinary(r io.Reader) (*HCD, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(hcdMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != hcdMagic {
+		return nil, fmt.Errorf("hierarchy: bad magic %q", magic)
+	}
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+	var nodes, verts int64
+	if err := read(&nodes); err != nil {
+		return nil, err
+	}
+	if err := read(&verts); err != nil {
+		return nil, err
+	}
+	if nodes < 0 || verts < 0 || nodes > verts {
+		return nil, fmt.Errorf("hierarchy: corrupt header nodes=%d verts=%d", nodes, verts)
+	}
+	// Chunked reads: a header lying about sizes fails with EOF instead of
+	// forcing a giant allocation.
+	ks, err := graph.ReadInt32s(br, nodes)
+	if err != nil {
+		return nil, err
+	}
+	h := &HCD{
+		K:        ks,
+		Parent:   make([]NodeID, nodes),
+		Children: make([][]NodeID, nodes),
+		Vertices: make([][]int32, nodes),
+	}
+	parents, err := graph.ReadInt32s(br, nodes)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range parents {
+		if p < -1 || int64(p) >= nodes {
+			return nil, fmt.Errorf("hierarchy: parent %d out of range", p)
+		}
+		h.Parent[i] = NodeID(p)
+		if p >= 0 {
+			h.Children[p] = append(h.Children[p], NodeID(i))
+		}
+	}
+	for i := int64(0); i < nodes; i++ {
+		var sz int64
+		if err := read(&sz); err != nil {
+			return nil, err
+		}
+		if sz < 0 || sz > verts {
+			return nil, fmt.Errorf("hierarchy: node %d size %d out of range", i, sz)
+		}
+		vs, err := graph.ReadInt32s(br, sz)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range vs {
+			if int64(v) < 0 || int64(v) >= verts {
+				return nil, fmt.Errorf("hierarchy: node %d vertex %d out of range", i, v)
+			}
+		}
+		h.Vertices[i] = vs
+	}
+	tids, err := graph.ReadInt32s(br, verts)
+	if err != nil {
+		return nil, err
+	}
+	h.TID = make([]NodeID, verts)
+	for v, t := range tids {
+		if t < -1 || int64(t) >= nodes {
+			return nil, fmt.Errorf("hierarchy: tid %d out of range", t)
+		}
+		h.TID[v] = NodeID(t)
+	}
+	return h, nil
+}

@@ -1,0 +1,102 @@
+package hierarchy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hcd/internal/coredecomp"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g, core := fig1Core(t)
+	h := BruteForce(g, core)
+	var buf bytes.Buffer
+	if err := h.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(h, h2) {
+		t.Error("round trip changed the hierarchy")
+	}
+	if err := Validate(h2, g, core); err != nil {
+		t.Errorf("round-tripped index invalid: %v", err)
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not an index")); err == nil {
+		t.Error("garbage accepted")
+	}
+	g, core := fig1Core(t)
+	h := BruteForce(g, core)
+	var buf bytes.Buffer
+	if err := h.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(raw[:len(raw)-5])); err == nil {
+		t.Error("truncation accepted")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := Fig1()
+	core := coredecomp.Serial(g)
+	h := BruteForce(g, core)
+	var buf bytes.Buffer
+	if err := h.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "digraph hcd") {
+		t.Error("missing digraph header")
+	}
+	// 4 nodes, 3 edges.
+	if got := strings.Count(out, "->"); got != 3 {
+		t.Errorf("DOT has %d edges, want 3", got)
+	}
+	if !strings.Contains(out, "k=4") {
+		t.Error("missing k=4 node label")
+	}
+}
+
+// FuzzReadBinary ensures the index loader never panics and never returns
+// a structurally broken forest for arbitrary input bytes.
+func FuzzReadBinary(f *testing.F) {
+	g := Fig1()
+	core := coredecomp.Serial(g)
+	h := BruteForce(g, core)
+	var buf bytes.Buffer
+	if err := h.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("HCDT0001"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ReadBinary panicked: %v", r)
+			}
+		}()
+		h, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be traversable without panics.
+		if got := len(h.TopDown()); got > h.NumNodes() {
+			t.Fatalf("traversal yields %d nodes of %d", got, h.NumNodes())
+		}
+		for v := 0; v < h.NumVertices(); v++ {
+			if tid := h.TID[v]; tid != Nil && int(tid) >= h.NumNodes() {
+				t.Fatalf("tid out of range")
+			}
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package hierarchy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats summarises the shape of a hierarchy: the quantities Table II
+// reports (|T|) plus the structural profile used when analysing datasets
+// and tuning benchmarks.
+type Stats struct {
+	// Nodes is |T|, the number of tree nodes.
+	Nodes int
+	// Roots is the number of trees in the forest (= graph components).
+	Roots int
+	// Height is the number of levels on the deepest root-to-leaf path.
+	Height int32
+	// KMax is the deepest coreness level with a node.
+	KMax int32
+	// MaxShell is the largest per-node vertex count (|V(Ti)|).
+	MaxShell int
+	// MaxCore is the largest original-core size.
+	MaxCore int
+	// AvgChildren is the mean child count over internal nodes (0 when the
+	// forest has no internal nodes).
+	AvgChildren float64
+	// NodesAtLevel[k] counts tree nodes of coreness k (length KMax+1).
+	NodesAtLevel []int
+}
+
+// ComputeStats walks the forest once and returns its Stats.
+func (h *HCD) ComputeStats() Stats {
+	s := Stats{}
+	s.Nodes = h.NumNodes()
+	if s.Nodes == 0 {
+		return s
+	}
+	s.Roots = len(h.Roots())
+	depth := h.Depth()
+	internal := 0
+	children := 0
+	for i := 0; i < s.Nodes; i++ {
+		if d := depth[i] + 1; d > s.Height {
+			s.Height = d
+		}
+		if h.K[i] > s.KMax {
+			s.KMax = h.K[i]
+		}
+		if len(h.Vertices[i]) > s.MaxShell {
+			s.MaxShell = len(h.Vertices[i])
+		}
+		if len(h.Children[i]) > 0 {
+			internal++
+			children += len(h.Children[i])
+		}
+	}
+	for _, r := range h.Roots() {
+		if c := h.CoreSize(r); c > s.MaxCore {
+			s.MaxCore = c
+		}
+	}
+	if internal > 0 {
+		s.AvgChildren = float64(children) / float64(internal)
+	}
+	s.NodesAtLevel = make([]int, s.KMax+1)
+	for i := 0; i < s.Nodes; i++ {
+		s.NodesAtLevel[h.K[i]]++
+	}
+	return s
+}
+
+// String renders the stats as a short human-readable block.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "nodes=%d roots=%d height=%d kmax=%d max-shell=%d max-core=%d avg-children=%.2f",
+		s.Nodes, s.Roots, s.Height, s.KMax, s.MaxShell, s.MaxCore, s.AvgChildren)
+	return b.String()
+}

@@ -1,0 +1,249 @@
+package hierarchy
+
+import (
+	"fmt"
+
+	"hcd/internal/graph"
+)
+
+// Validate checks the structural invariants of the HCD against the graph
+// and its core decomposition (Definitions 1-3):
+//
+//  1. every vertex belongs to exactly one node, consistently with TID;
+//  2. every vertex in node i has coreness K[i];
+//  3. Parent/Children are mutually consistent and acyclic, with
+//     K[parent] < K[child];
+//  4. each node's reconstructed original k-core is exactly one connected
+//     component of the subgraph induced by {v : c(v) >= k} (connectivity
+//     and maximality of the k-core);
+//  5. the parent is the *closest* enclosing core with a tree node
+//     (condition (iii) of Definition 2).
+//
+// Validate is O(Σ core sizes) and intended for tests and debugging, not
+// hot paths. It returns the first violation found.
+func Validate(h *HCD, g *graph.Graph, core []int32) error {
+	n := g.NumVertices()
+	if h.NumVertices() != n {
+		return fmt.Errorf("hcd covers %d vertices, graph has %d", h.NumVertices(), n)
+	}
+	// (1) + (2): vertex ownership.
+	seen := make([]bool, n)
+	for i := 0; i < h.NumNodes(); i++ {
+		if len(h.Vertices[i]) == 0 {
+			return fmt.Errorf("%s: empty vertex set", h.Node(NodeID(i)))
+		}
+		for _, v := range h.Vertices[i] {
+			if seen[v] {
+				return fmt.Errorf("vertex %d appears in two nodes", v)
+			}
+			seen[v] = true
+			if h.TID[v] != NodeID(i) {
+				return fmt.Errorf("tid(%d) = %d, but vertex listed in node %d", v, h.TID[v], i)
+			}
+			if core[v] != h.K[i] {
+				return fmt.Errorf("vertex %d has coreness %d but lives in %s", v, core[v], h.Node(NodeID(i)))
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !seen[v] {
+			return fmt.Errorf("vertex %d missing from the hierarchy", v)
+		}
+	}
+	// (3): tree wiring.
+	childCount := 0
+	for i := 0; i < h.NumNodes(); i++ {
+		for _, c := range h.Children[i] {
+			childCount++
+			if h.Parent[c] != NodeID(i) {
+				return fmt.Errorf("node %d lists child %d whose parent is %d", i, c, h.Parent[c])
+			}
+			if h.K[c] <= h.K[i] {
+				return fmt.Errorf("child %s does not have higher coreness than parent %s",
+					h.Node(c), h.Node(NodeID(i)))
+			}
+		}
+	}
+	nonRoots := 0
+	for i := range h.Parent {
+		if h.Parent[i] != Nil {
+			nonRoots++
+		}
+	}
+	if childCount != nonRoots {
+		return fmt.Errorf("children lists cover %d nodes, but %d nodes have parents", childCount, nonRoots)
+	}
+	if len(h.TopDown()) != h.NumNodes() {
+		return fmt.Errorf("forest traversal reaches %d of %d nodes (cycle or orphan)", len(h.TopDown()), h.NumNodes())
+	}
+
+	// (4): each reconstructed core is one full component of G[c >= k].
+	for i := 0; i < h.NumNodes(); i++ {
+		k := h.K[i]
+		want := componentAtLevel(g, core, h.Vertices[i][0], k)
+		got := h.CoreVertices(NodeID(i))
+		if len(got) != len(want) {
+			return fmt.Errorf("%s: reconstructed core has %d vertices, component of G[c>=%d] has %d",
+				h.Node(NodeID(i)), len(got), k, len(want))
+		}
+		inWant := make(map[int32]bool, len(want))
+		for _, v := range want {
+			inWant[v] = true
+		}
+		for _, v := range got {
+			if !inWant[v] {
+				return fmt.Errorf("%s: vertex %d in reconstruction but not in the k-core component",
+					h.Node(NodeID(i)), v)
+			}
+		}
+	}
+
+	// (5): parent is the closest enclosing core with a node. Because of
+	// (4), it suffices to check that no other node's level lies strictly
+	// between parent and child while containing the child's pivot.
+	for i := 0; i < h.NumNodes(); i++ {
+		p := h.Parent[i]
+		if p == Nil {
+			continue
+		}
+		pivot := h.Vertices[i][0]
+		for k := h.K[i] - 1; k > h.K[p]; k-- {
+			comp := componentAtLevel(g, core, pivot, k)
+			for _, v := range comp {
+				if core[v] == k {
+					return fmt.Errorf("%s: parent is %s but a %d-core tree node lies between",
+						h.Node(NodeID(i)), h.Node(p), k)
+				}
+			}
+		}
+		// And the parent's core must contain the child's pivot.
+		comp := componentAtLevel(g, core, pivot, h.K[p])
+		found := false
+		for _, v := range comp {
+			if h.TID[v] == p && core[v] == h.K[p] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%s: parent %s does not share the enclosing %d-core",
+				h.Node(NodeID(i)), h.Node(p), h.K[p])
+		}
+	}
+	return nil
+}
+
+// componentAtLevel returns the connected component of `start` in the
+// subgraph induced by vertices of coreness >= k.
+func componentAtLevel(g *graph.Graph, core []int32, start int32, k int32) []int32 {
+	visited := map[int32]bool{start: true}
+	queue := []int32{start}
+	var out []int32
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		out = append(out, v)
+		for _, u := range g.Neighbors(v) {
+			if core[u] >= k && !visited[u] {
+				visited[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return out
+}
+
+// BruteForce constructs the HCD straight from the definitions, with no
+// attention to efficiency: for each k from kmax down to 0 it finds the
+// connected components of G[c >= k] and materialises a tree node for every
+// component that contains coreness-k vertices. It is the reference
+// implementation the fast constructors are tested against.
+func BruteForce(g *graph.Graph, core []int32) *HCD {
+	n := g.NumVertices()
+	h := &HCD{TID: make([]NodeID, n)}
+	for i := range h.TID {
+		h.TID[i] = Nil
+	}
+	if n == 0 {
+		return h
+	}
+	kmax := int32(0)
+	for _, c := range core {
+		if c > kmax {
+			kmax = c
+		}
+	}
+	// For parent detection: nodeOf[v] after processing level k holds the
+	// deepest node whose original core contains v so far (i.e. the node of
+	// the component of G[c>=k'] containing v for the largest processed k'
+	// that had a node there).
+	deepest := make([]NodeID, n)
+	for i := range deepest {
+		deepest[i] = Nil
+	}
+	for k := kmax; k >= 0; k-- {
+		// Components of G[c >= k].
+		comp := make(map[int32]int32, n) // vertex -> component id
+		var compVerts [][]int32
+		for v := int32(0); v < int32(n); v++ {
+			if core[v] < k {
+				continue
+			}
+			if _, ok := comp[v]; ok {
+				continue
+			}
+			id := int32(len(compVerts))
+			queue := []int32{v}
+			comp[v] = id
+			var verts []int32
+			for len(queue) > 0 {
+				x := queue[len(queue)-1]
+				queue = queue[:len(queue)-1]
+				verts = append(verts, x)
+				for _, u := range g.Neighbors(x) {
+					if core[u] >= k {
+						if _, ok := comp[u]; !ok {
+							comp[u] = id
+							queue = append(queue, u)
+						}
+					}
+				}
+			}
+			compVerts = append(compVerts, verts)
+		}
+		for _, verts := range compVerts {
+			var shell []int32
+			for _, v := range verts {
+				if core[v] == k {
+					shell = append(shell, v)
+				}
+			}
+			if len(shell) == 0 {
+				continue
+			}
+			id := NodeID(len(h.K))
+			h.K = append(h.K, k)
+			h.Parent = append(h.Parent, Nil)
+			h.Children = append(h.Children, nil)
+			h.Vertices = append(h.Vertices, shell)
+			for _, v := range shell {
+				h.TID[v] = id
+			}
+			// The children of this node are the previously-deepest nodes
+			// inside this component (each distinct one exactly once).
+			seen := map[NodeID]bool{}
+			for _, v := range verts {
+				d := deepest[v]
+				if d != Nil && !seen[d] && h.Parent[d] == Nil && d != id {
+					seen[d] = true
+					h.Parent[d] = id
+					h.Children[id] = append(h.Children[id], d)
+				}
+			}
+			for _, v := range verts {
+				deepest[v] = id
+			}
+		}
+	}
+	return h
+}

@@ -1,0 +1,175 @@
+// Package influence implements influential community search (Li, Qin, Yu,
+// Mao — PVLDB 2015), the application §VII cites as using an HCD-like index
+// (ICP-Index): given per-vertex weights, a k-influential community is a
+// connected subgraph with minimum internal degree k that is maximal for
+// its influence, where influence f(H) = min weight over H's members.
+//
+// The implementation is the classical peeling ("online") algorithm: start
+// from the k-core set and repeatedly delete the globally minimum-weight
+// vertex, cascading the min-degree-k constraint. The component containing
+// the minimum-weight vertex just before its deletion is exactly one
+// influential community; recorded influences are non-decreasing, so the
+// top-r communities are the last r recorded. A community whose deletion
+// dissolves its whole component contains no smaller community and is
+// "non-contained" — the non-redundant answers [11] reports.
+package influence
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"hcd/internal/graph"
+)
+
+// Community is one k-influential community.
+type Community struct {
+	// Vertices of the community, ascending.
+	Vertices []int32
+	// Influence is the minimum weight over Vertices.
+	Influence float64
+	// NonContained reports that no smaller k-influential community lies
+	// inside this one.
+	NonContained bool
+}
+
+// All enumerates every k-influential community of g under the given
+// weights, in non-decreasing influence order. O(n·(n+m)) — the PVLDB'15
+// online algorithm; fine for the scales this repository targets.
+func All(g *graph.Graph, weights []float64, k int32) ([]Community, error) {
+	n := g.NumVertices()
+	if len(weights) != n {
+		return nil, fmt.Errorf("influence: %d weights for %d vertices", len(weights), n)
+	}
+	alive := make([]bool, n)
+	deg := make([]int32, n)
+	// Initialise to the k-core set: peel everything below degree k.
+	var peel []int32
+	for v := 0; v < n; v++ {
+		alive[v] = true
+		deg[v] = int32(g.Degree(int32(v)))
+	}
+	for v := int32(0); v < int32(n); v++ {
+		if deg[v] < k {
+			alive[v] = false
+			peel = append(peel, v)
+		}
+	}
+	cascade := func(seed []int32) []int32 {
+		var removed []int32
+		for len(seed) > 0 {
+			v := seed[len(seed)-1]
+			seed = seed[:len(seed)-1]
+			removed = append(removed, v)
+			for _, u := range g.Neighbors(v) {
+				if alive[u] {
+					deg[u]--
+					if deg[u] < k {
+						alive[u] = false
+						seed = append(seed, u)
+					}
+				}
+			}
+		}
+		return removed
+	}
+	cascade(peel)
+
+	// Min-weight heap over the surviving vertices (ties by id for
+	// determinism).
+	h := &weightHeap{weights: weights}
+	for v := int32(0); v < int32(n); v++ {
+		if alive[v] {
+			h.items = append(h.items, v)
+		}
+	}
+	heap.Init(h)
+
+	mark := make([]int64, n)
+	var epoch int64
+	component := func(start int32) []int32 {
+		epoch++
+		queue := []int32{start}
+		mark[start] = epoch
+		var out []int32
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			out = append(out, v)
+			for _, u := range g.Neighbors(v) {
+				if alive[u] && mark[u] != epoch {
+					mark[u] = epoch
+					queue = append(queue, u)
+				}
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+
+	var communities []Community
+	for h.Len() > 0 {
+		v := heap.Pop(h).(int32)
+		if !alive[v] {
+			continue
+		}
+		comp := component(v)
+		alive[v] = false
+		removed := cascade([]int32{v})
+		// The community dissolved entirely iff the cascade took the whole
+		// component with it.
+		communities = append(communities, Community{
+			Vertices:     comp,
+			Influence:    weights[v],
+			NonContained: len(removed) == len(comp),
+		})
+	}
+	return communities, nil
+}
+
+// TopR returns the r highest-influence non-contained k-influential
+// communities, highest influence first.
+func TopR(g *graph.Graph, weights []float64, k int32, r int) ([]Community, error) {
+	all, err := All(g, weights, k)
+	if err != nil {
+		return nil, err
+	}
+	var leaves []Community
+	for _, c := range all {
+		if c.NonContained {
+			leaves = append(leaves, c)
+		}
+	}
+	// Influences are produced in non-decreasing order; report the tail,
+	// highest first.
+	if len(leaves) > r {
+		leaves = leaves[len(leaves)-r:]
+	}
+	for i, j := 0, len(leaves)-1; i < j; i, j = i+1, j-1 {
+		leaves[i], leaves[j] = leaves[j], leaves[i]
+	}
+	return leaves, nil
+}
+
+type weightHeap struct {
+	items   []int32
+	weights []float64
+}
+
+func (h *weightHeap) Len() int { return len(h.items) }
+func (h *weightHeap) Less(i, j int) bool {
+	wi, wj := h.weights[h.items[i]], h.weights[h.items[j]]
+	if wi != wj {
+		return wi < wj
+	}
+	return h.items[i] < h.items[j]
+}
+func (h *weightHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *weightHeap) Push(x any)    { h.items = append(h.items, x.(int32)) }
+func (h *weightHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}

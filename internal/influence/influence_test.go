@@ -1,0 +1,232 @@
+package influence
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hcd/internal/gen"
+	"hcd/internal/graph"
+)
+
+func TestPathExample(t *testing.T) {
+	// Path a-b-c with weights 1, 2, 3 and k = 1 (the PVLDB'15 intuition):
+	// communities {a,b,c} (influence 1) and {b,c} (influence 2, leaf).
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	all, err := All(g, []float64{1, 2, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("got %d communities, want 2: %+v", len(all), all)
+	}
+	if !reflect.DeepEqual(all[0].Vertices, []int32{0, 1, 2}) || all[0].Influence != 1 || all[0].NonContained {
+		t.Errorf("first community wrong: %+v", all[0])
+	}
+	if !reflect.DeepEqual(all[1].Vertices, []int32{1, 2}) || all[1].Influence != 2 || !all[1].NonContained {
+		t.Errorf("second community wrong: %+v", all[1])
+	}
+}
+
+func TestTwoCliquesTopR(t *testing.T) {
+	// Two triangles with different weight ranges, k=2.
+	g := graph.MustFromEdges(6, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 3},
+	})
+	w := []float64{1, 2, 3, 10, 20, 30}
+	top, err := TopR(g, w, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 {
+		t.Fatalf("want 2 leaves, got %d", len(top))
+	}
+	// Highest-influence leaf is the second triangle (influence 10).
+	if !reflect.DeepEqual(top[0].Vertices, []int32{3, 4, 5}) || top[0].Influence != 10 {
+		t.Errorf("top leaf wrong: %+v", top[0])
+	}
+	if !reflect.DeepEqual(top[1].Vertices, []int32{0, 1, 2}) || top[1].Influence != 1 {
+		t.Errorf("second leaf wrong: %+v", top[1])
+	}
+}
+
+func TestInfluencesNonDecreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := gen.ErdosRenyi(100, 400, 4)
+	w := make([]float64, g.NumVertices())
+	for i := range w {
+		w[i] = rng.Float64() * 100
+	}
+	for k := int32(1); k <= 4; k++ {
+		all, err := All(g, w, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(all); i++ {
+			if all[i].Influence < all[i-1].Influence {
+				t.Fatalf("k=%d: influences decrease at %d", k, i)
+			}
+		}
+		// Every community must satisfy the k-core constraint internally
+		// and have the claimed influence.
+		for _, c := range all {
+			in := map[int32]bool{}
+			for _, v := range c.Vertices {
+				in[v] = true
+			}
+			minW := -1.0
+			for _, v := range c.Vertices {
+				d := 0
+				for _, u := range g.Neighbors(v) {
+					if in[u] {
+						d++
+					}
+				}
+				if int32(d) < k {
+					t.Fatalf("k=%d: community member %d has internal degree %d", k, v, d)
+				}
+				if minW < 0 || w[v] < minW {
+					minW = w[v]
+				}
+			}
+			if minW != c.Influence {
+				t.Fatalf("k=%d: influence %v but min weight %v", k, c.Influence, minW)
+			}
+		}
+	}
+}
+
+// bruteCommunities enumerates maximal influential communities on tiny
+// graphs directly from the definition: every connected subgraph with min
+// degree >= k such that no strictly larger one has influence >= its own.
+func bruteCommunities(g *graph.Graph, w []float64, k int32) []Community {
+	n := g.NumVertices()
+	type cand struct {
+		mask int
+		inf  float64
+	}
+	var cands []cand
+	for mask := 1; mask < 1<<n; mask++ {
+		if !validCommunity(g, mask, k) {
+			continue
+		}
+		inf := 1e18
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 && w[v] < inf {
+				inf = w[v]
+			}
+		}
+		cands = append(cands, cand{mask, inf})
+	}
+	var out []Community
+	for _, c := range cands {
+		maximal := true
+		for _, d := range cands {
+			if d.mask != c.mask && d.mask&c.mask == c.mask && d.inf >= c.inf {
+				maximal = false
+				break
+			}
+		}
+		if !maximal {
+			continue
+		}
+		var verts []int32
+		for v := 0; v < n; v++ {
+			if c.mask&(1<<v) != 0 {
+				verts = append(verts, int32(v))
+			}
+		}
+		out = append(out, Community{Vertices: verts, Influence: c.inf})
+	}
+	return out
+}
+
+func validCommunity(g *graph.Graph, mask int, k int32) bool {
+	n := g.NumVertices()
+	var first int32 = -1
+	count := 0
+	for v := 0; v < n; v++ {
+		if mask&(1<<v) == 0 {
+			continue
+		}
+		count++
+		if first < 0 {
+			first = int32(v)
+		}
+		d := int32(0)
+		for _, u := range g.Neighbors(int32(v)) {
+			if mask&(1<<u) != 0 {
+				d++
+			}
+		}
+		if d < k {
+			return false
+		}
+	}
+	if count == 0 {
+		return false
+	}
+	// Connectivity.
+	seen := map[int32]bool{first: true}
+	queue := []int32{first}
+	reached := 0
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		reached++
+		for _, u := range g.Neighbors(v) {
+			if mask&(1<<u) != 0 && !seen[u] {
+				seen[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return reached == count
+}
+
+func TestAllMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(6)
+		m := rng.Intn(2 * n)
+		edges := make([]graph.Edge, m)
+		for i := range edges {
+			edges[i] = graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))}
+		}
+		g := graph.MustFromEdges(n, edges)
+		w := make([]float64, n)
+		perm := rng.Perm(n) // distinct weights keep maximality unambiguous
+		for i, p := range perm {
+			w[i] = float64(p + 1)
+		}
+		k := int32(1 + rng.Intn(3))
+		got, err := All(g, w, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteCommunities(g, w, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (k=%d): %d communities, brute force %d\n got: %+v\nwant: %+v",
+				trial, k, len(got), len(want), got, want)
+		}
+		// Match by influence (distinct weights make it a unique key).
+		byInf := map[float64][]int32{}
+		for _, c := range want {
+			byInf[c.Influence] = c.Vertices
+		}
+		for _, c := range got {
+			wv, ok := byInf[c.Influence]
+			if !ok || !reflect.DeepEqual(wv, c.Vertices) {
+				t.Fatalf("trial %d (k=%d): community %+v not in brute force set", trial, k, c)
+			}
+		}
+	}
+}
+
+func TestWeightLengthError(t *testing.T) {
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}})
+	if _, err := All(g, []float64{1}, 1); err == nil {
+		t.Error("short weight slice accepted")
+	}
+}

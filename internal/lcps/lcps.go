@@ -1,0 +1,178 @@
+// Package lcps implements the serial state-of-the-art HCD construction the
+// paper benchmarks against: the level-component priority search of Matula
+// and Beck [7], running in O(m) time given the core decomposition.
+//
+// LCPS visits vertices one at a time. Among the unvisited neighbors R of
+// the visited region it always picks a vertex with the highest priority
+//
+//	pri(w) = max over visited neighbors u of min(c(w), c(u)),
+//
+// which guarantees that every k-core's vertices are visited contiguously:
+// the traversal descends into a core, exhausts it, and only then falls back
+// to shallower vertices. The hierarchy is materialised with a stack of open
+// tree nodes whose levels strictly increase from bottom to top:
+//
+//   - visiting a vertex with priority p closes every open node deeper than
+//     p (each popped node's parent is the node below it, or the node at
+//     level p);
+//   - a vertex with coreness c > p starts a new open node at level c (a new
+//     sub-core is being entered);
+//   - a vertex with coreness c == p joins the open node at level p.
+//
+// Priorities only ever increase, so the frontier is a bucket queue with
+// lazy deletion — the "multiple dynamic arrays" whose constant-factor cost
+// the paper identifies as LCPS's practical weakness (§V-B).
+package lcps
+
+import (
+	"fmt"
+
+	"hcd/internal/graph"
+	"hcd/internal/hierarchy"
+)
+
+// Build constructs the HCD of g serially with LCPS. core must be the core
+// decomposition of g (e.g. from coredecomp.Serial).
+func Build(g *graph.Graph, core []int32) *hierarchy.HCD {
+	n := g.NumVertices()
+	h := &hierarchy.HCD{TID: make([]hierarchy.NodeID, n)}
+	if n == 0 {
+		return h
+	}
+	kmax := int32(0)
+	for _, c := range core {
+		if c > kmax {
+			kmax = c
+		}
+	}
+
+	newNode := func(k int32) hierarchy.NodeID {
+		id := hierarchy.NodeID(len(h.K))
+		h.K = append(h.K, k)
+		h.Parent = append(h.Parent, hierarchy.Nil)
+		h.Children = append(h.Children, nil)
+		h.Vertices = append(h.Vertices, nil)
+		return id
+	}
+	setParent := func(child, parent hierarchy.NodeID) {
+		h.Parent[child] = parent
+		h.Children[parent] = append(h.Children[parent], child)
+	}
+
+	// Bucket priority queue with lazy deletion.
+	pri := make([]int32, n)
+	for i := range pri {
+		pri[i] = -1
+	}
+	visited := make([]bool, n)
+	buckets := make([][]int32, kmax+1)
+	maxP := int32(-1)
+	raise := func(w int32, p int32) {
+		if p > pri[w] {
+			pri[w] = p
+			buckets[p] = append(buckets[p], w)
+			if p > maxP {
+				maxP = p
+			}
+		}
+	}
+	// popMax returns the unvisited frontier vertex with the highest
+	// priority, or -1 if the frontier is empty.
+	popMax := func() int32 {
+		for maxP >= 0 {
+			b := buckets[maxP]
+			for len(b) > 0 {
+				w := b[len(b)-1]
+				b = b[:len(b)-1]
+				if !visited[w] && pri[w] == maxP {
+					buckets[maxP] = b
+					return w
+				}
+			}
+			buckets[maxP] = b
+			maxP--
+		}
+		return -1
+	}
+
+	// Stack of open tree nodes; levels strictly increase bottom to top.
+	var stack []hierarchy.NodeID
+	// closeAll closes the remaining open chain at a component boundary:
+	// each node's parent is the one below it; the bottom node is a root.
+	closeAll := func() {
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				setParent(x, stack[len(stack)-1])
+			}
+		}
+	}
+
+	cursor := int32(0)
+	for visitedCount := 0; visitedCount < n; visitedCount++ {
+		v := popMax()
+		var p int32
+		if v < 0 {
+			// Frontier exhausted: close the finished component and restart
+			// from the next unvisited vertex.
+			closeAll()
+			for visited[cursor] {
+				cursor++
+			}
+			v = cursor
+			p = core[v] // fresh component: open directly at v's level
+		} else {
+			p = pri[v]
+		}
+		c := core[v]
+
+		// Close open nodes deeper than p; each popped node's parent is the
+		// node below it on the stack, or the node at level p reached last.
+		var lastPopped hierarchy.NodeID = hierarchy.Nil
+		for len(stack) > 0 && h.K[stack[len(stack)-1]] > p {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 && h.K[stack[len(stack)-1]] >= p {
+				setParent(x, stack[len(stack)-1])
+				lastPopped = hierarchy.Nil
+			} else {
+				lastPopped = x // parent is the level-p node, created below
+			}
+		}
+		var nodeP hierarchy.NodeID
+		if len(stack) > 0 && h.K[stack[len(stack)-1]] == p {
+			nodeP = stack[len(stack)-1]
+		} else {
+			// No open node at level p: by the priority invariant this only
+			// happens when p == c (the vertex opens the level itself).
+			if p != c {
+				panic(fmt.Sprintf("lcps: internal invariant violated: p=%d c=%d for vertex %d", p, c, v))
+			}
+			nodeP = newNode(p)
+			stack = append(stack, nodeP)
+		}
+		if lastPopped != hierarchy.Nil {
+			setParent(lastPopped, nodeP)
+		}
+
+		// Place v: join the level-p node, or open a deeper node at level c.
+		target := nodeP
+		if c > p {
+			target = newNode(c)
+			stack = append(stack, target)
+		}
+		h.Vertices[target] = append(h.Vertices[target], v)
+		h.TID[v] = target
+
+		// Mark visited and relax neighbor priorities.
+		visited[v] = true
+		for _, w := range g.Neighbors(v) {
+			if !visited[w] {
+				raise(w, min(core[w], c))
+			}
+		}
+	}
+	closeAll()
+	return h
+}

@@ -1,0 +1,125 @@
+package lcps
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hcd/internal/coredecomp"
+	"hcd/internal/gen"
+	"hcd/internal/graph"
+	"hcd/internal/hierarchy"
+)
+
+func buildAndCheck(t *testing.T, g *graph.Graph, label string) *hierarchy.HCD {
+	t.Helper()
+	core := coredecomp.Serial(g)
+	h := Build(g, core)
+	if err := hierarchy.Validate(h, g, core); err != nil {
+		t.Fatalf("%s: Validate: %v", label, err)
+	}
+	want := hierarchy.BruteForce(g, core)
+	if !hierarchy.Equal(h, want) {
+		t.Fatalf("%s: LCPS output differs from brute force (|T| got %d want %d)",
+			label, h.NumNodes(), want.NumNodes())
+	}
+	return h
+}
+
+func TestBuildEmptyAndTiny(t *testing.T) {
+	h := Build(graph.MustFromEdges(0, nil), nil)
+	if h.NumNodes() != 0 {
+		t.Errorf("empty graph should have no nodes")
+	}
+	buildAndCheck(t, graph.MustFromEdges(1, nil), "single vertex")
+	buildAndCheck(t, graph.MustFromEdges(5, nil), "isolated vertices")
+	buildAndCheck(t, graph.MustFromEdges(2, []graph.Edge{{U: 0, V: 1}}), "one edge")
+}
+
+func TestBuildKnownShapes(t *testing.T) {
+	// Two K4s (3-cores) joined through a coreness-2 bridge vertex: the
+	// bridge survives 2-peeling but not 3-peeling, so G[c>=3] splits into
+	// two 3-cores under a 2-core root — the Figure 1 pattern one level down.
+	g := graph.MustFromEdges(9, []graph.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2}, {U: 1, V: 3}, {U: 2, V: 3},
+		{U: 4, V: 5}, {U: 4, V: 6}, {U: 4, V: 7}, {U: 5, V: 6}, {U: 5, V: 7}, {U: 6, V: 7},
+		{U: 3, V: 8}, {U: 8, V: 4},
+	})
+	h := buildAndCheck(t, g, "k4s+bridge")
+	if h.NumNodes() != 3 {
+		t.Errorf("|T| = %d, want 3", h.NumNodes())
+	}
+	root := h.TID[8]
+	if h.K[root] != 2 || h.Parent[root] != hierarchy.Nil {
+		t.Errorf("bridge vertex should form the 2-core root node")
+	}
+	if len(h.Children[root]) != 2 {
+		t.Errorf("root should have 2 children, has %d", len(h.Children[root]))
+	}
+}
+
+func TestBuildDeepOnion(t *testing.T) {
+	g := gen.Onion(6, 15, 2, 2, 3, 42)
+	buildAndCheck(t, g, "onion")
+}
+
+func TestBuildGeneratedFamilies(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"er", gen.ErdosRenyi(150, 600, 1)},
+		{"er-sparse", gen.ErdosRenyi(200, 150, 2)},
+		{"ba", gen.BarabasiAlbert(120, 4, 3)},
+		{"rmat", gen.RMAT(8, 900, 4)},
+		{"planted", gen.PlantedPartition(4, 30, 0.3, 0.01, 5)},
+	}
+	for _, c := range cases {
+		buildAndCheck(t, c.g, c.name)
+	}
+}
+
+func TestBuildMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%120) + 1
+		m := int(mRaw % 700)
+		rng := rand.New(rand.NewSource(seed))
+		edges := make([]graph.Edge, m)
+		for i := range edges {
+			edges[i] = graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))}
+		}
+		g := graph.MustFromEdges(n, edges)
+		core := coredecomp.Serial(g)
+		h := Build(g, core)
+		if hierarchy.Validate(h, g, core) != nil {
+			return false
+		}
+		return hierarchy.Equal(h, hierarchy.BruteForce(g, core))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite validation is slow")
+	}
+	for _, d := range gen.Suite(1) {
+		g := d.Build()
+		core := coredecomp.Serial(g)
+		h := Build(g, core)
+		if err := hierarchy.Validate(h, g, core); err != nil {
+			t.Errorf("%s: %v", d.Abbrev, err)
+		}
+	}
+}
+
+func BenchmarkLCPS(b *testing.B) {
+	g := gen.BarabasiAlbert(20000, 8, 1)
+	core := coredecomp.Serial(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(g, core)
+	}
+}

@@ -1,0 +1,246 @@
+// Package metrics defines the community scoring metrics of §II-D and the
+// primary values they are computed from. Any metric expressible over the
+// five primary values — n(S), m(S), b(S), Δ(S), t(S) — plugs into both the
+// serial BKS and the parallel PBKS search by implementing Metric; the six
+// metrics studied in the paper are provided.
+//
+// Metrics are split by computational class exactly as in the paper:
+// Type A metrics need only n, m and b (computable in O(n) work on the
+// hierarchy after preprocessing); Type B metrics need the higher-order
+// motif counts Δ (triangles) and t (triplets), costing O(m^1.5) work.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PrimaryValues are the §II-D primary values of one subgraph S.
+// For Type A metrics only N, M, B are populated; for Type B metrics only
+// Triangles and Triplets are guaranteed (the search fills in what the
+// metric's kind requires).
+type PrimaryValues struct {
+	N         int64 // n(S): number of vertices
+	M         int64 // m(S): number of edges
+	B         int64 // b(S): number of boundary edges
+	Triangles int64 // Δ(S): number of triangles
+	Triplets  int64 // t(S): number of connected triples (paths of length 2)
+}
+
+// GraphStats carries the whole-graph quantities some metrics normalise by.
+type GraphStats struct {
+	N int64 // number of vertices in G
+	M int64 // number of edges in G
+}
+
+// Kind is the metric's computational class.
+type Kind int
+
+const (
+	// TypeA metrics depend on n(S), m(S), b(S) only.
+	TypeA Kind = iota
+	// TypeB metrics additionally depend on Δ(S) and/or t(S).
+	TypeB
+)
+
+func (k Kind) String() string {
+	if k == TypeB {
+		return "type-B"
+	}
+	return "type-A"
+}
+
+// Metric scores a subgraph from its primary values; higher is better
+// (every §II-D metric is normalised that way in the paper).
+type Metric interface {
+	// Name is the metric's identifier (lower-case, hyphenated).
+	Name() string
+	// Kind reports which primary values the metric needs.
+	Kind() Kind
+	// Score computes the community score of a subgraph with primary
+	// values pv inside a graph with stats g.
+	Score(pv PrimaryValues, g GraphStats) float64
+}
+
+// AverageDegree is f(S) = 2·m(S)/n(S), the metric behind approximate
+// densest-subgraph search (PBKS-D).
+type AverageDegree struct{}
+
+func (AverageDegree) Name() string { return "average-degree" }
+func (AverageDegree) Kind() Kind   { return TypeA }
+func (AverageDegree) Score(pv PrimaryValues, _ GraphStats) float64 {
+	if pv.N == 0 {
+		return 0
+	}
+	return 2 * float64(pv.M) / float64(pv.N)
+}
+
+// InternalDensity is f(S) = 2·m(S)/(n(S)·(n(S)−1)).
+type InternalDensity struct{}
+
+func (InternalDensity) Name() string { return "internal-density" }
+func (InternalDensity) Kind() Kind   { return TypeA }
+func (InternalDensity) Score(pv PrimaryValues, _ GraphStats) float64 {
+	if pv.N < 2 {
+		return 0
+	}
+	return 2 * float64(pv.M) / (float64(pv.N) * float64(pv.N-1))
+}
+
+// CutRatio is f(S) = 1 − b(S)/(n(S)·(n−n(S))).
+type CutRatio struct{}
+
+func (CutRatio) Name() string { return "cut-ratio" }
+func (CutRatio) Kind() Kind   { return TypeA }
+func (CutRatio) Score(pv PrimaryValues, g GraphStats) float64 {
+	den := float64(pv.N) * float64(g.N-pv.N)
+	if den == 0 {
+		return 1 // no possible boundary edge
+	}
+	return 1 - float64(pv.B)/den
+}
+
+// Conductance is f(S) = 1 − b(S)/(2·m(S)+b(S)).
+type Conductance struct{}
+
+func (Conductance) Name() string { return "conductance" }
+func (Conductance) Kind() Kind   { return TypeA }
+func (Conductance) Score(pv PrimaryValues, _ GraphStats) float64 {
+	den := 2*float64(pv.M) + float64(pv.B)
+	if den == 0 {
+		return 0
+	}
+	return 1 - float64(pv.B)/den
+}
+
+// Modularity scores S by its contribution to Newman-Girvan modularity when
+// S is taken as one community: m(S)/m − ((2·m(S)+b(S))/(2·m))².
+type Modularity struct{}
+
+func (Modularity) Name() string { return "modularity" }
+func (Modularity) Kind() Kind   { return TypeA }
+func (Modularity) Score(pv PrimaryValues, g GraphStats) float64 {
+	if g.M == 0 {
+		return 0
+	}
+	frac := (2*float64(pv.M) + float64(pv.B)) / (2 * float64(g.M))
+	return float64(pv.M)/float64(g.M) - frac*frac
+}
+
+// ClusteringCoefficient is f(S) = 3·Δ(S)/t(S), the global clustering
+// coefficient (transitivity) of S — the paper's representative Type B
+// metric.
+type ClusteringCoefficient struct{}
+
+func (ClusteringCoefficient) Name() string { return "clustering-coefficient" }
+func (ClusteringCoefficient) Kind() Kind   { return TypeB }
+func (ClusteringCoefficient) Score(pv PrimaryValues, _ GraphStats) float64 {
+	if pv.Triplets == 0 {
+		return 0
+	}
+	return 3 * float64(pv.Triangles) / float64(pv.Triplets)
+}
+
+// NormalizedCut scores S by 1 − ncut(S)/2, where ncut is the two-sided
+// normalized cut b/(2m(S)+b) + b/(2(m−m(S)−b)+b) of Shi-Malik; the /2
+// scaling keeps the result in [0, 1] with higher better, matching the
+// paper's normalisation convention.
+type NormalizedCut struct{}
+
+func (NormalizedCut) Name() string { return "normalized-cut" }
+func (NormalizedCut) Kind() Kind   { return TypeA }
+func (NormalizedCut) Score(pv PrimaryValues, g GraphStats) float64 {
+	inside := 2*float64(pv.M) + float64(pv.B)
+	outside := 2*float64(g.M-pv.M-pv.B) + float64(pv.B)
+	var ncut float64
+	if inside > 0 {
+		ncut += float64(pv.B) / inside
+	}
+	if outside > 0 {
+		ncut += float64(pv.B) / outside
+	}
+	return 1 - ncut/2
+}
+
+// TriangleDensity is f(S) = Δ(S)/C(n(S), 3): the fraction of vertex
+// triples that close into triangles — a Type B density analogue of
+// internal density.
+type TriangleDensity struct{}
+
+func (TriangleDensity) Name() string { return "triangle-density" }
+func (TriangleDensity) Kind() Kind   { return TypeB }
+func (TriangleDensity) Score(pv PrimaryValues, _ GraphStats) float64 {
+	if pv.N < 3 {
+		return 0
+	}
+	triples := float64(pv.N) * float64(pv.N-1) * float64(pv.N-2) / 6
+	return float64(pv.Triangles) / triples
+}
+
+// All returns one instance of every built-in metric, Type A first.
+func All() []Metric {
+	return []Metric{
+		AverageDegree{},
+		InternalDensity{},
+		CutRatio{},
+		Conductance{},
+		Modularity{},
+		NormalizedCut{},
+		ClusteringCoefficient{},
+		TriangleDensity{},
+	}
+}
+
+// ByName resolves a metric by its Name. It returns an error listing the
+// known names when the metric does not exist.
+func ByName(name string) (Metric, error) {
+	var known []string
+	for _, m := range All() {
+		if m.Name() == name {
+			return m, nil
+		}
+		known = append(known, m.Name())
+	}
+	return nil, fmt.Errorf("metrics: unknown metric %q (known: %s)", name, strings.Join(known, ", "))
+}
+
+// Weighted assembles a new metric as a non-negative linear combination of
+// existing ones — §VI's "new or assembled community scoring metrics"
+// extension point. Its Kind is the strongest requirement among its terms
+// (TypeB if any term needs motif counts).
+type Weighted struct {
+	// Terms are the combined metrics with their coefficients.
+	Terms []WeightedTerm
+	// Label is the assembled metric's Name (defaults to "weighted").
+	Label string
+}
+
+// WeightedTerm is one component of a Weighted metric.
+type WeightedTerm struct {
+	Metric Metric
+	Coeff  float64
+}
+
+func (w Weighted) Name() string {
+	if w.Label != "" {
+		return w.Label
+	}
+	return "weighted"
+}
+
+func (w Weighted) Kind() Kind {
+	for _, t := range w.Terms {
+		if t.Metric.Kind() == TypeB {
+			return TypeB
+		}
+	}
+	return TypeA
+}
+
+func (w Weighted) Score(pv PrimaryValues, g GraphStats) float64 {
+	s := 0.0
+	for _, t := range w.Terms {
+		s += t.Coeff * t.Metric.Score(pv, g)
+	}
+	return s
+}

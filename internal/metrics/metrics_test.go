@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestAverageDegree(t *testing.T) {
+	m := AverageDegree{}
+	if got := m.Score(PrimaryValues{N: 6, M: 12}, GraphStats{}); !almost(got, 4) {
+		t.Errorf("octahedron avg degree = %v, want 4", got)
+	}
+	if got := m.Score(PrimaryValues{N: 9, M: 20}, GraphStats{}); !almost(got, 40.0/9) {
+		t.Errorf("got %v, want 40/9", got)
+	}
+	if m.Score(PrimaryValues{}, GraphStats{}) != 0 {
+		t.Error("empty subgraph should score 0")
+	}
+	if m.Kind() != TypeA || m.Name() != "average-degree" {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestInternalDensity(t *testing.T) {
+	m := InternalDensity{}
+	// A clique has density 1.
+	if got := m.Score(PrimaryValues{N: 5, M: 10}, GraphStats{}); !almost(got, 1) {
+		t.Errorf("K5 density = %v", got)
+	}
+	if m.Score(PrimaryValues{N: 1}, GraphStats{}) != 0 {
+		t.Error("singleton density must be 0, not NaN")
+	}
+}
+
+func TestCutRatio(t *testing.T) {
+	m := CutRatio{}
+	// 3 boundary edges, |S|=4, n=10: 1 - 3/(4*6) = 0.875.
+	if got := m.Score(PrimaryValues{N: 4, B: 3}, GraphStats{N: 10}); !almost(got, 0.875) {
+		t.Errorf("cut ratio = %v", got)
+	}
+	// S == V: no possible boundary edge.
+	if got := m.Score(PrimaryValues{N: 10, B: 0}, GraphStats{N: 10}); !almost(got, 1) {
+		t.Errorf("whole-graph cut ratio = %v, want 1", got)
+	}
+}
+
+func TestConductance(t *testing.T) {
+	m := Conductance{}
+	if got := m.Score(PrimaryValues{M: 10, B: 5}, GraphStats{}); !almost(got, 1-5.0/25) {
+		t.Errorf("conductance = %v", got)
+	}
+	if m.Score(PrimaryValues{}, GraphStats{}) != 0 {
+		t.Error("degenerate conductance must be 0")
+	}
+}
+
+func TestModularity(t *testing.T) {
+	m := Modularity{}
+	// One community holding all edges: 1 - 1 = 0.
+	if got := m.Score(PrimaryValues{M: 20, B: 0}, GraphStats{M: 20}); !almost(got, 0) {
+		t.Errorf("full-graph modularity = %v, want 0", got)
+	}
+	// Half the edges, no boundary: 0.5 - 0.25 = 0.25.
+	if got := m.Score(PrimaryValues{M: 10, B: 0}, GraphStats{M: 20}); !almost(got, 0.25) {
+		t.Errorf("modularity = %v, want 0.25", got)
+	}
+	if m.Score(PrimaryValues{M: 1}, GraphStats{M: 0}) != 0 {
+		t.Error("empty graph modularity must be 0")
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	m := ClusteringCoefficient{}
+	// Triangle: 1 triangle, 3 triplets -> 1.
+	if got := m.Score(PrimaryValues{Triangles: 1, Triplets: 3}, GraphStats{}); !almost(got, 1) {
+		t.Errorf("triangle CC = %v", got)
+	}
+	// Path of 3: 0 triangles, 1 triplet -> 0.
+	if got := m.Score(PrimaryValues{Triplets: 1}, GraphStats{}); !almost(got, 0) {
+		t.Errorf("path CC = %v", got)
+	}
+	if m.Score(PrimaryValues{Triangles: 5}, GraphStats{}) != 0 {
+		t.Error("zero triplets must score 0, not Inf")
+	}
+	if m.Kind() != TypeB {
+		t.Error("clustering coefficient is Type B")
+	}
+}
+
+func TestAllAndByName(t *testing.T) {
+	all := All()
+	if len(all) != 8 {
+		t.Fatalf("All() has %d metrics, want 8", len(all))
+	}
+	for _, m := range all {
+		got, err := ByName(m.Name())
+		if err != nil {
+			t.Errorf("ByName(%q): %v", m.Name(), err)
+		}
+		if got.Name() != m.Name() {
+			t.Errorf("ByName(%q) returned %q", m.Name(), got.Name())
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("unknown metric accepted")
+	}
+	if TypeA.String() == TypeB.String() {
+		t.Error("kind strings must differ")
+	}
+}
+
+func TestNormalizedCut(t *testing.T) {
+	m := NormalizedCut{}
+	// Isolated community (no boundary): perfect score 1.
+	if got := m.Score(PrimaryValues{M: 10, B: 0}, GraphStats{M: 30}); !almost(got, 1) {
+		t.Errorf("no-boundary normalized cut = %v, want 1", got)
+	}
+	// Symmetric split: m(S)=5, b=4, M=14 -> inside=14, outside=14:
+	// ncut = 4/14 + 4/14; score = 1 - 4/14.
+	if got := m.Score(PrimaryValues{M: 5, B: 4}, GraphStats{M: 14}); !almost(got, 1-4.0/14) {
+		t.Errorf("normalized cut = %v, want %v", got, 1-4.0/14)
+	}
+	// Degenerate denominators must not produce NaN.
+	if got := m.Score(PrimaryValues{}, GraphStats{}); math.IsNaN(got) {
+		t.Error("degenerate normalized cut is NaN")
+	}
+	if m.Kind() != TypeA {
+		t.Error("normalized cut is Type A")
+	}
+}
+
+func TestTriangleDensity(t *testing.T) {
+	m := TriangleDensity{}
+	// K4: 4 triangles over C(4,3)=4 triples -> 1.
+	if got := m.Score(PrimaryValues{N: 4, Triangles: 4}, GraphStats{}); !almost(got, 1) {
+		t.Errorf("K4 triangle density = %v, want 1", got)
+	}
+	if m.Score(PrimaryValues{N: 2, Triangles: 0}, GraphStats{}) != 0 {
+		t.Error("n<3 must score 0")
+	}
+	if m.Kind() != TypeB {
+		t.Error("triangle density is Type B")
+	}
+}
+
+func TestWeightedMetric(t *testing.T) {
+	w := Weighted{
+		Terms: []WeightedTerm{
+			{Metric: AverageDegree{}, Coeff: 0.5},
+			{Metric: Conductance{}, Coeff: 2},
+		},
+		Label: "degree-and-cohesion",
+	}
+	if w.Name() != "degree-and-cohesion" {
+		t.Errorf("Name = %q", w.Name())
+	}
+	if w.Kind() != TypeA {
+		t.Error("all-TypeA combination must be TypeA")
+	}
+	pv := PrimaryValues{N: 4, M: 6, B: 2}
+	want := 0.5*AverageDegree{}.Score(pv, GraphStats{}) + 2*Conductance{}.Score(pv, GraphStats{})
+	if got := w.Score(pv, GraphStats{}); !almost(got, want) {
+		t.Errorf("Score = %v, want %v", got, want)
+	}
+	// A TypeB term upgrades the kind.
+	wb := Weighted{Terms: []WeightedTerm{
+		{Metric: AverageDegree{}, Coeff: 1},
+		{Metric: ClusteringCoefficient{}, Coeff: 1},
+	}}
+	if wb.Kind() != TypeB || wb.Name() != "weighted" {
+		t.Errorf("TypeB upgrade or default name wrong: %v %q", wb.Kind(), wb.Name())
+	}
+}

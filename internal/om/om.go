@@ -1,0 +1,189 @@
+// Package om implements an order-maintenance structure over int32
+// elements: a total order supporting O(1) comparison and amortised-O(1)
+// insertion before/after an existing element, deletion, and head/tail
+// insertion. It is the substrate of order-based core maintenance, which
+// must compare two vertices' positions in the k-order in constant time
+// while vertices move between positions.
+//
+// The implementation is the classical labelled doubly-linked list: each
+// element carries a uint64 label; comparison compares labels; insertion
+// bisects the neighbouring labels and triggers a full relabel of the list
+// when a gap is exhausted (amortised rare with wide initial spacing).
+// An element may be in at most one List at a time; the element id doubles
+// as its handle, so moves between lists are cheap.
+package om
+
+import "fmt"
+
+const spread = uint64(1) << 40
+
+// List is one maintained total order. Create with New; elements are int32
+// ids in [0, capacity).
+type List struct {
+	label []uint64
+	next  []int32
+	prev  []int32
+	in    []bool
+	head  int32 // first element, -1 if empty
+	tail  int32 // last element, -1 if empty
+	size  int
+}
+
+// New creates an empty order over ids [0, capacity).
+func New(capacity int) *List {
+	l := &List{
+		label: make([]uint64, capacity),
+		next:  make([]int32, capacity),
+		prev:  make([]int32, capacity),
+		in:    make([]bool, capacity),
+		head:  -1,
+		tail:  -1,
+	}
+	return l
+}
+
+// Len returns the number of elements currently in the order.
+func (l *List) Len() int { return l.size }
+
+// Contains reports whether v is currently in the order.
+func (l *List) Contains(v int32) bool { return l.in[v] }
+
+// First returns the first element, or -1 if empty.
+func (l *List) First() int32 { return l.head }
+
+// Last returns the last element, or -1 if empty.
+func (l *List) Last() int32 { return l.tail }
+
+// Next returns the element after v, or -1.
+func (l *List) Next(v int32) int32 { return l.next[v] }
+
+// Prev returns the element before v, or -1.
+func (l *List) Prev(v int32) int32 { return l.prev[v] }
+
+// InsertBefore places v immediately before ref (which must be present).
+func (l *List) InsertBefore(v, ref int32) {
+	if !l.in[ref] {
+		panic(fmt.Sprintf("om: reference %d not in order", ref))
+	}
+	if p := l.prev[ref]; p >= 0 {
+		l.InsertAfter(v, p)
+	} else {
+		l.PushFront(v)
+	}
+}
+
+// Less reports whether a precedes b. Both must be in the order.
+func (l *List) Less(a, b int32) bool { return l.label[a] < l.label[b] }
+
+// PushBack appends v at the end of the order.
+func (l *List) PushBack(v int32) {
+	l.mustAbsent(v)
+	if l.tail < 0 {
+		l.insertOnly(v)
+		return
+	}
+	l.linkAfter(v, l.tail)
+	l.label[v] = l.label[l.prev[v]] + spread
+	l.size++
+}
+
+// PushFront prepends v at the start of the order.
+func (l *List) PushFront(v int32) {
+	l.mustAbsent(v)
+	if l.head < 0 {
+		l.insertOnly(v)
+		return
+	}
+	first := l.head
+	l.next[v] = first
+	l.prev[v] = -1
+	l.prev[first] = v
+	l.head = v
+	l.in[v] = true
+	l.size++
+	if l.label[first] == 0 {
+		l.relabel()
+	} else {
+		l.label[v] = l.label[first] / 2
+	}
+}
+
+// InsertAfter places v immediately after ref (which must be present).
+func (l *List) InsertAfter(v, ref int32) {
+	l.mustAbsent(v)
+	if !l.in[ref] {
+		panic(fmt.Sprintf("om: reference %d not in order", ref))
+	}
+	if ref == l.tail {
+		l.linkAfter(v, ref)
+		l.label[v] = l.label[ref] + spread
+		l.size++
+		return
+	}
+	l.linkAfter(v, ref)
+	l.size++
+	lo, hi := l.label[ref], l.label[l.next[v]]
+	if hi-lo < 2 {
+		l.relabel()
+	} else {
+		l.label[v] = lo + (hi-lo)/2
+	}
+}
+
+// Remove deletes v from the order.
+func (l *List) Remove(v int32) {
+	if !l.in[v] {
+		panic(fmt.Sprintf("om: removing absent element %d", v))
+	}
+	p, n := l.prev[v], l.next[v]
+	if p >= 0 {
+		l.next[p] = n
+	} else {
+		l.head = n
+	}
+	if n >= 0 {
+		l.prev[n] = p
+	} else {
+		l.tail = p
+	}
+	l.in[v] = false
+	l.size--
+}
+
+func (l *List) insertOnly(v int32) {
+	l.head, l.tail = v, v
+	l.next[v], l.prev[v] = -1, -1
+	l.label[v] = spread
+	l.in[v] = true
+	l.size++
+}
+
+// linkAfter splices v after ref without assigning a label.
+func (l *List) linkAfter(v, ref int32) {
+	n := l.next[ref]
+	l.next[ref] = v
+	l.prev[v] = ref
+	l.next[v] = n
+	if n >= 0 {
+		l.prev[n] = v
+	} else {
+		l.tail = v
+	}
+	l.in[v] = true
+}
+
+// relabel reassigns evenly spaced labels to the whole list. O(size),
+// amortised across the many insertions that exhausted the gaps.
+func (l *List) relabel() {
+	lab := spread
+	for v := l.head; v >= 0; v = l.next[v] {
+		l.label[v] = lab
+		lab += spread
+	}
+}
+
+func (l *List) mustAbsent(v int32) {
+	if l.in[v] {
+		panic(fmt.Sprintf("om: element %d already in order", v))
+	}
+}

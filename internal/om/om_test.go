@@ -1,0 +1,220 @@
+package om
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// collect returns the list contents in order.
+func collect(l *List) []int32 {
+	var out []int32
+	for v := l.First(); v >= 0; v = l.Next(v) {
+		out = append(out, v)
+	}
+	return out
+}
+
+func eq(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBasicOps(t *testing.T) {
+	l := New(10)
+	if l.Len() != 0 || l.First() != -1 || l.Last() != -1 {
+		t.Fatal("empty list wrong")
+	}
+	l.PushBack(3)
+	l.PushBack(5)
+	l.PushFront(1)
+	l.InsertAfter(4, 3)
+	if got := collect(l); !eq(got, []int32{1, 3, 4, 5}) {
+		t.Fatalf("order = %v", got)
+	}
+	if !l.Less(1, 5) || l.Less(4, 3) || !l.Less(3, 4) {
+		t.Error("comparisons wrong")
+	}
+	l.Remove(3)
+	if got := collect(l); !eq(got, []int32{1, 4, 5}) {
+		t.Fatalf("after removal = %v", got)
+	}
+	if l.Contains(3) || !l.Contains(4) {
+		t.Error("Contains wrong")
+	}
+	l.Remove(1)
+	l.Remove(4)
+	l.Remove(5)
+	if l.Len() != 0 || l.First() != -1 {
+		t.Error("not empty after removing everything")
+	}
+}
+
+func TestInsertAfterTail(t *testing.T) {
+	l := New(4)
+	l.PushBack(0)
+	l.InsertAfter(1, 0)
+	l.InsertAfter(2, 1)
+	if got := collect(l); !eq(got, []int32{0, 1, 2}) {
+		t.Fatalf("order = %v", got)
+	}
+	if l.Last() != 2 {
+		t.Error("tail wrong")
+	}
+}
+
+func TestRelabelUnderPressure(t *testing.T) {
+	// Repeatedly insert at the front and right after the head to exhaust
+	// label gaps and force relabels.
+	n := 2000
+	l := New(n)
+	l.PushBack(0)
+	for v := int32(1); v < int32(n); v++ {
+		if v%2 == 0 {
+			l.PushFront(v)
+		} else {
+			l.InsertAfter(v, l.First())
+		}
+	}
+	got := collect(l)
+	if len(got) != n {
+		t.Fatalf("len = %d, want %d", len(got), n)
+	}
+	// Labels must be strictly increasing along the list.
+	for v := l.First(); l.Next(v) >= 0; v = l.Next(v) {
+		if !l.Less(v, l.Next(v)) {
+			t.Fatalf("labels not increasing at %d", v)
+		}
+	}
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	l := New(3)
+	l.PushBack(0)
+	mustPanic(t, "double insert", func() { l.PushBack(0) })
+	mustPanic(t, "absent remove", func() { l.Remove(2) })
+	mustPanic(t, "absent reference", func() { l.InsertAfter(1, 2) })
+}
+
+func mustPanic(t *testing.T, label string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", label)
+		}
+	}()
+	f()
+}
+
+// Property-style: random interleaving of operations matches a reference
+// slice implementation.
+func TestMatchesReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 200
+	l := New(n)
+	var ref []int32 // reference order
+	inRef := make([]bool, n)
+	refIndex := func(v int32) int {
+		for i, x := range ref {
+			if x == v {
+				return i
+			}
+		}
+		return -1
+	}
+	for step := 0; step < 5000; step++ {
+		v := int32(rng.Intn(n))
+		switch rng.Intn(4) {
+		case 0: // push front
+			if !inRef[v] {
+				l.PushFront(v)
+				ref = append([]int32{v}, ref...)
+				inRef[v] = true
+			}
+		case 1: // push back
+			if !inRef[v] {
+				l.PushBack(v)
+				ref = append(ref, v)
+				inRef[v] = true
+			}
+		case 2: // insert after random present element
+			if !inRef[v] && len(ref) > 0 {
+				after := ref[rng.Intn(len(ref))]
+				l.InsertAfter(v, after)
+				i := refIndex(after)
+				ref = append(ref[:i+1], append([]int32{v}, ref[i+1:]...)...)
+				inRef[v] = true
+			}
+		case 3: // remove
+			if inRef[v] {
+				l.Remove(v)
+				i := refIndex(v)
+				ref = append(ref[:i], ref[i+1:]...)
+				inRef[v] = false
+			}
+		}
+		if step%500 == 0 {
+			if got := collect(l); !eq(got, ref) {
+				t.Fatalf("step %d: order %v != ref %v", step, got, ref)
+			}
+		}
+	}
+	if got := collect(l); !eq(got, ref) {
+		t.Fatalf("final order differs")
+	}
+	// Spot-check comparisons against reference positions.
+	for trial := 0; trial < 200 && len(ref) >= 2; trial++ {
+		a, b := ref[rng.Intn(len(ref))], ref[rng.Intn(len(ref))]
+		if a == b {
+			continue
+		}
+		if l.Less(a, b) != (refIndex(a) < refIndex(b)) {
+			t.Fatalf("Less(%d,%d) disagrees with reference", a, b)
+		}
+	}
+}
+
+func BenchmarkInsertRemoveChurn(b *testing.B) {
+	n := 10000
+	l := New(n)
+	for v := int32(0); v < int32(n); v++ {
+		l.PushBack(v)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := int32(rng.Intn(n))
+		ref := int32(rng.Intn(n))
+		if v == ref || !l.Contains(ref) {
+			continue
+		}
+		if l.Contains(v) {
+			l.Remove(v)
+		}
+		l.InsertAfter(v, ref)
+	}
+}
+
+func TestPrevAndInsertBefore(t *testing.T) {
+	l := New(6)
+	l.PushBack(0)
+	l.PushBack(2)
+	l.InsertBefore(1, 2)
+	if got := collect(l); !eq(got, []int32{0, 1, 2}) {
+		t.Fatalf("order = %v", got)
+	}
+	l.InsertBefore(3, 0) // before the head
+	if got := collect(l); !eq(got, []int32{3, 0, 1, 2}) {
+		t.Fatalf("order = %v", got)
+	}
+	if l.Prev(0) != 3 || l.Prev(3) != -1 || l.Prev(2) != 1 {
+		t.Errorf("Prev wrong: %d %d %d", l.Prev(0), l.Prev(3), l.Prev(2))
+	}
+	mustPanic(t, "InsertBefore absent ref", func() { l.InsertBefore(4, 5) })
+}

@@ -1,0 +1,160 @@
+// Package par provides small parallel-execution primitives used by every
+// parallel algorithm in this repository: chunked parallel-for over index
+// ranges, a bounded worker pool, and atomic min/max folds.
+//
+// All entry points take an explicit thread count. A count of zero (or a
+// negative value) means "use runtime.GOMAXPROCS(0)", mirroring the paper's
+// convention of running with pmax OpenMP threads. Thread count 1 executes
+// inline on the calling goroutine, which keeps serial baselines free of
+// scheduling overhead and makes serial-vs-parallel benchmarks honest.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Threads normalises a requested thread count: values <= 0 become
+// runtime.GOMAXPROCS(0).
+func Threads(threads int) int {
+	if threads <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return threads
+}
+
+// For splits the half-open range [0, n) into contiguous chunks, one per
+// thread, and calls body(lo, hi) for each chunk concurrently. It returns
+// after every chunk has finished, so a call to For is also a barrier.
+//
+// Chunks are contiguous (not interleaved) to match the paper's Algorithm 1,
+// which distributes vertices "in ascending vertex id" to threads; this keeps
+// per-thread bin concatenation order deterministic.
+func For(n, threads int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := Threads(threads)
+	if p > n {
+		p = n
+	}
+	if p == 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for t := 0; t < p; t++ {
+		lo := t * n / p
+		hi := (t + 1) * n / p
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForEach calls body(i) for every i in [0, n), distributing iterations over
+// threads in contiguous chunks. Convenience wrapper over For for loop bodies
+// that do not want to manage chunk bounds themselves.
+func ForEach(n, threads int, body func(i int)) {
+	For(n, threads, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunked is like For but with dynamic load balancing: the range is cut
+// into chunks of size grain and threads grab chunks from a shared atomic
+// counter. Use it when per-index work is highly skewed (e.g. per-vertex work
+// proportional to degree on power-law graphs).
+func ForChunked(n, threads, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = 1024
+	}
+	p := Threads(threads)
+	if p == 1 || n <= grain {
+		body(0, n)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for t := 0; t < p; t++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(grain))) - grain
+				if lo >= n {
+					return
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Run executes the given thunks concurrently and waits for all of them.
+func Run(fns ...func()) {
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for _, fn := range fns {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(fn)
+	}
+	wg.Wait()
+}
+
+// MinInt64 atomically folds v into *addr, keeping the minimum. Returns true
+// if the stored value changed.
+func MinInt64(addr *atomic.Int64, v int64) bool {
+	for {
+		cur := addr.Load()
+		if cur <= v {
+			return false
+		}
+		if addr.CompareAndSwap(cur, v) {
+			return true
+		}
+	}
+}
+
+// MaxInt64 atomically folds v into *addr, keeping the maximum. Returns true
+// if the stored value changed.
+func MaxInt64(addr *atomic.Int64, v int64) bool {
+	for {
+		cur := addr.Load()
+		if cur >= v {
+			return false
+		}
+		if addr.CompareAndSwap(cur, v) {
+			return true
+		}
+	}
+}
+
+// MinInt32 atomically folds v into the int32 at addr, keeping the minimum.
+func MinInt32(addr *atomic.Int32, v int32) bool {
+	for {
+		cur := addr.Load()
+		if cur <= v {
+			return false
+		}
+		if addr.CompareAndSwap(cur, v) {
+			return true
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestThreads(t *testing.T) {
+	if got := Threads(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Threads(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Threads(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Threads(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Threads(7); got != 7 {
+		t.Errorf("Threads(7) = %d, want 7", got)
+	}
+}
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 100, 1000} {
+		for _, p := range []int{1, 2, 3, 4, 17} {
+			seen := make([]atomic.Int32, max(n, 1))
+			For(n, p, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("n=%d p=%d: bad chunk [%d,%d)", n, p, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					seen[i].Add(1)
+				}
+			})
+			for i := 0; i < n; i++ {
+				if got := seen[i].Load(); got != 1 {
+					t.Fatalf("n=%d p=%d: index %d visited %d times", n, p, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachSum(t *testing.T) {
+	var sum atomic.Int64
+	ForEach(1000, 4, func(i int) { sum.Add(int64(i)) })
+	if got := sum.Load(); got != 499500 {
+		t.Errorf("sum = %d, want 499500", got)
+	}
+}
+
+func TestForChunkedCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 100, 4097} {
+		for _, grain := range []int{0, 1, 7, 64, 5000} {
+			seen := make([]atomic.Int32, max(n, 1))
+			ForChunked(n, 4, grain, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					seen[i].Add(1)
+				}
+			})
+			for i := 0; i < n; i++ {
+				if got := seen[i].Load(); got != 1 {
+					t.Fatalf("n=%d grain=%d: index %d visited %d times", n, grain, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestRun(t *testing.T) {
+	var a, b atomic.Bool
+	Run(func() { a.Store(true) }, func() { b.Store(true) })
+	if !a.Load() || !b.Load() {
+		t.Error("Run did not execute all thunks")
+	}
+}
+
+func TestMinInt64(t *testing.T) {
+	var v atomic.Int64
+	v.Store(10)
+	if !MinInt64(&v, 5) || v.Load() != 5 {
+		t.Errorf("MinInt64 fold to 5 failed, got %d", v.Load())
+	}
+	if MinInt64(&v, 9) {
+		t.Error("MinInt64 should not report change when candidate is larger")
+	}
+	if v.Load() != 5 {
+		t.Errorf("value changed unexpectedly: %d", v.Load())
+	}
+}
+
+func TestMaxInt64(t *testing.T) {
+	var v atomic.Int64
+	if !MaxInt64(&v, 42) || v.Load() != 42 {
+		t.Errorf("MaxInt64 fold to 42 failed, got %d", v.Load())
+	}
+	if MaxInt64(&v, 41) {
+		t.Error("MaxInt64 should not report change when candidate is smaller")
+	}
+}
+
+func TestMinInt32Concurrent(t *testing.T) {
+	var v atomic.Int32
+	v.Store(1 << 30)
+	ForEach(10000, 8, func(i int) { MinInt32(&v, int32(i)) })
+	if v.Load() != 0 {
+		t.Errorf("concurrent MinInt32 = %d, want 0", v.Load())
+	}
+}
+
+// Property: For with any thread count computes the same fold as a serial loop.
+func TestForMatchesSerialProperty(t *testing.T) {
+	f := func(n uint16, p uint8) bool {
+		nn := int(n % 2048)
+		var sum atomic.Int64
+		For(nn, int(p%16), func(lo, hi int) {
+			var local int64
+			for i := lo; i < hi; i++ {
+				local += int64(i * i)
+			}
+			sum.Add(local)
+		})
+		var want int64
+		for i := 0; i < nn; i++ {
+			want += int64(i * i)
+		}
+		return sum.Load() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+// Package query answers local k-core queries on a built HCD, the
+// application of the ShellStruct/CL-Tree structures cited in §VII: given a
+// vertex v and an integer k <= c(v), return the (unique) k-core containing
+// v in time linear in the output, after O(|T| log |T|) preprocessing.
+//
+// The key property (§II-B): the k-core containing v is the original core
+// of the deepest ancestor of tid(v) whose level is at least k. If any
+// other coreness-k' vertex (k <= k' < that ancestor's level) belonged to
+// v's k-core, its own tree node would be an ancestor of tid(v) at level
+// k', contradicting depth-minimality — so ancestor jumping is exact, and
+// binary lifting finds the node in O(log height).
+package query
+
+import (
+	"hcd/internal/hierarchy"
+)
+
+// Index supports local k-core queries over one HCD.
+type Index struct {
+	h *hierarchy.HCD
+	// up[j][i] = the 2^j-th ancestor of node i (Nil beyond the root).
+	up [][]hierarchy.NodeID
+}
+
+// NewIndex preprocesses the hierarchy for ancestor jumps.
+func NewIndex(h *hierarchy.HCD) *Index {
+	nn := h.NumNodes()
+	ix := &Index{h: h}
+	if nn == 0 {
+		return ix
+	}
+	depth := h.Depth()
+	maxDepth := int32(0)
+	for _, d := range depth {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	levels := 1
+	for (1 << levels) <= int(maxDepth) {
+		levels++
+	}
+	ix.up = make([][]hierarchy.NodeID, levels)
+	ix.up[0] = make([]hierarchy.NodeID, nn)
+	copy(ix.up[0], h.Parent)
+	for j := 1; j < levels; j++ {
+		ix.up[j] = make([]hierarchy.NodeID, nn)
+		for i := 0; i < nn; i++ {
+			mid := ix.up[j-1][i]
+			if mid == hierarchy.Nil {
+				ix.up[j][i] = hierarchy.Nil
+			} else {
+				ix.up[j][i] = ix.up[j-1][mid]
+			}
+		}
+	}
+	return ix
+}
+
+// NodeAt returns the tree node whose original core is the k-core
+// containing v: the deepest ancestor of tid(v) with level >= k. It returns
+// Nil when k > c(v) (no k-core contains v) or k < 0.
+func (ix *Index) NodeAt(v int32, k int32) hierarchy.NodeID {
+	if k < 0 {
+		return hierarchy.Nil
+	}
+	cur := ix.h.TID[v]
+	if ix.h.K[cur] < k {
+		return hierarchy.Nil // k exceeds v's coreness
+	}
+	// Jump as high as possible while the ancestor's level stays >= k.
+	for j := len(ix.up) - 1; j >= 0; j-- {
+		if a := ix.up[j][cur]; a != hierarchy.Nil && ix.h.K[a] >= k {
+			cur = a
+		}
+	}
+	return cur
+}
+
+// KCore materialises the k-core containing v (nil when none exists).
+func (ix *Index) KCore(v int32, k int32) []int32 {
+	node := ix.NodeAt(v, k)
+	if node == hierarchy.Nil {
+		return nil
+	}
+	return ix.h.CoreVertices(node)
+}
+
+// SameKCore reports whether u and v lie in the same k-core.
+func (ix *Index) SameKCore(u, v int32, k int32) bool {
+	a := ix.NodeAt(u, k)
+	return a != hierarchy.Nil && a == ix.NodeAt(v, k)
+}
+
+// CorenessOf returns the coreness of v as recorded in the hierarchy
+// (the level of its tree node).
+func (ix *Index) CorenessOf(v int32) int32 { return ix.h.K[ix.h.TID[v]] }

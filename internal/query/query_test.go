@@ -1,0 +1,181 @@
+package query
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hcd/internal/coredecomp"
+	"hcd/internal/gen"
+	"hcd/internal/graph"
+	"hcd/internal/hierarchy"
+)
+
+// bruteKCore returns the component of v in G[c >= k], or nil if c(v) < k.
+func bruteKCore(g *graph.Graph, core []int32, v int32, k int32) []int32 {
+	if core[v] < k {
+		return nil
+	}
+	seen := map[int32]bool{v: true}
+	queue := []int32{v}
+	var out []int32
+	for len(queue) > 0 {
+		x := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		out = append(out, x)
+		for _, u := range g.Neighbors(x) {
+			if core[u] >= k && !seen[u] {
+				seen[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	return out
+}
+
+func sortedCopy(s []int32) []int32 {
+	out := append([]int32(nil), s...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func buildIndex(g *graph.Graph) (*Index, []int32) {
+	core := coredecomp.Serial(g)
+	h := hierarchy.BruteForce(g, core)
+	return NewIndex(h), core
+}
+
+func TestKCoreMatchesBruteForce(t *testing.T) {
+	graphs := []*graph.Graph{
+		gen.Onion(6, 10, 2, 2, 3, 1),
+		gen.ErdosRenyi(120, 500, 2),
+		gen.BarabasiAlbert(100, 4, 3),
+	}
+	rng := rand.New(rand.NewSource(4))
+	for gi, g := range graphs {
+		ix, core := buildIndex(g)
+		for trial := 0; trial < 200; trial++ {
+			v := int32(rng.Intn(g.NumVertices()))
+			k := int32(rng.Intn(int(coredecomp.KMax(core)) + 2))
+			want := bruteKCore(g, core, v, k)
+			got := ix.KCore(v, k)
+			if want == nil {
+				if got != nil {
+					t.Fatalf("graph %d: KCore(%d,%d) = %d verts, want nil", gi, v, k, len(got))
+				}
+				continue
+			}
+			gs, ws := sortedCopy(got), sortedCopy(want)
+			if len(gs) != len(ws) {
+				t.Fatalf("graph %d: KCore(%d,%d) has %d verts, want %d", gi, v, k, len(gs), len(ws))
+			}
+			for i := range gs {
+				if gs[i] != ws[i] {
+					t.Fatalf("graph %d: KCore(%d,%d) differs at %d", gi, v, k, i)
+				}
+			}
+		}
+	}
+}
+
+func TestKCoreAtZeroIsComponent(t *testing.T) {
+	g := graph.MustFromEdges(5, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	ix, _ := buildIndex(g)
+	if got := sortedCopy(ix.KCore(0, 0)); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("0-core of vertex 0 = %v, want its component", got)
+	}
+	if got := ix.KCore(4, 0); len(got) != 1 || got[0] != 4 {
+		t.Errorf("0-core of isolated vertex = %v", got)
+	}
+	if ix.KCore(4, 1) != nil {
+		t.Error("isolated vertex has no 1-core")
+	}
+	if ix.KCore(0, -1) != nil {
+		t.Error("negative k must return nil")
+	}
+}
+
+func TestSameKCore(t *testing.T) {
+	// Two K4s joined via a coreness-2 bridge.
+	g := graph.MustFromEdges(9, []graph.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2}, {U: 1, V: 3}, {U: 2, V: 3},
+		{U: 4, V: 5}, {U: 4, V: 6}, {U: 4, V: 7}, {U: 5, V: 6}, {U: 5, V: 7}, {U: 6, V: 7},
+		{U: 3, V: 8}, {U: 8, V: 4},
+	})
+	ix, _ := buildIndex(g)
+	if !ix.SameKCore(0, 3, 3) {
+		t.Error("0 and 3 share the first K4's 3-core")
+	}
+	if ix.SameKCore(0, 4, 3) {
+		t.Error("0 and 4 are in different 3-cores")
+	}
+	if !ix.SameKCore(0, 4, 2) {
+		t.Error("0 and 4 share the 2-core")
+	}
+	if ix.SameKCore(0, 8, 3) {
+		t.Error("vertex 8 has no 3-core")
+	}
+	if ix.CorenessOf(8) != 2 || ix.CorenessOf(0) != 3 {
+		t.Error("CorenessOf wrong")
+	}
+}
+
+func TestNodeAtProperty(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%100) + 1
+		m := int(mRaw % 500)
+		rng := rand.New(rand.NewSource(seed))
+		edges := make([]graph.Edge, m)
+		for i := range edges {
+			edges[i] = graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))}
+		}
+		g := graph.MustFromEdges(n, edges)
+		core := coredecomp.Serial(g)
+		h := hierarchy.BruteForce(g, core)
+		ix := NewIndex(h)
+		for trial := 0; trial < 20; trial++ {
+			v := int32(rng.Intn(n))
+			k := int32(rng.Intn(int(coredecomp.KMax(core)) + 2))
+			node := ix.NodeAt(v, k)
+			if k > core[v] {
+				if node != hierarchy.Nil {
+					return false
+				}
+				continue
+			}
+			// The node must be an ancestor of tid(v) with level >= k whose
+			// parent (if any) has level < k.
+			if node == hierarchy.Nil || h.K[node] < k {
+				return false
+			}
+			if p := h.Parent[node]; p != hierarchy.Nil && h.K[p] >= k {
+				return false
+			}
+			// And it must be an ancestor of tid(v).
+			cur := h.TID[v]
+			found := false
+			for cur != hierarchy.Nil {
+				if cur == node {
+					found = true
+					break
+				}
+				cur = h.Parent[cur]
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix := NewIndex(&hierarchy.HCD{})
+	if ix.up != nil && len(ix.up) != 0 {
+		t.Error("empty index should have no lifting tables")
+	}
+}

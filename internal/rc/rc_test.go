@@ -1,0 +1,105 @@
+package rc
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hcd/internal/coredecomp"
+	"hcd/internal/gen"
+	"hcd/internal/graph"
+	"hcd/internal/hierarchy"
+)
+
+func TestSearchReturnsWholeCore(t *testing.T) {
+	// Two K4s joined by a coreness-2 bridge.
+	g := graph.MustFromEdges(9, []graph.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2}, {U: 1, V: 3}, {U: 2, V: 3},
+		{U: 4, V: 5}, {U: 4, V: 6}, {U: 4, V: 7}, {U: 5, V: 6}, {U: 5, V: 7}, {U: 6, V: 7},
+		{U: 3, V: 8}, {U: 8, V: 4},
+	})
+	core := coredecomp.Serial(g)
+	s := NewSearcher(g, core)
+	got := sorted(s.Search(0, 3))
+	if !eq(got, []int32{0, 1, 2, 3}) {
+		t.Errorf("3-core of 0 = %v", got)
+	}
+	got = sorted(s.Search(0, 2))
+	if len(got) != 9 {
+		t.Errorf("2-core of 0 has %d vertices, want 9", len(got))
+	}
+	if s.Search(8, 3) != nil {
+		t.Error("search above the start's coreness must return nil")
+	}
+	// Reuse across epochs must not leak marks.
+	got = sorted(s.Search(5, 3))
+	if !eq(got, []int32{4, 5, 6, 7}) {
+		t.Errorf("3-core of 5 = %v", got)
+	}
+}
+
+func TestSearchFromMultipleSeeds(t *testing.T) {
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	core := coredecomp.Serial(g)
+	s := NewSearcher(g, core)
+	got := sorted(s.SearchFrom([]int32{0, 0, 1}, 1))
+	if !eq(got, []int32{0, 1}) {
+		t.Errorf("dedup of seeds failed: %v", got)
+	}
+}
+
+func TestRebuildParentsMatchesHierarchy(t *testing.T) {
+	graphs := []*graph.Graph{
+		gen.ErdosRenyi(150, 600, 31),
+		gen.BarabasiAlbert(100, 4, 32),
+		gen.Onion(5, 12, 2, 2, 2, 33),
+	}
+	for i, g := range graphs {
+		core := coredecomp.Serial(g)
+		h := hierarchy.BruteForce(g, core)
+		got := RebuildParents(g, core, h)
+		for id := range got {
+			if got[id] != h.Parent[id] {
+				t.Errorf("graph %d node %d: RC parent %d, want %d", i, id, got[id], h.Parent[id])
+			}
+		}
+	}
+}
+
+func TestRebuildParentsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + rng.Intn(80)
+		edges := make([]graph.Edge, 3*n)
+		for i := range edges {
+			edges[i] = graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))}
+		}
+		g := graph.MustFromEdges(n, edges)
+		core := coredecomp.Serial(g)
+		h := hierarchy.BruteForce(g, core)
+		got := RebuildParents(g, core, h)
+		for id := range got {
+			if got[id] != h.Parent[id] {
+				t.Fatalf("trial %d node %d: RC parent %d, want %d", trial, id, got[id], h.Parent[id])
+			}
+		}
+	}
+}
+
+func sorted(s []int32) []int32 {
+	out := append([]int32(nil), s...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func eq(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,237 @@
+// Package search implements subgraph search on the HCD (§IV): given a
+// community scoring metric Q, find the k-core with the highest score among
+// all k-cores for every k.
+//
+// Two engines are provided:
+//
+//   - PBKS (Index.Search), the paper's parallel vertex-centric framework
+//     (Algorithms 3-5): every motif — vertex, edge, boundary edge,
+//     triangle, triplet — is charged exactly once, to the tree node of the
+//     motif's lowest-vertex-rank endpoint; contributions are then folded
+//     bottom-up over the hierarchy by parallel tree accumulation, giving
+//     every k-core's primary values, and the metric is evaluated per node.
+//     Work: O(n) per Type A scoring, O(m^1.5) per Type B scoring, after a
+//     once-only O(m) preprocessing — work-efficient in both cases.
+//
+//   - BKS (NewBKS / BKS.Search), the serial state of the art [10] the
+//     paper compares against: it bin-sorts every adjacency list by
+//     coreness ("vertex ordering"), then computes scores level by level in
+//     strictly decreasing coreness, each level depending on the results of
+//     the previous one — the structure that makes it hard to parallelise.
+package search
+
+import (
+	"math"
+
+	"hcd/internal/graph"
+	"hcd/internal/hierarchy"
+	"hcd/internal/metrics"
+	"hcd/internal/par"
+)
+
+// Index is the PBKS search state for one (graph, core, HCD) triple. The
+// §IV-A preprocessing — per-vertex counts of neighbors with greater and
+// equal coreness — runs once in NewIndex and is shared by every subsequent
+// Search, whatever the metric.
+type Index struct {
+	g    *graph.Graph
+	core []int32
+	h    *hierarchy.HCD
+	gtK  []int32 // gtK[v] = |{u in N(v) : c(u) > c(v)}|
+	eqK  []int32 // eqK[v] = |{u in N(v) : c(u) = c(v)}|
+	kmax int32
+}
+
+// NewIndex builds the search index, running the preprocessing with the
+// given number of threads. core and h must belong to g.
+func NewIndex(g *graph.Graph, core []int32, h *hierarchy.HCD, threads int) *Index {
+	n := g.NumVertices()
+	ix := &Index{
+		g:    g,
+		core: core,
+		h:    h,
+		gtK:  make([]int32, n),
+		eqK:  make([]int32, n),
+	}
+	for _, c := range core {
+		if c > ix.kmax {
+			ix.kmax = c
+		}
+	}
+	par.ForEach(n, threads, func(i int) {
+		v := int32(i)
+		var gt, eq int32
+		for _, u := range g.Neighbors(v) {
+			switch {
+			case core[u] > core[v]:
+				gt++
+			case core[u] == core[v]:
+				eq++
+			}
+		}
+		ix.gtK[v] = gt
+		ix.eqK[v] = eq
+	})
+	return ix
+}
+
+// Hierarchy returns the HCD the index searches over.
+func (ix *Index) Hierarchy() *hierarchy.HCD { return ix.h }
+
+// Stats returns the whole-graph statistics metrics normalise by.
+func (ix *Index) Stats() metrics.GraphStats {
+	return metrics.GraphStats{N: int64(ix.g.NumVertices()), M: ix.g.NumEdges()}
+}
+
+// rankLess orders vertices by vertex rank (Definition 4): coreness first,
+// id as the tie-break.
+func (ix *Index) rankLess(a, b int32) bool {
+	return ix.core[a] < ix.core[b] || (ix.core[a] == ix.core[b] && a < b)
+}
+
+// Result reports the outcome of one subgraph search.
+type Result struct {
+	// Node is the winning k-core's tree node (hierarchy.Nil on an empty
+	// hierarchy).
+	Node hierarchy.NodeID
+	// K is the winning k-core's coreness level.
+	K int32
+	// Score is the winning k-core's community score.
+	Score float64
+	// Values are the winning k-core's primary values.
+	Values metrics.PrimaryValues
+	// Scores holds every tree node's score, indexed by NodeID.
+	Scores []float64
+}
+
+// Search runs PBKS: it computes the primary values the metric needs
+// (Algorithm 4 for Type A, Algorithm 5 for Type B), folds them bottom-up,
+// scores every k-core and returns the best one. Ties break toward the
+// smaller node id so results are deterministic.
+func (ix *Index) Search(m metrics.Metric, threads int) Result {
+	nn := ix.h.NumNodes()
+	if nn == 0 {
+		return Result{Node: hierarchy.Nil}
+	}
+	var vals []metrics.PrimaryValues
+	if m.Kind() == metrics.TypeA {
+		vals = ix.PrimaryA(threads)
+	} else {
+		vals = ix.PrimaryB(threads)
+	}
+	return ix.pick(m, vals, threads)
+}
+
+// pick evaluates the metric on every node's primary values and returns the
+// argmax (Algorithm 3 lines 9-11).
+func (ix *Index) pick(m metrics.Metric, vals []metrics.PrimaryValues, threads int) Result {
+	nn := ix.h.NumNodes()
+	stats := ix.Stats()
+	scores := make([]float64, nn)
+	p := par.Threads(threads)
+	type best struct {
+		node  hierarchy.NodeID
+		score float64
+	}
+	bests := make([]best, p)
+	par.For(p, p, func(tlo, thi int) {
+		for t := tlo; t < thi; t++ {
+			b := best{node: hierarchy.Nil}
+			for i := t * nn / p; i < (t+1)*nn/p; i++ {
+				s := m.Score(vals[i], stats)
+				scores[i] = s
+				if b.node == hierarchy.Nil || s > b.score {
+					b = best{hierarchy.NodeID(i), s}
+				}
+			}
+			bests[t] = b
+		}
+	})
+	win := best{node: hierarchy.Nil}
+	for _, b := range bests {
+		if b.node == hierarchy.Nil {
+			continue
+		}
+		if win.node == hierarchy.Nil || b.score > win.score {
+			win = b
+		}
+	}
+	return Result{
+		Node:   win.node,
+		K:      ix.h.K[win.node],
+		Score:  win.score,
+		Values: vals[win.node],
+		Scores: scores,
+	}
+}
+
+// SearchConstrained is Search restricted to k-cores whose vertex count
+// lies in [minSize, maxSize] (maxSize <= 0 means unbounded) — the
+// size-constrained variant §VI mentions among the k-core problems PBKS
+// serves. It returns Node == hierarchy.Nil when no k-core satisfies the
+// constraint.
+func (ix *Index) SearchConstrained(m metrics.Metric, minSize, maxSize int64, threads int) Result {
+	nn := ix.h.NumNodes()
+	if nn == 0 {
+		return Result{Node: hierarchy.Nil}
+	}
+	var vals []metrics.PrimaryValues
+	if m.Kind() == metrics.TypeA {
+		vals = ix.PrimaryA(threads)
+	} else {
+		vals = ix.PrimaryB(threads)
+	}
+	stats := ix.Stats()
+	scores := make([]float64, nn)
+	best := hierarchy.Nil
+	for i := 0; i < nn; i++ {
+		if vals[i].N < minSize || (maxSize > 0 && vals[i].N > maxSize) {
+			scores[i] = math.Inf(-1)
+			continue
+		}
+		scores[i] = m.Score(vals[i], stats)
+		if best == hierarchy.Nil || scores[i] > scores[best] {
+			best = hierarchy.NodeID(i)
+		}
+	}
+	if best == hierarchy.Nil {
+		return Result{Node: hierarchy.Nil, Scores: scores}
+	}
+	return Result{
+		Node:   best,
+		K:      ix.h.K[best],
+		Score:  scores[best],
+		Values: vals[best],
+		Scores: scores,
+	}
+}
+
+// BestPerLevel returns, for every coreness level k with at least one tree
+// node, the best-scoring k-core at that level — the per-k view behind the
+// §VI "finding the best k" analyses. The slice is indexed by k; levels
+// with no k-core have Node == hierarchy.Nil.
+func (ix *Index) BestPerLevel(m metrics.Metric, threads int) []Result {
+	out := make([]Result, ix.kmax+1)
+	for k := range out {
+		out[k].Node = hierarchy.Nil
+	}
+	nn := ix.h.NumNodes()
+	if nn == 0 {
+		return out
+	}
+	var vals []metrics.PrimaryValues
+	if m.Kind() == metrics.TypeA {
+		vals = ix.PrimaryA(threads)
+	} else {
+		vals = ix.PrimaryB(threads)
+	}
+	stats := ix.Stats()
+	for i := 0; i < nn; i++ {
+		k := ix.h.K[i]
+		s := m.Score(vals[i], stats)
+		if out[k].Node == hierarchy.Nil || s > out[k].Score {
+			out[k] = Result{Node: hierarchy.NodeID(i), K: k, Score: s, Values: vals[i]}
+		}
+	}
+	return out
+}

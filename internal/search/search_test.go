@@ -1,0 +1,394 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hcd/internal/coredecomp"
+	"hcd/internal/gen"
+	"hcd/internal/graph"
+	"hcd/internal/hierarchy"
+	"hcd/internal/metrics"
+)
+
+// brutePrimary computes every tree node's primary values directly from
+// the definition: materialise the core's vertex set and count.
+func brutePrimary(g *graph.Graph, h *hierarchy.HCD) []metrics.PrimaryValues {
+	out := make([]metrics.PrimaryValues, h.NumNodes())
+	n := g.NumVertices()
+	in := make([]bool, n)
+	for i := 0; i < h.NumNodes(); i++ {
+		vs := h.CoreVertices(hierarchy.NodeID(i))
+		for _, v := range vs {
+			in[v] = true
+		}
+		var pv metrics.PrimaryValues
+		pv.N = int64(len(vs))
+		degS := make(map[int32]int64, len(vs))
+		for _, v := range vs {
+			for _, u := range g.Neighbors(v) {
+				if in[u] {
+					if v < u {
+						pv.M++
+					}
+					degS[v]++
+				} else {
+					pv.B++
+				}
+			}
+		}
+		// Triplets: sum of C(deg_S(v), 2).
+		for _, d := range degS {
+			pv.Triplets += d * (d - 1) / 2
+		}
+		// Triangles by enumeration.
+		for _, v := range vs {
+			for _, u := range g.Neighbors(v) {
+				if !in[u] || u <= v {
+					continue
+				}
+				for _, w := range g.Neighbors(u) {
+					if in[w] && w > u && g.HasEdge(v, w) {
+						pv.Triangles++
+					}
+				}
+			}
+		}
+		out[i] = pv
+		for _, v := range vs {
+			in[v] = false
+		}
+	}
+	return out
+}
+
+func setup(g *graph.Graph) ([]int32, *hierarchy.HCD) {
+	core := coredecomp.Serial(g)
+	return core, hierarchy.BruteForce(g, core)
+}
+
+func pvEqual(a, b metrics.PrimaryValues, typeB bool) bool {
+	if a.N != b.N || a.M != b.M || a.B != b.B {
+		return false
+	}
+	if typeB && (a.Triangles != b.Triangles || a.Triplets != b.Triplets) {
+		return false
+	}
+	return true
+}
+
+func testGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"fig1-like": graph.MustFromEdges(9, []graph.Edge{
+			{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2}, {U: 1, V: 3}, {U: 2, V: 3},
+			{U: 4, V: 5}, {U: 4, V: 6}, {U: 4, V: 7}, {U: 5, V: 6}, {U: 5, V: 7}, {U: 6, V: 7},
+			{U: 3, V: 8}, {U: 8, V: 4},
+		}),
+		"er":      gen.ErdosRenyi(150, 700, 1),
+		"ba":      gen.BarabasiAlbert(120, 4, 2),
+		"onion":   gen.Onion(5, 12, 2, 2, 2, 3),
+		"planted": gen.PlantedPartition(3, 30, 0.3, 0.02, 4),
+		"empty":   graph.MustFromEdges(3, nil),
+	}
+}
+
+func TestPrimaryAMatchesBruteForce(t *testing.T) {
+	for name, g := range testGraphs() {
+		core, h := setup(g)
+		want := brutePrimary(g, h)
+		for _, threads := range []int{1, 2, 5} {
+			ix := NewIndex(g, core, h, threads)
+			got := ix.PrimaryA(threads)
+			for i := range want {
+				if !pvEqual(got[i], want[i], false) {
+					t.Errorf("%s threads=%d node %d: PrimaryA %+v, want %+v",
+						name, threads, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPrimaryBMatchesBruteForce(t *testing.T) {
+	for name, g := range testGraphs() {
+		core, h := setup(g)
+		want := brutePrimary(g, h)
+		for _, threads := range []int{1, 3, 8} {
+			ix := NewIndex(g, core, h, threads)
+			got := ix.PrimaryB(threads)
+			for i := range want {
+				if !pvEqual(got[i], want[i], true) {
+					t.Errorf("%s threads=%d node %d: PrimaryB %+v, want %+v",
+						name, threads, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBKSPrimariesMatchBruteForce(t *testing.T) {
+	for name, g := range testGraphs() {
+		core, h := setup(g)
+		want := brutePrimary(g, h)
+		b := NewBKS(g, core, h)
+		gotA := b.primaryA()
+		gotB := b.primaryB()
+		for i := range want {
+			if !pvEqual(gotA[i], want[i], false) {
+				t.Errorf("%s node %d: BKS primaryA %+v, want %+v", name, i, gotA[i], want[i])
+			}
+			if !pvEqual(gotB[i], want[i], true) {
+				t.Errorf("%s node %d: BKS primaryB %+v, want %+v", name, i, gotB[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPBKSAndBKSAgreeOnAllMetrics(t *testing.T) {
+	for name, g := range testGraphs() {
+		core, h := setup(g)
+		if h.NumNodes() == 0 {
+			continue
+		}
+		ix := NewIndex(g, core, h, 4)
+		b := NewBKS(g, core, h)
+		for _, m := range metrics.All() {
+			rp := ix.Search(m, 4)
+			rs := b.Search(m)
+			if math.Abs(rp.Score-rs.Score) > 1e-9 {
+				t.Errorf("%s %s: PBKS score %v, BKS score %v", name, m.Name(), rp.Score, rs.Score)
+			}
+			if rp.Scores[rs.Node] != rs.Scores[rs.Node] {
+				t.Errorf("%s %s: per-node scores differ at BKS winner", name, m.Name())
+			}
+		}
+	}
+}
+
+func TestSearchReturnsArgmax(t *testing.T) {
+	g := testGraphs()["onion"]
+	core, h := setup(g)
+	ix := NewIndex(g, core, h, 2)
+	for _, m := range metrics.All() {
+		r := ix.Search(m, 2)
+		if len(r.Scores) != h.NumNodes() {
+			t.Fatalf("%s: Scores has %d entries", m.Name(), len(r.Scores))
+		}
+		for i, s := range r.Scores {
+			if s > r.Score {
+				t.Errorf("%s: node %d scores %v > reported best %v", m.Name(), i, s, r.Score)
+			}
+		}
+		if r.Scores[r.Node] != r.Score {
+			t.Errorf("%s: winner score inconsistent", m.Name())
+		}
+		if r.K != h.K[r.Node] {
+			t.Errorf("%s: reported K %d != node level %d", m.Name(), r.K, h.K[r.Node])
+		}
+	}
+}
+
+func TestSearchEmptyHierarchy(t *testing.T) {
+	g := graph.MustFromEdges(0, nil)
+	core, h := setup(g)
+	ix := NewIndex(g, core, h, 2)
+	if r := ix.Search(metrics.AverageDegree{}, 2); r.Node != hierarchy.Nil {
+		t.Error("empty hierarchy should return Nil node")
+	}
+	b := NewBKS(g, core, h)
+	if r := b.Search(metrics.AverageDegree{}); r.Node != hierarchy.Nil {
+		t.Error("empty hierarchy should return Nil node (BKS)")
+	}
+}
+
+func TestPrimariesProperty(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint16, p uint8) bool {
+		n := int(nRaw%80) + 1
+		m := int(mRaw % 500)
+		rng := rand.New(rand.NewSource(seed))
+		edges := make([]graph.Edge, m)
+		for i := range edges {
+			edges[i] = graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))}
+		}
+		g := graph.MustFromEdges(n, edges)
+		core, h := setup(g)
+		want := brutePrimary(g, h)
+		ix := NewIndex(g, core, h, int(p%6)+1)
+		got := ix.PrimaryB(int(p % 6))
+		for i := range want {
+			if !pvEqual(got[i], want[i], true) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestKSet(t *testing.T) {
+	g := gen.Onion(4, 15, 2, 3, 2, 9)
+	core, h := setup(g)
+	ix := NewIndex(g, core, h, 2)
+	m := metrics.AverageDegree{}
+	bestK, bestScore, scores := ix.BestKSet(m, 2)
+	// Brute-force every k-core set.
+	kmax := coredecomp.KMax(core)
+	in := make([]bool, g.NumVertices())
+	wantBest := -1.0
+	wantK := int32(0)
+	for k := int32(0); k <= kmax; k++ {
+		var nS, mS int64
+		for v := 0; v < g.NumVertices(); v++ {
+			in[v] = core[v] >= k
+			if in[v] {
+				nS++
+			}
+		}
+		if nS == 0 {
+			continue
+		}
+		g.Edges(func(u, v int32) {
+			if in[u] && in[v] {
+				mS++
+			}
+		})
+		s := m.Score(metrics.PrimaryValues{N: nS, M: mS}, metrics.GraphStats{})
+		if math.Abs(scores[k]-s) > 1e-9 {
+			t.Errorf("k=%d: BestKSet score %v, brute force %v", k, scores[k], s)
+		}
+		if s >= wantBest {
+			wantBest, wantK = s, k
+		}
+	}
+	if bestK != wantK || math.Abs(bestScore-wantBest) > 1e-9 {
+		t.Errorf("BestKSet = (%d, %v), want (%d, %v)", bestK, bestScore, wantK, wantBest)
+	}
+}
+
+func TestBestKSetRejectsTypeB(t *testing.T) {
+	g := gen.ErdosRenyi(30, 60, 1)
+	core, h := setup(g)
+	ix := NewIndex(g, core, h, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("BestKSet must reject Type B metrics")
+		}
+	}()
+	ix.BestKSet(metrics.ClusteringCoefficient{}, 1)
+}
+
+func BenchmarkPBKSTypeA(b *testing.B) {
+	g := gen.BarabasiAlbert(20000, 8, 1)
+	core := coredecomp.Serial(g)
+	h := hierarchy.BruteForce(g, core)
+	ix := NewIndex(g, core, h, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(metrics.AverageDegree{}, 0)
+	}
+}
+
+func BenchmarkPBKSTypeB(b *testing.B) {
+	g := gen.BarabasiAlbert(5000, 8, 1)
+	core := coredecomp.Serial(g)
+	h := hierarchy.BruteForce(g, core)
+	ix := NewIndex(g, core, h, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(metrics.ClusteringCoefficient{}, 0)
+	}
+}
+
+func BenchmarkBKSTypeB(b *testing.B) {
+	g := gen.BarabasiAlbert(5000, 8, 1)
+	core := coredecomp.Serial(g)
+	h := hierarchy.BruteForce(g, core)
+	bks := NewBKS(g, core, h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bks.Search(metrics.ClusteringCoefficient{})
+	}
+}
+
+func TestSearchConstrained(t *testing.T) {
+	g := testGraphs()["fig1-like"]
+	core, h := setup(g)
+	ix := NewIndex(g, core, h, 2)
+	m := metrics.AverageDegree{}
+	// Unconstrained equals Search.
+	all := ix.Search(m, 2)
+	same := ix.SearchConstrained(m, 0, 0, 2)
+	if all.Node != same.Node || all.Score != same.Score {
+		t.Errorf("unconstrained SearchConstrained differs from Search")
+	}
+	// Restrict to at most 4 vertices: only the K4s qualify.
+	small := ix.SearchConstrained(m, 0, 4, 2)
+	if small.Node == hierarchy.Nil || small.Values.N != 4 || math.Abs(small.Score-3) > 1e-9 {
+		t.Errorf("size-capped search = %+v, want a K4", small)
+	}
+	// Impossible window.
+	none := ix.SearchConstrained(m, 100, 200, 2)
+	if none.Node != hierarchy.Nil {
+		t.Errorf("impossible constraint returned node %d", none.Node)
+	}
+	// Assembled metric runs through the same engine.
+	w := metrics.Weighted{Terms: []metrics.WeightedTerm{
+		{Metric: metrics.InternalDensity{}, Coeff: 1},
+		{Metric: metrics.ClusteringCoefficient{}, Coeff: 1},
+	}}
+	r := ix.Search(w, 2)
+	if r.Node == hierarchy.Nil || math.Abs(r.Score-2) > 1e-9 {
+		t.Errorf("weighted search = %+v, want a K4 scoring 2 (density 1 + CC 1)", r)
+	}
+	// Empty hierarchy.
+	eg := graph.MustFromEdges(0, nil)
+	ecore, eh := setup(eg)
+	eix := NewIndex(eg, ecore, eh, 1)
+	if eix.SearchConstrained(m, 0, 0, 1).Node != hierarchy.Nil {
+		t.Error("empty hierarchy must return Nil")
+	}
+}
+
+func TestBestPerLevel(t *testing.T) {
+	g := testGraphs()["fig1-like"]
+	core, h := setup(g)
+	ix := NewIndex(g, core, h, 2)
+	m := metrics.AverageDegree{}
+	per := ix.BestPerLevel(m, 2)
+	if len(per) != 4 { // k = 0..3
+		t.Fatalf("per-level results = %d entries, want 4", len(per))
+	}
+	if per[0].Node != hierarchy.Nil || per[1].Node != hierarchy.Nil {
+		t.Error("levels without nodes must be Nil")
+	}
+	// Level 3: the better of the two K4s is any K4 (score 3).
+	if per[3].Node == hierarchy.Nil || math.Abs(per[3].Score-3) > 1e-9 {
+		t.Errorf("level-3 best = %+v", per[3])
+	}
+	// Level 2: the whole graph.
+	if per[2].Node == hierarchy.Nil || math.Abs(per[2].Score-28.0/9) > 1e-9 {
+		t.Errorf("level-2 best = %+v", per[2])
+	}
+	// The global Search winner must be the max over levels.
+	best := ix.Search(m, 2)
+	maxPer := -1.0
+	for _, r := range per {
+		if r.Node != hierarchy.Nil && r.Score > maxPer {
+			maxPer = r.Score
+		}
+	}
+	if math.Abs(best.Score-maxPer) > 1e-9 {
+		t.Errorf("Search %v != max per-level %v", best.Score, maxPer)
+	}
+	// Empty hierarchy.
+	eg := graph.MustFromEdges(0, nil)
+	ecore, eh := setup(eg)
+	eix := NewIndex(eg, ecore, eh, 1)
+	if got := eix.BestPerLevel(m, 1); len(got) != 1 || got[0].Node != hierarchy.Nil {
+		t.Errorf("empty per-level = %+v", got)
+	}
+}

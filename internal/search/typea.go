@@ -1,0 +1,95 @@
+package search
+
+import (
+	"sync/atomic"
+
+	"hcd/internal/metrics"
+	"hcd/internal/par"
+	"hcd/internal/treeaccum"
+)
+
+// PrimaryA computes, for every tree node, the Type A primary values —
+// n(S), m(S), b(S) — of the node's original k-core (Algorithm 4).
+//
+// Each vertex contributes to its own tree node, in parallel:
+//
+//	vertices:       +1
+//	edges (doubled): 2·gt_k + eq_k   (an edge to a deeper vertex counted
+//	                 once here; a same-shell edge counted by both ends)
+//	boundary:        lt_k − gt_k     (edges to shallower vertices appear,
+//	                 edges to deeper vertices stop being boundary)
+//
+// Bottom-up accumulation then turns per-node contributions into per-core
+// totals. Work: O(n) plus the once-only preprocessing — work-efficient.
+func (ix *Index) PrimaryA(threads int) []metrics.PrimaryValues {
+	nn := ix.h.NumNodes()
+	vals := make([]int64, nn*3) // rows: [n, 2m, b]
+	par.ForEach(ix.g.NumVertices(), threads, func(i int) {
+		v := int32(i)
+		gt := int64(ix.gtK[v])
+		eq := int64(ix.eqK[v])
+		lt := int64(ix.g.Degree(v)) - gt - eq
+		row := int(ix.h.TID[v]) * 3
+		atomic.AddInt64(&vals[row], 1)
+		atomic.AddInt64(&vals[row+1], 2*gt+eq)
+		atomic.AddInt64(&vals[row+2], lt-gt)
+	})
+	treeaccum.Accumulate(ix.h, vals, 3, threads)
+	out := make([]metrics.PrimaryValues, nn)
+	par.ForEach(nn, threads, func(i int) {
+		out[i] = metrics.PrimaryValues{
+			N: vals[i*3],
+			M: vals[i*3+1] / 2,
+			B: vals[i*3+2],
+		}
+	})
+	return out
+}
+
+// BestKSet evaluates the §VI "finding the best k" extension for a Type A
+// metric: instead of individual k-cores, score every k-core *set*
+// Kk = G[{v : c(v) >= k}] (possibly disconnected) and return the best k
+// with its score. Contributions are charged to shells and suffix-summed,
+// so the whole computation is O(n) after preprocessing.
+func (ix *Index) BestKSet(m metrics.Metric, threads int) (bestK int32, bestScore float64, scores []float64) {
+	if m.Kind() != metrics.TypeA {
+		panic("search: BestKSet supports Type A metrics only")
+	}
+	n := ix.g.NumVertices()
+	levels := int(ix.kmax) + 1
+	vals := make([]int64, levels*3)
+	par.ForEach(n, threads, func(i int) {
+		v := int32(i)
+		gt := int64(ix.gtK[v])
+		eq := int64(ix.eqK[v])
+		lt := int64(ix.g.Degree(v)) - gt - eq
+		row := int(ix.core[v]) * 3
+		atomic.AddInt64(&vals[row], 1)
+		atomic.AddInt64(&vals[row+1], 2*gt+eq)
+		atomic.AddInt64(&vals[row+2], lt-gt)
+	})
+	// Suffix sums: Kk contains every shell with c >= k.
+	for k := levels - 2; k >= 0; k-- {
+		for f := 0; f < 3; f++ {
+			vals[k*3+f] += vals[(k+1)*3+f]
+		}
+	}
+	stats := ix.Stats()
+	scores = make([]float64, levels)
+	bestK = 0
+	first := true
+	for k := 0; k < levels; k++ {
+		if vals[k*3] == 0 {
+			scores[k] = 0
+			continue // empty k-core set
+		}
+		pv := metrics.PrimaryValues{N: vals[k*3], M: vals[k*3+1] / 2, B: vals[k*3+2]}
+		scores[k] = m.Score(pv, stats)
+		// Ties prefer the larger k: when several levels induce the same
+		// subgraph (e.g. no 0-shell), report the tightest constraint.
+		if first || scores[k] >= bestScore {
+			bestK, bestScore, first = int32(k), scores[k], false
+		}
+	}
+	return bestK, bestScore, scores
+}

@@ -1,0 +1,142 @@
+package search
+
+import (
+	"sync/atomic"
+
+	"hcd/internal/metrics"
+	"hcd/internal/par"
+	"hcd/internal/treeaccum"
+)
+
+// PrimaryB computes, for every tree node, the Type B primary values —
+// Δ(S) triangles and t(S) triplets — of the node's original k-core
+// (Algorithm 5), alongside the Type A values (so any metric mixing the two
+// still works).
+//
+// Counting is vertex-centric and rank-unique: a motif joins exactly the
+// k-cores containing its lowest-vertex-rank endpoint (any other endpoint
+// is adjacent to it with coreness at least as high, so membership is
+// equivalent), and is therefore charged once, to that endpoint's tree
+// node.
+//
+//   - Triangles: edges are oriented from lower to higher degree (ties by
+//     id); for each oriented edge (u→v) the common neighbors w of u and v
+//     are enumerated from N(u), and (u,v,w) is counted iff w has the lowest
+//     rank of the three — Σ min(d(u),d(v)) = O(m^1.5) work.
+//   - Triplets centered at v: C(gt,2) of them have both endpoints at
+//     coreness >= c(v) and are charged to v's node; for each lower level k
+//     with cnt_k neighbors in Hk, C(cnt_k,2) + gt_k·cnt_k triplets join at
+//     level k and are charged to any Hk-neighbor's node (they all share
+//     it, being connected through v in G[c >= k]) — O(m) work.
+//
+// Bottom-up accumulation then yields per-core totals. Total work O(m^1.5),
+// matching the best sequential bound for triangle counting: work-efficient.
+func (ix *Index) PrimaryB(threads int) []metrics.PrimaryValues {
+	g, h := ix.g, ix.h
+	n := g.NumVertices()
+	nn := h.NumNodes()
+	vals := make([]int64, nn*2) // rows: [triangles, triplets]
+	p := par.Threads(threads)
+
+	// Split vertices into p contiguous ranges of roughly equal adjacency
+	// volume, so degree skew does not starve threads.
+	bounds := ix.edgeBalancedBounds(p)
+
+	par.For(p, p, func(tlo, thi int) {
+		for t := tlo; t < thi; t++ {
+			lo, hi := bounds[t], bounds[t+1]
+			// Per-thread scratch.
+			mark := make([]int32, n) // mark[w] == v+1  <=>  w in N(v)
+			cnt := make([]int32, ix.kmax+1)
+			rep := make([]int32, ix.kmax+1)
+			for v := lo; v < hi; v++ {
+				ix.countVertex(int32(v), mark, cnt, rep, vals)
+			}
+		}
+	})
+	treeaccum.Accumulate(h, vals, 2, threads)
+
+	a := ix.PrimaryA(threads)
+	out := make([]metrics.PrimaryValues, nn)
+	par.ForEach(nn, threads, func(i int) {
+		out[i] = a[i]
+		out[i].Triangles = vals[i*2]
+		out[i].Triplets = vals[i*2+1]
+	})
+	return out
+}
+
+// countVertex adds vertex v's triangle and triplet contributions to vals
+// (atomically — several vertices may charge the same node concurrently).
+func (ix *Index) countVertex(v int32, mark, cnt, rep []int32, vals []int64) {
+	g, core, h := ix.g, ix.core, ix.h
+	dv := int32(g.Degree(v))
+
+	// --- Triangles (Algorithm 5 lines 2-7) ---
+	for _, u := range g.Neighbors(v) {
+		mark[u] = v + 1
+	}
+	for _, u := range g.Neighbors(v) {
+		du := int32(g.Degree(u))
+		if du < dv || (du == dv && u < v) {
+			for _, w := range g.Neighbors(u) {
+				if mark[w] == v+1 && ix.rankLess(w, u) && ix.rankLess(w, v) {
+					atomic.AddInt64(&vals[int(h.TID[w])*2], 1)
+				}
+			}
+		}
+	}
+
+	// --- Triplets centered at v (Algorithm 5 lines 8-15) ---
+	// gt = |{u in N(v) : c(u) >= c(v)}| via the preprocessing.
+	gt := int64(ix.gtK[v]) + int64(ix.eqK[v])
+	atomic.AddInt64(&vals[int(h.TID[v])*2+1], gt*(gt-1)/2)
+	cv := core[v]
+	touched := false
+	for _, u := range g.Neighbors(v) {
+		if core[u] < cv {
+			cnt[core[u]]++
+			rep[core[u]] = u
+			touched = true
+		}
+	}
+	if touched {
+		for k := cv - 1; k >= 0; k-- {
+			if c := int64(cnt[k]); c > 0 {
+				w := rep[k]
+				atomic.AddInt64(&vals[int(h.TID[w])*2+1], c*(c-1)/2+gt*c)
+				gt += c
+				cnt[k] = 0
+			}
+		}
+	}
+}
+
+// edgeBalancedBounds splits [0, n) into p contiguous vertex ranges with
+// approximately equal total degree.
+func (ix *Index) edgeBalancedBounds(p int) []int {
+	n := ix.g.NumVertices()
+	bounds := make([]int, p+1)
+	total := 2 * ix.g.NumEdges()
+	if n == 0 || total == 0 {
+		for t := 0; t <= p; t++ {
+			bounds[t] = t * n / p
+		}
+		return bounds
+	}
+	target := total / int64(p)
+	var acc int64
+	t := 1
+	for v := 0; v < n && t < p; v++ {
+		acc += int64(ix.g.Degree(int32(v)))
+		if acc >= int64(t)*target {
+			bounds[t] = v + 1
+			t++
+		}
+	}
+	for ; t < p; t++ {
+		bounds[t] = n
+	}
+	bounds[p] = n
+	return bounds
+}

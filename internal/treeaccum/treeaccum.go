@@ -1,0 +1,74 @@
+// Package treeaccum implements parallel bottom-up tree accumulation on the
+// HCD forest — the primitive behind Algorithm 3's lines 6-9, which sum each
+// tree node's primary-value contributions into its ancestors so that every
+// node ends up holding the primary values of its whole original k-core.
+//
+// The implementation is level-synchronous over node depth (a simple,
+// barrier-per-level form of the parallel tree accumulation of Sevilgen,
+// Aluru and Futamura [36]): all nodes at the deepest level add their rows
+// into their parents concurrently with atomic adds, then the next level up,
+// and so on. Work is O(|T|·width); the number of barriers is the forest
+// height.
+package treeaccum
+
+import (
+	"sync/atomic"
+
+	"hcd/internal/hierarchy"
+	"hcd/internal/par"
+)
+
+// Accumulate folds vals bottom-up over the forest: vals is a row-major
+// matrix with one row of `width` int64 values per tree node; on return,
+// row i holds the sum of the original rows over node i's entire subtree.
+// threads <= 0 means GOMAXPROCS.
+func Accumulate(h *hierarchy.HCD, vals []int64, width, threads int) {
+	nn := h.NumNodes()
+	if nn == 0 || width == 0 {
+		return
+	}
+	if len(vals) != nn*width {
+		panic("treeaccum: vals size does not match node count and width")
+	}
+	depth := h.Depth()
+	maxDepth := int32(0)
+	for _, d := range depth {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	byDepth := make([][]hierarchy.NodeID, maxDepth+1)
+	for i := 0; i < nn; i++ {
+		byDepth[depth[i]] = append(byDepth[depth[i]], hierarchy.NodeID(i))
+	}
+	for d := maxDepth; d >= 1; d-- {
+		nodes := byDepth[d]
+		par.ForEach(len(nodes), threads, func(i int) {
+			id := nodes[i]
+			pa := h.Parent[id]
+			for f := 0; f < width; f++ {
+				atomic.AddInt64(&vals[int(pa)*width+f], vals[int(id)*width+f])
+			}
+		})
+	}
+}
+
+// AccumulateSerial is the serial reference used by the BKS baseline and by
+// tests: a single bottom-up pass in child-before-parent order.
+func AccumulateSerial(h *hierarchy.HCD, vals []int64, width int) {
+	if h.NumNodes() == 0 || width == 0 {
+		return
+	}
+	if len(vals) != h.NumNodes()*width {
+		panic("treeaccum: vals size does not match node count and width")
+	}
+	for _, id := range h.BottomUp() {
+		pa := h.Parent[id]
+		if pa == hierarchy.Nil {
+			continue
+		}
+		for f := 0; f < width; f++ {
+			vals[int(pa)*width+f] += vals[int(id)*width+f]
+		}
+	}
+}

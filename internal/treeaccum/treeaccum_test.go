@@ -1,0 +1,108 @@
+package treeaccum
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hcd/internal/coredecomp"
+	"hcd/internal/gen"
+	"hcd/internal/graph"
+	"hcd/internal/hierarchy"
+)
+
+func buildHCD(t *testing.T, g *graph.Graph) *hierarchy.HCD {
+	t.Helper()
+	return hierarchy.BruteForce(g, coredecomp.Serial(g))
+}
+
+func TestAccumulateMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	graphs := []*graph.Graph{
+		gen.Onion(6, 10, 2, 2, 3, 1),
+		gen.ErdosRenyi(200, 800, 2),
+		gen.BarabasiAlbert(150, 4, 3),
+	}
+	for gi, g := range graphs {
+		h := buildHCD(t, g)
+		nn := h.NumNodes()
+		for _, width := range []int{1, 3} {
+			vals := make([]int64, nn*width)
+			for i := range vals {
+				vals[i] = int64(rng.Intn(1000) - 500)
+			}
+			want := append([]int64(nil), vals...)
+			AccumulateSerial(h, want, width)
+			for _, threads := range []int{1, 2, 8} {
+				got := append([]int64(nil), vals...)
+				Accumulate(h, got, width, threads)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("graph %d width %d threads %d: parallel accumulation differs", gi, width, threads)
+				}
+			}
+		}
+	}
+}
+
+func TestAccumulateSubtreeSums(t *testing.T) {
+	g := gen.Onion(5, 8, 2, 2, 2, 9)
+	h := buildHCD(t, g)
+	nn := h.NumNodes()
+	// Row = vertex count of the node; after accumulation row i must equal
+	// the node's core size.
+	vals := make([]int64, nn)
+	for i := 0; i < nn; i++ {
+		vals[i] = int64(len(h.Vertices[i]))
+	}
+	Accumulate(h, vals, 1, 4)
+	for i := 0; i < nn; i++ {
+		if want := int64(h.CoreSize(hierarchy.NodeID(i))); vals[i] != want {
+			t.Errorf("node %d: accumulated %d, want core size %d", i, vals[i], want)
+		}
+	}
+}
+
+func TestAccumulateEmptyAndPanics(t *testing.T) {
+	h := &hierarchy.HCD{}
+	Accumulate(h, nil, 3, 2) // no-op, must not panic
+	AccumulateSerial(h, nil, 3)
+
+	g := graph.MustFromEdges(2, []graph.Edge{{U: 0, V: 1}})
+	h2 := buildHCD(t, g)
+	defer func() {
+		if recover() == nil {
+			t.Error("size mismatch must panic")
+		}
+	}()
+	Accumulate(h2, make([]int64, 1), 2, 1)
+}
+
+func BenchmarkAccumulateParallel(b *testing.B) {
+	g := gen.Onion(8, 200, 2, 3, 4, 1)
+	h := hierarchy.BruteForce(g, coredecomp.Serial(g))
+	vals := make([]int64, h.NumNodes()*3)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	work := make([]int64, len(vals))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, vals)
+		Accumulate(h, work, 3, 0)
+	}
+}
+
+func BenchmarkAccumulateSerialRef(b *testing.B) {
+	g := gen.Onion(8, 200, 2, 3, 4, 1)
+	h := hierarchy.BruteForce(g, coredecomp.Serial(g))
+	vals := make([]int64, h.NumNodes()*3)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	work := make([]int64, len(vals))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, vals)
+		AccumulateSerial(h, work, 3)
+	}
+}

@@ -1,0 +1,296 @@
+// Package truss implements the §VI extension "other cohesive subgraph
+// models": k-truss decomposition and a truss hierarchy built with the same
+// union-find-with-pivot paradigm as PHCD, demonstrating that the paper's
+// framework generalises beyond k-core.
+//
+// A k-truss is a maximal subgraph in which every edge participates in at
+// least k-2 triangles; every edge has a trussness value analogous to
+// coreness. Decompose computes edge trussness by support peeling (the
+// standard O(m^1.5) algorithm); BuildHierarchy then assembles the forest
+// of k-truss components bottom-up: edge-shells are added in descending
+// trussness and connectivity is maintained in a union-find over edges
+// whose roots are the components' pivots — a direct transplant of
+// Algorithm 2 from vertices to edges.
+package truss
+
+import (
+	"sort"
+
+	"hcd/internal/graph"
+	"hcd/internal/hierarchy"
+	"hcd/internal/unionfind"
+)
+
+// EdgeIndex gives every undirected edge a dense id and maps both CSR
+// directions to it.
+type EdgeIndex struct {
+	// U, V are the endpoints of edge id e, with U[e] < V[e].
+	U, V []int32
+	// id[d] is the edge id of the d-th directed CSR slot of the graph.
+	id      []int32
+	offsets []int64 // CSR offsets, mirroring the graph's
+	g       *graph.Graph
+}
+
+// NewEdgeIndex enumerates g's undirected edges in (u, v) lexicographic
+// order and builds the directed-slot lookup.
+func NewEdgeIndex(g *graph.Graph) *EdgeIndex {
+	m := int(g.NumEdges())
+	n := g.NumVertices()
+	ix := &EdgeIndex{
+		U:       make([]int32, 0, m),
+		V:       make([]int32, 0, m),
+		id:      make([]int32, 2*m),
+		offsets: make([]int64, n+1),
+		g:       g,
+	}
+	for v := 0; v < n; v++ {
+		ix.offsets[v+1] = ix.offsets[v] + int64(g.Degree(int32(v)))
+	}
+	// First pass: assign ids to (u < v) slots in CSR order.
+	slot := 0
+	for u := int32(0); u < int32(g.NumVertices()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				ix.id[slot] = int32(len(ix.U))
+				ix.U = append(ix.U, u)
+				ix.V = append(ix.V, v)
+			}
+			slot++
+		}
+	}
+	// Second pass: fill the v > u direction by locating u in v's list.
+	slot = 0
+	for u := int32(0); u < int32(g.NumVertices()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u > v {
+				ix.id[slot] = ix.Lookup(v, u)
+			}
+			slot++
+		}
+	}
+	return ix
+}
+
+// Lookup returns the edge id of (u, v) with u < v, or -1 if absent.
+// O(log d(u)).
+func (ix *EdgeIndex) Lookup(u, v int32) int32 {
+	list := ix.g.Neighbors(u)
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= v })
+	if i == len(list) || list[i] != v {
+		return -1
+	}
+	return ix.slotID(u, i)
+}
+
+// slotID returns the edge id stored for the i-th slot of u's list.
+func (ix *EdgeIndex) slotID(u int32, i int) int32 {
+	return ix.id[ix.offsets[u]+int64(i)]
+}
+
+func (ix *EdgeIndex) offset(u int32) int64 { return ix.offsets[u] }
+
+// Decompose computes the trussness of every edge by support peeling.
+// Returns the edge index and the trussness array (indexed by edge id);
+// trussness is at least 2 for every edge.
+func Decompose(g *graph.Graph) (*EdgeIndex, []int32) {
+	ix := NewEdgeIndex(g)
+	m := len(ix.U)
+	support := make([]int32, m)
+	// Support counting: orient by degree, enumerate each triangle once,
+	// bump all three edges.
+	n := g.NumVertices()
+	mark := make([]int32, n)
+	markSlot := make([]int32, n) // edge id of (v, w) for marked w
+	for v := int32(0); v < int32(n); v++ {
+		for i, w := range g.Neighbors(v) {
+			mark[w] = v + 1
+			markSlot[w] = ix.id[ix.offset(v)+int64(i)]
+		}
+		dv := g.Degree(v)
+		for i, u := range g.Neighbors(v) {
+			du := g.Degree(u)
+			if du < dv || (du == dv && u < v) {
+				euv := ix.id[ix.offset(v)+int64(i)]
+				for j, w := range g.Neighbors(u) {
+					// Count triangle (v, u, w) once: require w "after" u in
+					// the same degree order and w marked as v's neighbor.
+					dw := g.Degree(w)
+					if mark[w] == v+1 && (dw < du || (dw == du && w < u)) {
+						euw := markSlot[w]
+						evw := ix.id[ix.offset(u)+int64(j)]
+						support[euv]++
+						support[euw]++
+						support[evw]++
+					}
+				}
+			}
+		}
+	}
+	// Peel edges in ascending support (bin queue with lazy updates).
+	truss := make([]int32, m)
+	maxSup := int32(0)
+	for _, s := range support {
+		if s > maxSup {
+			maxSup = s
+		}
+	}
+	buckets := make([][]int32, maxSup+1)
+	for e := 0; e < m; e++ {
+		buckets[support[e]] = append(buckets[support[e]], int32(e))
+	}
+	removed := make([]bool, m)
+	cur := int32(0) // monotone: decrements clamp at cur, so nothing ever drops below
+	for processed := 0; processed < m; {
+		for cur <= maxSup && len(buckets[cur]) == 0 {
+			cur++
+		}
+		b := buckets[cur]
+		e := b[len(b)-1]
+		buckets[cur] = b[:len(b)-1]
+		if removed[e] || support[e] != cur {
+			continue
+		}
+		removed[e] = true
+		truss[e] = cur + 2
+		processed++
+		// Decrement the supports of the other two edges of each surviving
+		// triangle through e = (u, v).
+		u, v := ix.U[e], ix.V[e]
+		if g.Degree(u) > g.Degree(v) {
+			u, v = v, u
+		}
+		for i, w := range g.Neighbors(u) {
+			if w == v {
+				continue
+			}
+			euw := ix.id[ix.offset(u)+int64(i)]
+			if removed[euw] {
+				continue
+			}
+			evw := ix.Lookup(min(v, w), max(v, w))
+			if evw < 0 || removed[evw] {
+				continue
+			}
+			for _, other := range []int32{euw, evw} {
+				if support[other] > cur {
+					support[other]--
+					buckets[support[other]] = append(buckets[support[other]], other)
+				}
+			}
+		}
+	}
+	return ix, truss
+}
+
+// BuildHierarchy assembles the truss hierarchy with the PHCD paradigm:
+// edges are added in descending trussness; connectivity between edges
+// sharing an endpoint is maintained in a union-find whose roots are the
+// components' pivots; one tree node is created per pivot and parents are
+// found exactly as in Algorithm 2 Step 4. The returned forest reuses the
+// hierarchy.HCD container with edge ids in place of vertex ids.
+func BuildHierarchy(g *graph.Graph, ix *EdgeIndex, truss []int32) *hierarchy.HCD {
+	m := len(truss)
+	h := &hierarchy.HCD{TID: make([]hierarchy.NodeID, m)}
+	for i := range h.TID {
+		h.TID[i] = hierarchy.Nil
+	}
+	if m == 0 {
+		return h
+	}
+	kmax := int32(2)
+	for _, t := range truss {
+		if t > kmax {
+			kmax = t
+		}
+	}
+	// Edge rank: (trussness, id) — the edge analogue of Definition 4.
+	order := make([]int32, m)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ea, eb := order[a], order[b]
+		if truss[ea] != truss[eb] {
+			return truss[ea] < truss[eb]
+		}
+		return ea < eb
+	})
+	rank := make([]int32, m)
+	for r, e := range order {
+		rank[e] = int32(r)
+	}
+	shells := make([][]int32, kmax+1)
+	for e := 0; e < m; e++ {
+		shells[truss[e]] = append(shells[truss[e]], int32(e))
+	}
+	uf := unionfind.NewConcurrent(m, rank)
+
+	newNode := func(k int32) hierarchy.NodeID {
+		id := hierarchy.NodeID(len(h.K))
+		h.K = append(h.K, k)
+		h.Parent = append(h.Parent, hierarchy.Nil)
+		h.Children = append(h.Children, nil)
+		h.Vertices = append(h.Vertices, nil)
+		return id
+	}
+	inKpc := make([]bool, m)
+	adjEdges := func(e int32, fn func(o int32)) {
+		for _, end := range []int32{ix.U[e], ix.V[e]} {
+			off := ix.offset(end)
+			for i := range g.Neighbors(end) {
+				if o := ix.id[off+int64(i)]; o != e {
+					fn(o)
+				}
+			}
+		}
+	}
+	for k := kmax; k >= 2; k-- {
+		shell := shells[k]
+		if len(shell) == 0 {
+			continue
+		}
+		// Step 1: pivots of deeper truss components adjacent to the shell.
+		var kpc []int32
+		for _, e := range shell {
+			adjEdges(e, func(o int32) {
+				if truss[o] > k {
+					pvt := uf.Find(o)
+					if !inKpc[pvt] {
+						inKpc[pvt] = true
+						kpc = append(kpc, pvt)
+					}
+				}
+			})
+		}
+		// Step 2: connect the shell.
+		for _, e := range shell {
+			adjEdges(e, func(o int32) {
+				if truss[o] > k || (truss[o] == k && o > e) {
+					uf.Union(e, o)
+				}
+			})
+		}
+		// Step 3: nodes per pivot.
+		for _, e := range shell {
+			if uf.Find(e) == e {
+				h.TID[e] = newNode(k)
+			}
+		}
+		for _, e := range shell {
+			pvt := uf.Find(e)
+			id := h.TID[pvt]
+			h.TID[e] = id
+			h.Vertices[id] = append(h.Vertices[id], e)
+		}
+		// Step 4: parents.
+		for _, v := range kpc {
+			inKpc[v] = false
+			ch := h.TID[v]
+			pa := h.TID[uf.Find(v)]
+			h.Parent[ch] = pa
+			h.Children[pa] = append(h.Children[pa], ch)
+		}
+	}
+	return h
+}

@@ -1,0 +1,259 @@
+package truss
+
+import (
+	"math/rand"
+	"testing"
+
+	"hcd/internal/gen"
+	"hcd/internal/graph"
+	"hcd/internal/hierarchy"
+)
+
+// bruteTruss computes edge trussness straight from the definition:
+// for ascending k, repeatedly delete edges with fewer than k-2 triangles.
+func bruteTruss(g *graph.Graph, ix *EdgeIndex) []int32 {
+	m := len(ix.U)
+	truss := make([]int32, m)
+	alive := make([]bool, m)
+	for e := range alive {
+		alive[e] = true
+		truss[e] = 2
+	}
+	countSupport := func(e int32) int {
+		u, v := ix.U[e], ix.V[e]
+		sup := 0
+		for _, w := range g.Neighbors(u) {
+			if w == v {
+				continue
+			}
+			euw := ix.Lookup(min(u, w), max(u, w))
+			evw := ix.Lookup(min(v, w), max(v, w))
+			if evw >= 0 && alive[euw] && alive[evw] {
+				sup++
+			}
+		}
+		return sup
+	}
+	for k := int32(3); ; k++ {
+		// Remove edges with support < k-2 until stable.
+		for {
+			removedAny := false
+			for e := int32(0); e < int32(m); e++ {
+				if alive[e] && countSupport(e) < int(k-2) {
+					alive[e] = false
+					removedAny = true
+				}
+			}
+			if !removedAny {
+				break
+			}
+		}
+		anyAlive := false
+		for e := int32(0); e < int32(m); e++ {
+			if alive[e] {
+				truss[e] = k
+				anyAlive = true
+			}
+		}
+		if !anyAlive {
+			return truss
+		}
+	}
+}
+
+func randomGraph(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))}
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+func TestEdgeIndexRoundTrip(t *testing.T) {
+	g := randomGraph(50, 200, 1)
+	ix := NewEdgeIndex(g)
+	if int64(len(ix.U)) != g.NumEdges() {
+		t.Fatalf("edge count %d != %d", len(ix.U), g.NumEdges())
+	}
+	for e := int32(0); e < int32(len(ix.U)); e++ {
+		if ix.U[e] >= ix.V[e] {
+			t.Fatalf("edge %d endpoints not ordered", e)
+		}
+		if got := ix.Lookup(ix.U[e], ix.V[e]); got != e {
+			t.Fatalf("Lookup(%d,%d) = %d, want %d", ix.U[e], ix.V[e], got, e)
+		}
+	}
+	if ix.Lookup(0, 0) != -1 && g.HasEdge(0, 0) {
+		t.Error("self lookup")
+	}
+}
+
+func TestDecomposeKnownGraphs(t *testing.T) {
+	// K4: every edge is in 2 triangles -> trussness 4.
+	var edges []graph.Edge
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			edges = append(edges, graph.Edge{U: int32(i), V: int32(j)})
+		}
+	}
+	g := graph.MustFromEdges(4, edges)
+	_, tr := Decompose(g)
+	for e, k := range tr {
+		if k != 4 {
+			t.Errorf("K4 edge %d trussness %d, want 4", e, k)
+		}
+	}
+	// Path: no triangles -> trussness 2.
+	p := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	_, tr2 := Decompose(p)
+	for e, k := range tr2 {
+		if k != 2 {
+			t.Errorf("path edge %d trussness %d, want 2", e, k)
+		}
+	}
+}
+
+func TestDecomposeMatchesBruteForce(t *testing.T) {
+	for trial := int64(0); trial < 15; trial++ {
+		g := randomGraph(25, 90, trial)
+		ix, got := Decompose(g)
+		want := bruteTruss(g, ix)
+		for e := range got {
+			if got[e] != want[e] {
+				t.Fatalf("trial %d edge %d (%d,%d): trussness %d, want %d",
+					trial, e, ix.U[e], ix.V[e], got[e], want[e])
+			}
+		}
+	}
+}
+
+// bruteTrussHierarchy mirrors hierarchy.BruteForce over the edge graph:
+// components of {e : truss(e) >= k} connected via shared endpoints.
+func bruteTrussHierarchy(g *graph.Graph, ix *EdgeIndex, truss []int32) *hierarchy.HCD {
+	m := len(truss)
+	h := &hierarchy.HCD{TID: make([]hierarchy.NodeID, m)}
+	for i := range h.TID {
+		h.TID[i] = hierarchy.Nil
+	}
+	kmax := int32(2)
+	for _, k := range truss {
+		if k > kmax {
+			kmax = k
+		}
+	}
+	deepest := make([]hierarchy.NodeID, m)
+	for i := range deepest {
+		deepest[i] = hierarchy.Nil
+	}
+	adj := func(e int32, fn func(o int32)) {
+		for _, end := range []int32{ix.U[e], ix.V[e]} {
+			for i := range g.Neighbors(end) {
+				if o := ix.id[ix.offset(end)+int64(i)]; o != e {
+					fn(o)
+				}
+			}
+		}
+	}
+	for k := kmax; k >= 2; k-- {
+		comp := make([]int32, m)
+		for i := range comp {
+			comp[i] = -1
+		}
+		var compEdges [][]int32
+		for e := int32(0); e < int32(m); e++ {
+			if truss[e] < k || comp[e] >= 0 {
+				continue
+			}
+			id := int32(len(compEdges))
+			queue := []int32{e}
+			comp[e] = id
+			var list []int32
+			for len(queue) > 0 {
+				x := queue[len(queue)-1]
+				queue = queue[:len(queue)-1]
+				list = append(list, x)
+				adj(x, func(o int32) {
+					if truss[o] >= k && comp[o] < 0 {
+						comp[o] = id
+						queue = append(queue, o)
+					}
+				})
+			}
+			compEdges = append(compEdges, list)
+		}
+		for _, list := range compEdges {
+			var shell []int32
+			for _, e := range list {
+				if truss[e] == k {
+					shell = append(shell, e)
+				}
+			}
+			if len(shell) == 0 {
+				continue
+			}
+			id := hierarchy.NodeID(len(h.K))
+			h.K = append(h.K, k)
+			h.Parent = append(h.Parent, hierarchy.Nil)
+			h.Children = append(h.Children, nil)
+			h.Vertices = append(h.Vertices, shell)
+			for _, e := range shell {
+				h.TID[e] = id
+			}
+			seen := map[hierarchy.NodeID]bool{}
+			for _, e := range list {
+				if d := deepest[e]; d != hierarchy.Nil && d != id && !seen[d] && h.Parent[d] == hierarchy.Nil {
+					seen[d] = true
+					h.Parent[d] = id
+					h.Children[id] = append(h.Children[id], d)
+				}
+			}
+			for _, e := range list {
+				deepest[e] = id
+			}
+		}
+	}
+	return h
+}
+
+func TestBuildHierarchyMatchesBruteForce(t *testing.T) {
+	graphs := []*graph.Graph{
+		randomGraph(30, 120, 3),
+		randomGraph(40, 80, 4),
+		gen.PlantedPartition(3, 15, 0.5, 0.02, 5),
+		gen.Onion(3, 10, 3, 2, 2, 6),
+	}
+	for gi, g := range graphs {
+		ix, tr := Decompose(g)
+		got := BuildHierarchy(g, ix, tr)
+		want := bruteTrussHierarchy(g, ix, tr)
+		if !hierarchy.Equal(got, want) {
+			t.Errorf("graph %d: truss hierarchy differs (|T| got %d want %d)",
+				gi, got.NumNodes(), want.NumNodes())
+		}
+	}
+}
+
+func TestBuildHierarchyNestsByTrussness(t *testing.T) {
+	g := gen.PlantedPartition(2, 20, 0.6, 0.01, 7)
+	ix, tr := Decompose(g)
+	h := BuildHierarchy(g, ix, tr)
+	for i := 0; i < h.NumNodes(); i++ {
+		for _, e := range h.Vertices[i] {
+			if tr[e] != h.K[i] {
+				t.Fatalf("node %d holds edge of trussness %d, node level %d", i, tr[e], h.K[i])
+			}
+		}
+		if p := h.Parent[i]; p != hierarchy.Nil && h.K[p] >= h.K[i] {
+			t.Fatalf("parent level must be lower")
+		}
+	}
+	// Every edge appears exactly once.
+	var count int
+	for i := 0; i < h.NumNodes(); i++ {
+		count += len(h.Vertices[i])
+	}
+	if int64(count) != g.NumEdges() {
+		t.Errorf("hierarchy covers %d edges, graph has %d", count, g.NumEdges())
+	}
+}

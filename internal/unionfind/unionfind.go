@@ -1,0 +1,219 @@
+// Package unionfind implements the disjoint-set structures behind PHCD
+// (§III-B of the paper): a serial union-find with pivot tracking, exactly
+// as the paper describes (pivot stored at the cardinal element, updated on
+// union), and a concurrent lock-free variant for the parallel algorithm.
+//
+// A pivot (Definition 5) is the vertex with the lowest vertex rank in a
+// connected component. Both implementations take the dense vertex-rank
+// permutation computed by Algorithm 1; rank comparison is one integer
+// compare.
+//
+// The concurrent variant departs from the paper's wait-free union-find
+// [Anderson–Woll] in one engineering decision: roots are linked *by vertex
+// rank* (the lower-rank root always wins), so the root of every set is by
+// construction its pivot and GetPivot is simply Find. This removes the
+// separate pivot field and every read-update race on it while preserving
+// the abstraction the algorithm needs. Find uses path halving, whose
+// concurrent writes are benign parent shortcuts (they only ever move a
+// vertex's parent closer to its root).
+package unionfind
+
+import (
+	"sync/atomic"
+)
+
+// UF is the serial union-find with pivot, mirroring §III-B: parent pointer,
+// size-based union, and the pivot maintained at each cardinal element.
+type UF struct {
+	parent []int32
+	size   []int32
+	pivot  []int32 // valid at roots only
+	vrank  []int32 // vrank[v] = dense vertex rank of v (lower = lower rank)
+	unions int64   // number of successful (merging) unions
+}
+
+// New creates a serial union-find over n singleton elements. vrank must be
+// a permutation of [0, n) giving each vertex's rank; it is retained, not
+// copied.
+func New(n int, vrank []int32) *UF {
+	u := &UF{
+		parent: make([]int32, n),
+		size:   make([]int32, n),
+		pivot:  make([]int32, n),
+		vrank:  vrank,
+	}
+	for i := int32(0); i < int32(n); i++ {
+		u.parent[i] = i
+		u.size[i] = 1
+		u.pivot[i] = i
+	}
+	return u
+}
+
+// Find returns the cardinal element of x's set, with path halving.
+func (u *UF) Find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of x and y. The new cardinal element's pivot is
+// the lower-vertex-rank pivot of the two sets, per the paper's rule.
+func (u *UF) Union(x, y int32) {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return
+	}
+	if u.size[rx] < u.size[ry] {
+		rx, ry = ry, rx
+	}
+	// rx survives as the cardinal element.
+	u.parent[ry] = rx
+	u.size[rx] += u.size[ry]
+	if u.vrank[u.pivot[ry]] < u.vrank[u.pivot[rx]] {
+		u.pivot[rx] = u.pivot[ry]
+	}
+	u.unions++
+}
+
+// UnionRoot merges y's set into the set whose cardinal element is root
+// (callers pass a value previously returned by Find or UnionRoot) and
+// returns the surviving cardinal element. It saves the redundant Find on
+// the already-resolved side when one element is united with many others in
+// a row — the access pattern of PHCD's Step 2.
+func (u *UF) UnionRoot(root, y int32) int32 {
+	ry := u.Find(y)
+	if root == ry {
+		return root
+	}
+	rx := root
+	if u.size[rx] < u.size[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = rx
+	u.size[rx] += u.size[ry]
+	if u.vrank[u.pivot[ry]] < u.vrank[u.pivot[rx]] {
+		u.pivot[rx] = u.pivot[ry]
+	}
+	u.unions++
+	return rx
+}
+
+// PivotOfRoot returns the pivot stored at a cardinal element previously
+// returned by Find/UnionRoot/LinkRoots. It skips the Find that Pivot pays.
+func (u *UF) PivotOfRoot(root int32) int32 { return u.pivot[root] }
+
+// LinkRoots merges the two sets whose cardinal elements are rx and ry
+// (both must be current roots) and returns the surviving cardinal element.
+// This is the zero-Find core of Union for callers that already resolved
+// both sides.
+func (u *UF) LinkRoots(rx, ry int32) int32 {
+	if rx == ry {
+		return rx
+	}
+	if u.size[rx] < u.size[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = rx
+	u.size[rx] += u.size[ry]
+	if u.vrank[u.pivot[ry]] < u.vrank[u.pivot[rx]] {
+		u.pivot[rx] = u.pivot[ry]
+	}
+	u.unions++
+	return rx
+}
+
+// SameSet reports whether x and y are in the same set.
+func (u *UF) SameSet(x, y int32) bool { return u.Find(x) == u.Find(y) }
+
+// Pivot returns the pivot (lowest-vertex-rank element) of x's set.
+func (u *UF) Pivot(x int32) int32 { return u.pivot[u.Find(x)] }
+
+// Unions returns the number of merging unions performed, the quantity the
+// paper's LB baseline lower-bounds construction cost with.
+func (u *UF) Unions() int64 { return u.unions }
+
+// Concurrent is the lock-free union-find used by the parallel PHCD. All
+// methods are safe for concurrent use. See the package comment for why the
+// root is always the pivot.
+type Concurrent struct {
+	parent []atomic.Int32
+	vrank  []int32
+}
+
+// NewConcurrent creates a concurrent union-find over n singletons with the
+// given vertex-rank permutation (retained, not copied).
+func NewConcurrent(n int, vrank []int32) *Concurrent {
+	u := &Concurrent{
+		parent: make([]atomic.Int32, n),
+		vrank:  vrank,
+	}
+	for i := 0; i < n; i++ {
+		u.parent[i].Store(int32(i))
+	}
+	return u
+}
+
+// Find returns the root (== pivot) of x's set. It walks to the root with
+// plain loads and then installs the root as x's parent with a single
+// store — a benign write even under races, since any value written is an
+// ancestor of x at the time of the write (roots only ever get linked
+// further up, never detached).
+func (u *Concurrent) Find(x int32) int32 {
+	r := x
+	for {
+		p := u.parent[r].Load()
+		if p == r {
+			break
+		}
+		r = p
+	}
+	// Full path compression: point every node on the walk at the root.
+	for x != r {
+		next := u.parent[x].Load()
+		u.parent[x].Store(r)
+		x = next
+	}
+	return r
+}
+
+// Union merges the sets of x and y; the root with the lower vertex rank
+// wins, so set roots remain pivots. Lock-free: on CAS failure the whole
+// operation retries from fresh roots.
+func (u *Concurrent) Union(x, y int32) {
+	for {
+		rx, ry := u.Find(x), u.Find(y)
+		if rx == ry {
+			return
+		}
+		// Make ry the loser (higher vertex rank).
+		if u.vrank[rx] > u.vrank[ry] {
+			rx, ry = ry, rx
+		}
+		if u.parent[ry].CompareAndSwap(ry, rx) {
+			return
+		}
+		// ry was linked elsewhere concurrently; retry.
+	}
+}
+
+// SameSet reports whether x and y are in the same set at some point during
+// the call. (Standard caveat: concurrent unions may merge them right
+// after.) Loops until it observes two stable equal-or-distinct roots.
+func (u *Concurrent) SameSet(x, y int32) bool {
+	for {
+		rx, ry := u.Find(x), u.Find(y)
+		if rx == ry {
+			return true
+		}
+		// If rx is still a root, the two were distinct at this instant.
+		if u.parent[rx].Load() == rx {
+			return false
+		}
+	}
+}
+
+// Pivot returns the pivot of x's set; identical to Find by construction.
+func (u *Concurrent) Pivot(x int32) int32 { return u.Find(x) }

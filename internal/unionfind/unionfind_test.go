@@ -1,0 +1,240 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hcd/internal/par"
+)
+
+// identity rank: vertex id is its own rank.
+func idRank(n int) []int32 {
+	r := make([]int32, n)
+	for i := range r {
+		r[i] = int32(i)
+	}
+	return r
+}
+
+func TestSerialBasics(t *testing.T) {
+	u := New(5, idRank(5))
+	if !u.SameSet(2, 2) {
+		t.Error("element not in its own set")
+	}
+	if u.SameSet(0, 1) {
+		t.Error("singletons merged")
+	}
+	u.Union(0, 1)
+	u.Union(3, 4)
+	if !u.SameSet(0, 1) || !u.SameSet(3, 4) || u.SameSet(1, 3) {
+		t.Error("union wiring wrong")
+	}
+	u.Union(1, 4)
+	if !u.SameSet(0, 3) {
+		t.Error("transitive union failed")
+	}
+	if got := u.Unions(); got != 3 {
+		t.Errorf("Unions = %d, want 3", got)
+	}
+	u.Union(0, 4) // no-op
+	if got := u.Unions(); got != 3 {
+		t.Errorf("no-op union counted: %d", got)
+	}
+}
+
+func TestSerialPivotFollowsLowestRank(t *testing.T) {
+	// Reverse ranks: higher id = lower rank, so pivot should become the
+	// highest id in each set.
+	n := 6
+	vrank := make([]int32, n)
+	for i := 0; i < n; i++ {
+		vrank[i] = int32(n - 1 - i)
+	}
+	u := New(n, vrank)
+	u.Union(0, 1)
+	if got := u.Pivot(0); got != 1 {
+		t.Errorf("pivot = %d, want 1 (lowest rank)", got)
+	}
+	u.Union(1, 5)
+	if got := u.Pivot(0); got != 5 {
+		t.Errorf("pivot = %d, want 5", got)
+	}
+	// 2-3 merge: pivot 3; merging into big set keeps 5.
+	u.Union(2, 3)
+	u.Union(3, 0)
+	if got := u.Pivot(2); got != 5 {
+		t.Errorf("pivot after big merge = %d, want 5", got)
+	}
+}
+
+func TestConcurrentMatchesSerialSequentially(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 300
+	vrank := rng.Perm(n)
+	vr := make([]int32, n)
+	for i, r := range vrank {
+		vr[i] = int32(r)
+	}
+	s := New(n, vr)
+	c := NewConcurrent(n, vr)
+	for i := 0; i < 500; i++ {
+		x, y := int32(rng.Intn(n)), int32(rng.Intn(n))
+		s.Union(x, y)
+		c.Union(x, y)
+	}
+	for i := 0; i < 1000; i++ {
+		x, y := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if s.SameSet(x, y) != c.SameSet(x, y) {
+			t.Fatalf("SameSet(%d,%d) differs between serial and concurrent", x, y)
+		}
+		if s.Pivot(x) != c.Pivot(x) {
+			t.Fatalf("Pivot(%d): serial %d, concurrent %d", x, s.Pivot(x), c.Pivot(x))
+		}
+	}
+}
+
+func TestConcurrentParallelStress(t *testing.T) {
+	n := 2000
+	vr := idRank(n)
+	// Build a random union workload, apply it in parallel, then verify
+	// against a serial replay.
+	rng := rand.New(rand.NewSource(99))
+	type pair struct{ x, y int32 }
+	ops := make([]pair, 8000)
+	for i := range ops {
+		ops[i] = pair{int32(rng.Intn(n)), int32(rng.Intn(n))}
+	}
+	c := NewConcurrent(n, vr)
+	par.ForEach(len(ops), 8, func(i int) { c.Union(ops[i].x, ops[i].y) })
+	s := New(n, vr)
+	for _, op := range ops {
+		s.Union(op.x, op.y)
+	}
+	for v := int32(0); v < int32(n); v++ {
+		if s.Pivot(v) != c.Pivot(v) {
+			t.Fatalf("vertex %d: serial pivot %d, concurrent pivot %d", v, s.Pivot(v), c.Pivot(v))
+		}
+	}
+}
+
+func TestConcurrentRootIsPivot(t *testing.T) {
+	// With arbitrary rank permutations, the concurrent root must always be
+	// the minimum-rank member of its component.
+	f := func(seed int64, nRaw uint8, opsRaw uint16) bool {
+		n := int(nRaw%100) + 2
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(n)
+		vr := make([]int32, n)
+		for i, r := range perm {
+			vr[i] = int32(r)
+		}
+		c := NewConcurrent(n, vr)
+		members := make(map[int32][]int32) // via serial mirror
+		s := New(n, vr)
+		for i := 0; i < int(opsRaw%500); i++ {
+			x, y := int32(rng.Intn(n)), int32(rng.Intn(n))
+			c.Union(x, y)
+			s.Union(x, y)
+		}
+		for v := int32(0); v < int32(n); v++ {
+			members[s.Find(v)] = append(members[s.Find(v)], v)
+		}
+		for _, set := range members {
+			var minV int32 = -1
+			for _, v := range set {
+				if minV < 0 || vr[v] < vr[minV] {
+					minV = v
+				}
+			}
+			for _, v := range set {
+				if c.Find(v) != minV {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSerialUnionFind(b *testing.B) {
+	n := 100000
+	vr := idRank(n)
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]int32, n)
+	ys := make([]int32, n)
+	for i := range xs {
+		xs[i], ys[i] = int32(rng.Intn(n)), int32(rng.Intn(n))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := New(n, vr)
+		for j := range xs {
+			u.Union(xs[j], ys[j])
+		}
+	}
+}
+
+func BenchmarkConcurrentUnionFind(b *testing.B) {
+	n := 100000
+	vr := idRank(n)
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]int32, n)
+	ys := make([]int32, n)
+	for i := range xs {
+		xs[i], ys[i] = int32(rng.Intn(n)), int32(rng.Intn(n))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := NewConcurrent(n, vr)
+		par.ForEach(len(xs), 0, func(j int) { u.Union(xs[j], ys[j]) })
+	}
+}
+
+func TestRootAPIs(t *testing.T) {
+	// UnionRoot / LinkRoots / PivotOfRoot must agree with plain Union.
+	n := 8
+	vrank := make([]int32, n)
+	for i := 0; i < n; i++ {
+		vrank[i] = int32(n - 1 - i) // reversed ranks
+	}
+	u := New(n, vrank)
+	r := u.Find(0)
+	r = u.UnionRoot(r, 1)
+	r = u.UnionRoot(r, 2)
+	if got := u.UnionRoot(r, 2); got != r {
+		t.Error("same-set UnionRoot must return the root unchanged")
+	}
+	if u.PivotOfRoot(r) != 2 {
+		t.Errorf("pivot = %d, want 2 (lowest rank)", u.PivotOfRoot(r))
+	}
+	// LinkRoots joins two resolved roots.
+	r2 := u.Find(5)
+	r2 = u.UnionRoot(r2, 6)
+	merged := u.LinkRoots(r, r2)
+	if u.LinkRoots(merged, merged) != merged {
+		t.Error("self LinkRoots must be a no-op")
+	}
+	if !u.SameSet(0, 6) {
+		t.Error("LinkRoots did not merge the sets")
+	}
+	if u.Pivot(0) != 6 {
+		t.Errorf("merged pivot = %d, want 6", u.Pivot(0))
+	}
+	// Mirror with plain Union on a fresh structure: same components.
+	w := New(n, vrank)
+	for _, pair := range [][2]int32{{0, 1}, {0, 2}, {5, 6}, {0, 5}} {
+		w.Union(pair[0], pair[1])
+	}
+	for v := int32(0); v < int32(n); v++ {
+		if u.SameSet(0, v) != w.SameSet(0, v) {
+			t.Fatalf("root-API and Union disagree at %d", v)
+		}
+		if u.SameSet(0, v) && u.Pivot(v) != w.Pivot(v) {
+			t.Fatalf("pivots disagree at %d", v)
+		}
+	}
+}

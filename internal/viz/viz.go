@@ -1,0 +1,126 @@
+// Package viz renders a hierarchical core decomposition as a
+// self-contained SVG icicle diagram — the graph-visualisation application
+// from the paper's introduction (§I cites k-core decomposition as "an
+// elegant visualization of a network" for the internet, biology and brain
+// networks).
+//
+// Each tree node becomes a rectangle whose width is proportional to its
+// original k-core's vertex count and whose row is its depth; children are
+// nested under their parents, so containment of k-cores reads directly off
+// the picture. Colour encodes the coreness level from cool (shallow) to
+// warm (deep).
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"hcd/internal/hierarchy"
+)
+
+// Options tunes the rendering.
+type Options struct {
+	// Width is the total SVG width in pixels (default 960).
+	Width int
+	// RowHeight is the height of one depth level (default 28).
+	RowHeight int
+	// MinLabelWidth suppresses text on boxes narrower than this (default 40).
+	MinLabelWidth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 960
+	}
+	if o.RowHeight <= 0 {
+		o.RowHeight = 28
+	}
+	if o.MinLabelWidth <= 0 {
+		o.MinLabelWidth = 40
+	}
+	return o
+}
+
+// WriteSVG renders the forest as an SVG icicle diagram.
+func WriteSVG(w io.Writer, h *hierarchy.HCD, opt Options) error {
+	opt = opt.withDefaults()
+	bw := bufio.NewWriter(w)
+
+	nn := h.NumNodes()
+	depth := h.Depth()
+	maxDepth := int32(0)
+	for _, d := range depth {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	kmax := int32(0)
+	for _, k := range h.K {
+		if k > kmax {
+			kmax = k
+		}
+	}
+	// Core sizes drive the widths.
+	size := make([]int, nn)
+	for i := 0; i < nn; i++ {
+		size[i] = h.CoreSize(hierarchy.NodeID(i))
+	}
+	total := 0
+	for _, r := range h.Roots() {
+		total += size[r]
+	}
+	height := (int(maxDepth) + 1) * opt.RowHeight
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n",
+		opt.Width, height)
+	fmt.Fprintf(bw, `<rect width="%d" height="%d" fill="white"/>`+"\n", opt.Width, height)
+
+	if nn > 0 && total > 0 {
+		// Assign horizontal extents top-down: each node splits its span
+		// among its children proportionally to core size.
+		x0 := make([]float64, nn)
+		x1 := make([]float64, nn)
+		cursor := 0.0
+		scale := float64(opt.Width) / float64(total)
+		for _, r := range h.Roots() {
+			x0[r] = cursor
+			cursor += float64(size[r]) * scale
+			x1[r] = cursor
+		}
+		for _, id := range h.TopDown() {
+			cur := x0[id]
+			for _, c := range h.Children[id] {
+				x0[c] = cur
+				cur += float64(size[c]) * float64(x1[id]-x0[id]) / float64(size[id])
+				x1[c] = cur
+			}
+		}
+		for _, id := range h.TopDown() {
+			y := int(depth[id]) * opt.RowHeight
+			wpx := x1[id] - x0[id]
+			fmt.Fprintf(bw,
+				`<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" stroke="white" stroke-width="1"><title>k=%d, |shell|=%d, |core|=%d</title></rect>`+"\n",
+				x0[id], y, wpx, opt.RowHeight, levelColor(h.K[id], kmax),
+				h.K[id], len(h.Vertices[id]), size[id])
+			if wpx >= float64(opt.MinLabelWidth) {
+				fmt.Fprintf(bw,
+					`<text x="%.1f" y="%d" fill="white">k=%d (%d)</text>`+"\n",
+					x0[id]+4, y+opt.RowHeight/2+4, h.K[id], size[id])
+			}
+		}
+	}
+	fmt.Fprintln(bw, `</svg>`)
+	return bw.Flush()
+}
+
+// levelColor maps a coreness level to a blue-to-red gradient.
+func levelColor(k, kmax int32) string {
+	if kmax == 0 {
+		kmax = 1
+	}
+	t := float64(k) / float64(kmax)
+	r := int(40 + 200*t)
+	g := int(80 + 40*(1-t))
+	b := int(200 - 160*t)
+	return fmt.Sprintf("#%02x%02x%02x", r, g, b)
+}
