@@ -6,10 +6,11 @@
 //	benchtab -exp table3                 # one experiment
 //	benchtab -exp all -scale 4 -reps 3   # the full evaluation
 //	benchtab -exp fig4 -sweep 1,2,4,8 -datasets AS,LJ,H
+//	benchtab -exp phcd -scale 4 -json BENCH_phcd.json
 //
 // Experiments: table2 table3 table4 table5 fig4 fig5 fig6 fig7 fig8 fig9
-// fig10 ablation. See DESIGN.md for what each reproduces and EXPERIMENTS.md
-// for recorded results.
+// fig10 ablation maintenance phcd. See DESIGN.md for what each reproduces
+// and EXPERIMENTS.md for recorded results.
 package main
 
 import (
@@ -38,15 +39,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	reps := flag.Int("reps", 3, "timing repetitions (minimum reported)")
 	sweep := flag.String("sweep", "", "comma-separated thread sweep for figures (default 1,2,4,..,GOMAXPROCS)")
 	datasets := flag.String("datasets", "", "comma-separated dataset abbreviations (default all ten)")
+	jsonPath := flag.String("json", "", "write a machine-readable report here (experiments that support it: phcd)")
 	if err := flag.Parse(args); err != nil {
 		return 2
 	}
 
 	cfg := bench.Config{
-		Scale:   *scale,
-		Threads: *threads,
-		Reps:    *reps,
-		Out:     stdout,
+		Scale:    *scale,
+		Threads:  *threads,
+		Reps:     *reps,
+		Out:      stdout,
+		JSONPath: *jsonPath,
 	}
 	if *sweep != "" {
 		for _, part := range strings.Split(*sweep, ",") {

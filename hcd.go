@@ -35,6 +35,7 @@ import (
 	"hcd/internal/lcps"
 	"hcd/internal/metrics"
 	"hcd/internal/search"
+	"hcd/internal/shellidx"
 )
 
 // Options tunes the parallel algorithms.
@@ -108,6 +109,23 @@ func BuildHCDSerial(g *Graph, core []int32) *HCD { return lcps.Build(g, core) }
 func Build(g *Graph, opt Options) (*HCD, []int32) {
 	core := CoreDecomposition(g, opt)
 	return BuildHCD(g, core, opt), core
+}
+
+// BuildAndIndex is the full pipeline with shared preprocessing: it computes
+// the core decomposition, builds the coreness-ordered adjacency layout
+// (internal/shellidx) once, and reuses it for both PHCD and the PBKS
+// searcher. The layout costs one extra O(m) pass but removes the
+// shallower-neighbor half of PHCD's edge scans and the searcher's entire
+// 2m-edge preprocessing scan, so it is the fastest route whenever a
+// hierarchy will also be searched; see DESIGN.md ("When to pay for the
+// layout").
+func BuildAndIndex(g *Graph, opt Options) (*HCD, []int32, *Searcher) {
+	core := CoreDecomposition(g, opt)
+	r := coredecomp.RankVertices(core, opt.Threads)
+	lay := shellidx.Build(g, core, r, opt.Threads)
+	h := core2.PHCDWithLayout(g, core, lay, opt.Threads)
+	s := &Searcher{ix: search.NewIndexWithLayout(g, core, h, lay, opt.Threads), h: h}
+	return h, core, s
 }
 
 // Searcher answers best-k-core queries over one HCD with PBKS. Build it

@@ -50,6 +50,32 @@ func TestPublicPipeline(t *testing.T) {
 	}
 }
 
+func TestBuildAndIndexMatchesSeparateCalls(t *testing.T) {
+	g := twoK4Bridge(t)
+	for _, threads := range []int{1, 3} {
+		opt := hcd.Options{Threads: threads}
+		h, core, s := hcd.BuildAndIndex(g, opt)
+		hRef, coreRef := hcd.Build(g, opt)
+		for v := range coreRef {
+			if core[v] != coreRef[v] {
+				t.Fatalf("threads=%d: coreness differs at %d", threads, v)
+			}
+		}
+		if h.NumNodes() != hRef.NumNodes() {
+			t.Fatalf("threads=%d: |T| = %d, want %d", threads, h.NumNodes(), hRef.NumNodes())
+		}
+		sRef := hcd.NewSearcher(g, coreRef, hRef, opt)
+		for _, m := range hcd.Metrics() {
+			got := s.Best(m, opt)
+			want := sRef.Best(m, opt)
+			if got.K != want.K || math.Abs(got.Score-want.Score) > 1e-9 {
+				t.Errorf("threads=%d metric %v: shared-layout search (k=%d, %v) differs from plain (k=%d, %v)",
+					threads, m.Name(), got.K, got.Score, want.K, want.Score)
+			}
+		}
+	}
+}
+
 func TestSerialBaselinesAgree(t *testing.T) {
 	g := twoK4Bridge(t)
 	coreS := hcd.CoreDecompositionSerial(g)

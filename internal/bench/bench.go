@@ -47,6 +47,9 @@ type Config struct {
 	Datasets []string
 	// Out receives the formatted rows (required).
 	Out io.Writer
+	// JSONPath, when non-empty, makes experiments that support it (phcd)
+	// also write a machine-readable JSON report to this file.
+	JSONPath string
 }
 
 func (c Config) withDefaults() Config {
@@ -390,6 +393,9 @@ func Ablation(cfg Config) {
 // Run dispatches an experiment by name: "table2".."table5", "fig4".."fig10",
 // or "ablation".
 func Run(name string, cfg Config) error {
+	if name == "phcd" {
+		return PHCDBench(cfg)
+	}
 	fns := map[string]func(Config){
 		"table2": Table2, "table3": Table3, "table4": Table4, "table5": Table5,
 		"fig4": Fig4, "fig5": Fig5, "fig6": Fig6, "fig7": Fig7, "fig8": Fig8,
@@ -408,7 +414,7 @@ func Run(name string, cfg Config) error {
 func Names() []string {
 	return []string{"table2", "table3", "table4", "table5",
 		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation",
-		"maintenance"}
+		"maintenance", "phcd"}
 }
 
 // Maintenance prints the dynamic-maintenance ablation: per dataset, the

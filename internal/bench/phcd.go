@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"text/tabwriter"
+
+	core2 "hcd/internal/core"
+	"hcd/internal/coredecomp"
+	"hcd/internal/gen"
+	"hcd/internal/graph"
+	"hcd/internal/search"
+	"hcd/internal/shellidx"
+)
+
+// phcdDataset is one input of the PHCD regression experiment: larger than
+// the Table/Fig suite (the issue floor is 2^17 vertices for the RMAT rows)
+// so the layout's edge-scan savings dominate noise.
+type phcdDataset struct {
+	name  string
+	build func() *graph.Graph
+}
+
+func phcdSuite(small bool) []phcdDataset {
+	if small {
+		// Smoke-test sizes: same shapes, tiny inputs.
+		return []phcdDataset{
+			{"rmat12", func() *graph.Graph { return gen.RMAT(12, 1<<15, 41) }},
+			{"onion12", func() *graph.Graph { return gen.Onion(8, 512, 2, 1, 1, 43) }},
+		}
+	}
+	return []phcdDataset{
+		{"rmat17", func() *graph.Graph { return gen.RMAT(17, 1<<20, 41) }},
+		{"rmat18", func() *graph.Graph { return gen.RMAT(18, 1<<21, 42) }},
+		{"onion17", func() *graph.Graph { return gen.Onion(16, 2048, 2, 1, 4, 43) }},
+	}
+}
+
+// phcdRow is one dataset's measurements, serialised to BENCH_phcd.json.
+// All times are minimum-of-reps nanoseconds at the configured thread count.
+type phcdRow struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	M    int64  `json:"m"`
+	KMax int32  `json:"kmax"`
+	// SeedNS is the frozen pre-layout implementation (core.PHCDBaseline).
+	SeedNS int64 `json:"seed_ns"`
+	// NewNS is core.PHCDWithLayout over a prebuilt layout.
+	NewNS int64 `json:"new_ns"`
+	// LayoutNS is the one-shot preprocessing (ranking + shellidx.Build).
+	LayoutNS int64 `json:"layout_ns"`
+	// OneshotNS is layout build + PHCDWithLayout, for callers with no
+	// layout to amortise.
+	OneshotNS int64 `json:"oneshot_ns"`
+	// PipelineSeedNS / PipelineNewNS are PHCD + search-index construction
+	// without and with a shared layout — the amortisation case.
+	PipelineSeedNS int64 `json:"pipeline_seed_ns"`
+	PipelineNewNS  int64 `json:"pipeline_new_ns"`
+	// SpeedupPrebuilt = seed_ns / new_ns; SpeedupPipeline =
+	// pipeline_seed_ns / pipeline_new_ns.
+	SpeedupPrebuilt float64 `json:"speedup_prebuilt"`
+	SpeedupPipeline float64 `json:"speedup_pipeline"`
+}
+
+type phcdReport struct {
+	Experiment string    `json:"experiment"`
+	Threads    int       `json:"threads"`
+	GoMaxProcs int       `json:"gomaxprocs"`
+	Reps       int       `json:"reps"`
+	Rows       []phcdRow `json:"rows"`
+}
+
+// PHCDBench runs the seed-vs-rewrite PHCD regression experiment: for each
+// dataset it times the frozen baseline (PHCDBaseline), the rewrite over a
+// prebuilt coreness-ordered layout (PHCDWithLayout), the layout build
+// itself, the one-shot combination, and the construction+search pipeline
+// with and without layout sharing. Results are printed as a table and,
+// when cfg.JSONPath is set, written there as machine-readable JSON.
+// A failure to write the JSON report is returned as an error.
+//
+// Scale 1 substitutes a tiny smoke-test suite so the experiment stays
+// usable in tests; any larger scale runs the full-size inputs.
+func PHCDBench(cfg Config) error {
+	cfg = cfg.withDefaults()
+	p := cfg.Threads
+	report := phcdReport{
+		Experiment: "phcd",
+		Threads:    p,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Reps:       cfg.Reps,
+	}
+	tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "PHCD seed vs layout rewrite at p=%d (min of %d reps)\n", p, cfg.Reps)
+	fmt.Fprintln(tw, "Dataset\tn\tm\tseed s\tnew s\tlayout s\toneshot s\tpipe-seed s\tpipe-new s\tnew x\tpipe x")
+	for _, d := range phcdSuite(cfg.Scale <= 1) {
+		g := d.build()
+		core := coredecomp.Serial(g)
+		rank := coredecomp.RankVertices(core, p)
+		lay := shellidx.Build(g, core, rank, p)
+
+		tSeed := timeIt(cfg.Reps, func() { core2.PHCDBaseline(g, core, p) })
+		tNew := timeIt(cfg.Reps, func() { core2.PHCDWithLayout(g, core, lay, p) })
+		tLayout := timeIt(cfg.Reps, func() {
+			r := coredecomp.RankVertices(core, p)
+			shellidx.Build(g, core, r, p)
+		})
+		tOneshot := timeIt(cfg.Reps, func() {
+			r := coredecomp.RankVertices(core, p)
+			l := shellidx.Build(g, core, r, p)
+			core2.PHCDWithLayout(g, core, l, p)
+		})
+		tPipeSeed := timeIt(cfg.Reps, func() {
+			h := core2.PHCDBaseline(g, core, p)
+			search.NewIndex(g, core, h, p)
+		})
+		tPipeNew := timeIt(cfg.Reps, func() {
+			r := coredecomp.RankVertices(core, p)
+			l := shellidx.Build(g, core, r, p)
+			h := core2.PHCDWithLayout(g, core, l, p)
+			search.NewIndexWithLayout(g, core, h, l, p)
+		})
+
+		row := phcdRow{
+			Name: d.name, N: g.NumVertices(), M: g.NumEdges(),
+			KMax:   coredecomp.KMax(core),
+			SeedNS: tSeed.Nanoseconds(), NewNS: tNew.Nanoseconds(),
+			LayoutNS: tLayout.Nanoseconds(), OneshotNS: tOneshot.Nanoseconds(),
+			PipelineSeedNS:  tPipeSeed.Nanoseconds(),
+			PipelineNewNS:   tPipeNew.Nanoseconds(),
+			SpeedupPrebuilt: ratio(tSeed, tNew),
+			SpeedupPipeline: ratio(tPipeSeed, tPipeNew),
+		}
+		report.Rows = append(report.Rows, row)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t%.2fx\t%.2fx\n",
+			d.name, row.N, row.M,
+			secs(tSeed), secs(tNew), secs(tLayout), secs(tOneshot),
+			secs(tPipeSeed), secs(tPipeNew),
+			row.SpeedupPrebuilt, row.SpeedupPipeline)
+	}
+	tw.Flush()
+	if cfg.JSONPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(cfg.JSONPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			return fmt.Errorf("phcd: writing %s: %w", cfg.JSONPath, err)
+		}
+		fmt.Fprintf(cfg.Out, "wrote %s\n", cfg.JSONPath)
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPHCDBenchWritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test is slow")
+	}
+	path := filepath.Join(t.TempDir(), "phcd.json")
+	var buf bytes.Buffer
+	if err := PHCDBench(Config{Scale: 1, Reps: 1, Out: &buf, JSONPath: path}); err != nil {
+		t.Fatalf("PHCDBench: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep phcdReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Experiment != "phcd" || rep.Threads < 1 || rep.Reps != 1 {
+		t.Errorf("report header wrong: %+v", rep)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("smoke suite should have 2 rows, got %d", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r.N == 0 || r.M == 0 {
+			t.Errorf("%s: empty graph measured", r.Name)
+		}
+		if r.SeedNS <= 0 || r.NewNS <= 0 || r.LayoutNS <= 0 ||
+			r.OneshotNS <= 0 || r.PipelineSeedNS <= 0 || r.PipelineNewNS <= 0 {
+			t.Errorf("%s: non-positive timing: %+v", r.Name, r)
+		}
+		if r.SpeedupPrebuilt <= 0 || r.SpeedupPipeline <= 0 {
+			t.Errorf("%s: non-positive speedup: %+v", r.Name, r)
+		}
+	}
+}

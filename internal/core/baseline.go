@@ -1,0 +1,216 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"hcd/internal/coredecomp"
+	"hcd/internal/graph"
+	"hcd/internal/hierarchy"
+	"hcd/internal/par"
+	"hcd/internal/unionfind"
+)
+
+// PHCDBaseline is the frozen pre-layout implementation of Algorithm 2: full
+// adjacency scans with per-level coreness filters in Steps 1-2, and an
+// atomic size/cursor scatter in Step 3. It is kept verbatim as the
+// regression reference for the core-ordered-layout + prefix-sum-scatter
+// rewrite (see DESIGN.md and the `phcd` benchtab experiment): benchmarks
+// compare PHCD/PHCDWithLayout against it, and tests assert the rewrite
+// still produces isomorphic hierarchies. Not for production use — its
+// Step 3 fill order of h.Vertices is scheduling-dependent.
+func PHCDBaseline(g *graph.Graph, core []int32, threads int) *hierarchy.HCD {
+	n := g.NumVertices()
+	h := &hierarchy.HCD{TID: make([]hierarchy.NodeID, n)}
+	for i := range h.TID {
+		h.TID[i] = hierarchy.Nil
+	}
+	if n == 0 {
+		return h
+	}
+	p := par.Threads(threads)
+
+	rank := coredecomp.RankVertices(core, p)
+
+	if p == 1 {
+		phcdSerialBaseline(g, core, rank, h)
+		return h
+	}
+
+	uf := unionfind.NewConcurrent(n, rank.Rank)
+	inKpc := make([]atomic.Bool, n)
+
+	newNode := func(k int32) hierarchy.NodeID {
+		id := hierarchy.NodeID(len(h.K))
+		h.K = append(h.K, k)
+		h.Parent = append(h.Parent, hierarchy.Nil)
+		h.Children = append(h.Children, nil)
+		h.Vertices = append(h.Vertices, nil)
+		return id
+	}
+
+	kpcLocal := make([][]int32, p)
+	pivLocal := make([][]int32, p)
+	type link struct{ child, pivot int32 }
+	linkLocal := make([][]link, p)
+
+	for k := rank.KMax; k >= 0; k-- {
+		shell := rank.Shell(k)
+		ns := len(shell)
+		if ns == 0 {
+			continue
+		}
+
+		// Step 1: full-scan filter for deeper-core pivots.
+		par.For(p, p, func(tlo, thi int) {
+			for t := tlo; t < thi; t++ {
+				local := kpcLocal[t][:0]
+				for i := t * ns / p; i < (t+1)*ns/p; i++ {
+					v := shell[i]
+					for _, u := range g.Neighbors(v) {
+						if core[u] > k {
+							pvt := uf.Find(u)
+							if !inKpc[pvt].Load() && inKpc[pvt].CompareAndSwap(false, true) {
+								local = append(local, pvt)
+							}
+						}
+					}
+				}
+				kpcLocal[t] = local
+			}
+		})
+
+		// Step 2: full-scan filter for the >= k unions.
+		par.For(p, p, func(tlo, thi int) {
+			for t := tlo; t < thi; t++ {
+				for i := t * ns / p; i < (t+1)*ns/p; i++ {
+					v := shell[i]
+					for _, u := range g.Neighbors(v) {
+						if core[u] > k || (core[u] == k && u > v) {
+							uf.Union(v, u)
+						}
+					}
+				}
+			}
+		})
+
+		// Step 3: atomic size count + atomic cursor scatter.
+		par.For(p, p, func(tlo, thi int) {
+			for t := tlo; t < thi; t++ {
+				local := pivLocal[t][:0]
+				for i := t * ns / p; i < (t+1)*ns/p; i++ {
+					v := shell[i]
+					if uf.Find(v) == v {
+						local = append(local, v)
+					}
+				}
+				pivLocal[t] = local
+			}
+		})
+		firstNode := len(h.K)
+		for t := 0; t < p; t++ {
+			for _, pvt := range pivLocal[t] {
+				h.TID[pvt] = newNode(k)
+			}
+		}
+		numNew := len(h.K) - firstNode
+		sizes := make([]atomic.Int64, numNew)
+		par.ForEach(ns, p, func(i int) {
+			v := shell[i]
+			pvt := uf.Find(v)
+			id := h.TID[pvt]
+			if v != pvt {
+				h.TID[v] = id
+			}
+			sizes[int(id)-firstNode].Add(1)
+		})
+		for j := 0; j < numNew; j++ {
+			h.Vertices[firstNode+j] = make([]int32, sizes[j].Load())
+		}
+		cursors := make([]atomic.Int64, numNew)
+		par.ForEach(ns, p, func(i int) {
+			v := shell[i]
+			j := int(h.TID[v]) - firstNode
+			h.Vertices[firstNode+j][cursors[j].Add(1)-1] = v
+		})
+
+		// Step 4: link deeper pivots under the new nodes.
+		par.For(p, p, func(tlo, thi int) {
+			for t := tlo; t < thi; t++ {
+				links := linkLocal[t][:0]
+				for _, v := range kpcLocal[t] {
+					links = append(links, link{child: v, pivot: uf.Find(v)})
+					inKpc[v].Store(false)
+				}
+				linkLocal[t] = links
+			}
+		})
+		for t := 0; t < p; t++ {
+			for _, l := range linkLocal[t] {
+				ch := h.TID[l.child]
+				pa := h.TID[l.pivot]
+				h.Parent[ch] = pa
+				h.Children[pa] = append(h.Children[pa], ch)
+			}
+		}
+	}
+	return h
+}
+
+// phcdSerialBaseline is the frozen pre-layout serial specialisation: the
+// fused Steps 1+2 scan every neighbor of every shell vertex with coreness
+// filters.
+func phcdSerialBaseline(g *graph.Graph, core []int32, rank *coredecomp.Ranking, h *hierarchy.HCD) {
+	n := g.NumVertices()
+	uf := unionfind.New(n, rank.Rank)
+	inKpc := make([]bool, n)
+	kpc := make([]int32, 0, 64)
+
+	newNode := func(k int32) hierarchy.NodeID {
+		id := hierarchy.NodeID(len(h.K))
+		h.K = append(h.K, k)
+		h.Parent = append(h.Parent, hierarchy.Nil)
+		h.Children = append(h.Children, nil)
+		h.Vertices = append(h.Vertices, nil)
+		return id
+	}
+
+	for k := rank.KMax; k >= 0; k-- {
+		shell := rank.Shell(k)
+		if len(shell) == 0 {
+			continue
+		}
+		kpc = kpc[:0]
+		for _, v := range shell {
+			rv := uf.Find(v)
+			for _, u := range g.Neighbors(v) {
+				if core[u] > k {
+					ru := uf.Find(u)
+					if pvt := uf.PivotOfRoot(ru); core[pvt] > k && !inKpc[pvt] {
+						inKpc[pvt] = true
+						kpc = append(kpc, pvt)
+					}
+					rv = uf.LinkRoots(rv, ru)
+				} else if core[u] == k && u > v {
+					rv = uf.LinkRoots(rv, uf.Find(u))
+				}
+			}
+		}
+		for _, v := range shell {
+			pvt := uf.Pivot(v)
+			id := h.TID[pvt]
+			if id == hierarchy.Nil {
+				id = newNode(k)
+				h.TID[pvt] = id
+			}
+			h.TID[v] = id
+			h.Vertices[id] = append(h.Vertices[id], v)
+		}
+		for _, v := range kpc {
+			inKpc[v] = false
+			ch := h.TID[v]
+			pa := h.TID[uf.Pivot(v)]
+			h.Parent[ch] = pa
+			h.Children[pa] = append(h.Children[pa], ch)
+		}
+	}
+}

@@ -20,26 +20,55 @@
 //
 // Total work is O(n√p + m·α(n) + F), near-linear in m (§III-D).
 //
+// Steps 1-2 accept an optional shellidx.Layout: with the coreness-ordered
+// adjacency, the per-edge filters "c(u) > k" / "c(u) >= k" become O(1)
+// prefix subslices and the level loop never visits a shallower neighbor,
+// cutting the total edge work from 2m visits (every edge from both sides)
+// to m (each edge only from its lower-coreness side). Step 3 groups the
+// shell with a par.GroupBy prefix-sum scatter instead of atomic cursors,
+// which both removes the contended counters and makes the fill order of
+// h.Vertices deterministic (see PHCDWithLayout).
+//
 // The package also provides the two comparison baselines of Table III: LB,
 // the lower-bound cost of any union-find-based construction (one union per
 // edge, nothing else), and DivideConquer, the partition-merge alternative
 // of §III-E whose RC-based merge the paper shows to be uncompetitive.
+// PHCDBaseline (baseline.go) freezes the pre-layout implementation for
+// regression benchmarking.
 package core
 
 import (
+	"sort"
 	"sync/atomic"
 
 	"hcd/internal/coredecomp"
 	"hcd/internal/graph"
 	"hcd/internal/hierarchy"
 	"hcd/internal/par"
+	"hcd/internal/shellidx"
 	"hcd/internal/unionfind"
 )
 
 // PHCD constructs the HCD of g in parallel using `threads` goroutines
 // (0 = GOMAXPROCS). core must be g's core decomposition (e.g. from
-// coredecomp.Parallel). Implements Algorithm 2.
+// coredecomp.Parallel). Implements Algorithm 2. Equivalent to
+// PHCDWithLayout with a nil layout; callers that already hold a
+// shellidx.Layout for (g, core) — e.g. to share with search.NewIndex —
+// should pass it via PHCDWithLayout instead.
 func PHCD(g *graph.Graph, core []int32, threads int) *hierarchy.HCD {
+	return PHCDWithLayout(g, core, nil, threads)
+}
+
+// PHCDWithLayout is PHCD over a prebuilt coreness-ordered adjacency
+// layout (shellidx.Build for the same g and core; nil falls back to
+// filtered scans of the raw adjacency). The layout eliminates the
+// shallower-neighbor half of every level's edge scan.
+//
+// The output is deterministic: node ids, h.Vertices contents and order,
+// and h.Children order are identical for every thread count (including
+// the serial path) and every run. Per node, h.Vertices lists the shell
+// vertices in ascending id order.
+func PHCDWithLayout(g *graph.Graph, core []int32, lay *shellidx.Layout, threads int) *hierarchy.HCD {
 	n := g.NumVertices()
 	h := &hierarchy.HCD{TID: make([]hierarchy.NodeID, n)}
 	for i := range h.TID {
@@ -57,7 +86,7 @@ func PHCD(g *graph.Graph, core []int32, threads int) *hierarchy.HCD {
 		// The sequential version of PHCD (§V-B compares it against LCPS):
 		// same four steps, but over the serial union-find with in-union
 		// pivot maintenance — no atomics, no barriers.
-		phcdSerial(g, core, rank, h)
+		phcdSerial(g, core, rank, lay, h)
 		return h
 	}
 
@@ -83,6 +112,9 @@ func PHCD(g *graph.Graph, core []int32, threads int) *hierarchy.HCD {
 	pivLocal := make([][]int32, p)
 	type link struct{ child, pivot int32 }
 	linkLocal := make([][]link, p)
+	links := make([]link, 0, 64)
+	// nodeIdx[i] = level-local node index of shell[i], the GroupBy key.
+	nodeIdx := make([]int32, n)
 
 	for k := rank.KMax; k >= 0; k-- {
 		shell := rank.Shell(k)
@@ -98,15 +130,20 @@ func PHCD(g *graph.Graph, core []int32, threads int) *hierarchy.HCD {
 				local := kpcLocal[t][:0]
 				for i := t * ns / p; i < (t+1)*ns/p; i++ {
 					v := shell[i]
-					for _, u := range g.Neighbors(v) {
-						if core[u] > k {
-							pvt := uf.Find(u)
-							// Cheap read before the CAS: most deeper
-							// neighbors share a few pivots, so the flag is
-							// usually already set.
-							if !inKpc[pvt].Load() && inKpc[pvt].CompareAndSwap(false, true) {
-								local = append(local, pvt)
-							}
+					deeper, filtered := g.Neighbors(v), true
+					if lay != nil {
+						deeper, filtered = lay.Deeper(v), false
+					}
+					for _, u := range deeper {
+						if filtered && core[u] <= k {
+							continue
+						}
+						pvt := uf.Find(u)
+						// Cheap read before the CAS: most deeper
+						// neighbors share a few pivots, so the flag is
+						// usually already set.
+						if !inKpc[pvt].Load() && inKpc[pvt].CompareAndSwap(false, true) {
+							local = append(local, pvt)
 						}
 					}
 				}
@@ -115,11 +152,23 @@ func PHCD(g *graph.Graph, core []int32, threads int) *hierarchy.HCD {
 		})
 
 		// Step 2: connect the shell to everything of coreness >= k. For
-		// same-shell edges one direction suffices (union is symmetric).
+		// same-shell edges one direction suffices (union is symmetric);
+		// with the layout, the same-shell segment is id-sorted, so the
+		// u > v half is the suffix past a binary search.
 		par.For(p, p, func(tlo, thi int) {
 			for t := tlo; t < thi; t++ {
 				for i := t * ns / p; i < (t+1)*ns/p; i++ {
 					v := shell[i]
+					if lay != nil {
+						for _, u := range lay.Deeper(v) {
+							uf.Union(v, u)
+						}
+						same := lay.Same(v)
+						for _, u := range same[suffixAfter(same, v):] {
+							uf.Union(v, u)
+						}
+						continue
+					}
 					for _, u := range g.Neighbors(v) {
 						if core[u] > k || (core[u] == k && u > v) {
 							uf.Union(v, u)
@@ -145,6 +194,13 @@ func PHCD(g *graph.Graph, core []int32, threads int) *hierarchy.HCD {
 				pivLocal[t] = local
 			}
 		})
+		// Concatenating the per-thread pivot lists in thread order visits
+		// the pivots in ascending shell position — the chunks are
+		// contiguous — so node ids do not depend on the thread count. A
+		// pivot is the minimum-rank (= minimum-id) member of its group,
+		// i.e. its group's first vertex in shell order, which is exactly
+		// the order the serial path first encounters (and numbers) the
+		// groups in.
 		firstNode := len(h.K)
 		for t := 0; t < p; t++ {
 			for _, pvt := range pivLocal[t] {
@@ -152,7 +208,10 @@ func PHCD(g *graph.Graph, core []int32, threads int) *hierarchy.HCD {
 			}
 		}
 		numNew := len(h.K) - firstNode
-		sizes := make([]atomic.Int64, numNew)
+		// Group the shell by node with a deterministic prefix-sum scatter
+		// (no atomic sizes/cursors): GroupBy keeps each group in ascending
+		// shell position = ascending id, so every node's vertex list is
+		// filled exactly as the serial path appends it.
 		par.ForEach(ns, p, func(i int) {
 			v := shell[i]
 			pvt := uf.Find(v)
@@ -160,41 +219,61 @@ func PHCD(g *graph.Graph, core []int32, threads int) *hierarchy.HCD {
 			if v != pvt { // the pivot's own tid was already set serially
 				h.TID[v] = id
 			}
-			sizes[int(id)-firstNode].Add(1)
+			nodeIdx[i] = int32(int(id) - firstNode)
 		})
+		starts, order := par.GroupBy(ns, numNew, p, func(i int) int32 { return nodeIdx[i] })
+		slab := make([]int32, ns)
+		par.ForEach(ns, p, func(i int) { slab[i] = shell[order[i]] })
 		for j := 0; j < numNew; j++ {
-			h.Vertices[firstNode+j] = make([]int32, sizes[j].Load())
+			// Full slice expressions keep later appends to one node's list
+			// from clobbering its slab neighbor.
+			h.Vertices[firstNode+j] = slab[starts[j]:starts[j+1]:starts[j+1]]
 		}
-		cursors := make([]atomic.Int64, numNew)
-		par.ForEach(ns, p, func(i int) {
-			v := shell[i]
-			j := int(h.TID[v]) - firstNode
-			h.Vertices[firstNode+j][cursors[j].Add(1)-1] = v
-		})
 
 		// Step 4: the recorded deeper-core pivots hang under the new
-		// nodes. The Find runs in parallel; the child-list appends are
-		// applied serially (their total count is |T|-1 over the whole run).
+		// nodes. The Finds run in parallel; the links are applied serially
+		// in ascending child order (which thread discovered a pivot in
+		// Step 1 is scheduling-dependent, so the per-thread lists are
+		// merged and sorted to keep h.Children deterministic).
 		par.For(p, p, func(tlo, thi int) {
 			for t := tlo; t < thi; t++ {
-				links := linkLocal[t][:0]
+				local := linkLocal[t][:0]
 				for _, v := range kpcLocal[t] {
-					links = append(links, link{child: v, pivot: uf.Find(v)})
+					local = append(local, link{child: v, pivot: uf.Find(v)})
 					inKpc[v].Store(false)
 				}
-				linkLocal[t] = links
+				linkLocal[t] = local
 			}
 		})
+		links = links[:0]
 		for t := 0; t < p; t++ {
-			for _, l := range linkLocal[t] {
-				ch := h.TID[l.child]
-				pa := h.TID[l.pivot]
-				h.Parent[ch] = pa
-				h.Children[pa] = append(h.Children[pa], ch)
-			}
+			links = append(links, linkLocal[t]...)
+		}
+		sort.Slice(links, func(a, b int) bool { return links[a].child < links[b].child })
+		for _, l := range links {
+			ch := h.TID[l.child]
+			pa := h.TID[l.pivot]
+			h.Parent[ch] = pa
+			h.Children[pa] = append(h.Children[pa], ch)
 		}
 	}
 	return h
+}
+
+// suffixAfter returns the first index i with list[i] > v, for an
+// ascending-sorted list. Hand-rolled binary search so it inlines into the
+// level loop (sort.Search takes a func value).
+func suffixAfter(list []int32, v int32) int {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if list[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // LB is Table III's lower-bound baseline: the cost of a union-find-based

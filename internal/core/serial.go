@@ -1,9 +1,12 @@
 package core
 
 import (
+	"slices"
+
 	"hcd/internal/coredecomp"
 	"hcd/internal/graph"
 	"hcd/internal/hierarchy"
+	"hcd/internal/shellidx"
 	"hcd/internal/unionfind"
 )
 
@@ -11,8 +14,9 @@ import (
 // step structure, but running over the serial union-find (§III-B: parent
 // pointer, size-based union, pivot stored at the cardinal element) with no
 // atomic operations. This is the configuration Table III's "(1)" column
-// measures against LCPS.
-func phcdSerial(g *graph.Graph, core []int32, rank *coredecomp.Ranking, h *hierarchy.HCD) {
+// measures against LCPS. With a layout, the fused scan touches only the
+// coreness >= k prefix of each list — m edge visits total instead of 2m.
+func phcdSerial(g *graph.Graph, core []int32, rank *coredecomp.Ranking, lay *shellidx.Layout, h *hierarchy.HCD) {
 	n := g.NumVertices()
 	uf := unionfind.New(n, rank.Rank)
 	inKpc := make([]bool, n)
@@ -41,20 +45,40 @@ func phcdSerial(g *graph.Graph, core []int32, rank *coredecomp.Ranking, h *hiera
 		// C, and that vertex reads C's pivot (still of coreness > k) first.
 		// Once merged, C's component's pivot is a k-shell vertex, so later
 		// edges into C see coreness k and skip the record. Each edge costs
-		// exactly one Find this way.
+		// exactly one Find this way. The argument is order-independent, so
+		// it survives the layout's segment-reordered iteration (all deeper
+		// edges of a vertex before its same-shell edges).
 		kpc = kpc[:0]
-		for _, v := range shell {
-			rv := uf.Find(v)
-			for _, u := range g.Neighbors(v) {
-				if core[u] > k {
+		if lay != nil {
+			for _, v := range shell {
+				rv := uf.Find(v)
+				for _, u := range lay.Deeper(v) {
 					ru := uf.Find(u)
 					if pvt := uf.PivotOfRoot(ru); core[pvt] > k && !inKpc[pvt] {
 						inKpc[pvt] = true
 						kpc = append(kpc, pvt)
 					}
 					rv = uf.LinkRoots(rv, ru)
-				} else if core[u] == k && u > v {
+				}
+				same := lay.Same(v)
+				for _, u := range same[suffixAfter(same, v):] {
 					rv = uf.LinkRoots(rv, uf.Find(u))
+				}
+			}
+		} else {
+			for _, v := range shell {
+				rv := uf.Find(v)
+				for _, u := range g.Neighbors(v) {
+					if core[u] > k {
+						ru := uf.Find(u)
+						if pvt := uf.PivotOfRoot(ru); core[pvt] > k && !inKpc[pvt] {
+							inKpc[pvt] = true
+							kpc = append(kpc, pvt)
+						}
+						rv = uf.LinkRoots(rv, ru)
+					} else if core[u] == k && u > v {
+						rv = uf.LinkRoots(rv, uf.Find(u))
+					}
 				}
 			}
 		}
@@ -69,7 +93,11 @@ func phcdSerial(g *graph.Graph, core []int32, rank *coredecomp.Ranking, h *hiera
 			h.TID[v] = id
 			h.Vertices[id] = append(h.Vertices[id], v)
 		}
-		// Step 4: the recorded deeper pivots hang under the new nodes.
+		// Step 4: the recorded deeper pivots hang under the new nodes,
+		// linked in ascending child order to match the parallel path's
+		// deterministic h.Children (kpc discovery order depends on which
+		// adjacency layout drove the scan).
+		sortInt32(kpc)
 		for _, v := range kpc {
 			inKpc[v] = false
 			ch := h.TID[v]
@@ -77,5 +105,23 @@ func phcdSerial(g *graph.Graph, core []int32, rank *coredecomp.Ranking, h *hiera
 			h.Parent[ch] = pa
 			h.Children[pa] = append(h.Children[pa], ch)
 		}
+	}
+}
+
+// sortInt32 insertion-sorts short slices in place (kpc lists are almost
+// always tiny) and defers to slices.Sort otherwise.
+func sortInt32(xs []int32) {
+	if len(xs) >= 24 {
+		slices.Sort(xs)
+		return
+	}
+	for i := 1; i < len(xs); i++ {
+		x := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > x {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = x
 	}
 }

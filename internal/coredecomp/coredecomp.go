@@ -214,67 +214,26 @@ func (r *Ranking) Shell(k int32) []int32 {
 	return r.Order[r.ShellStart[k]:r.ShellStart[k+1]]
 }
 
-// RankVertices implements Algorithm 1: each thread bins its contiguous
-// vertex range by coreness; the per-thread bins are concatenated in thread
-// order, which yields each shell sorted by id, and the concatenation of
-// shells in ascending k is the rank order. O(n + kmax·p) work.
+// RankVertices implements Algorithm 1 as one par.GroupBy counting-sort
+// scatter: grouping vertex ids by coreness (stably, so each shell stays
+// sorted by id) and concatenating the groups in ascending k is exactly the
+// vertex-rank order. O(n + kmax·p) work; the output is identical for every
+// thread count.
 func RankVertices(core []int32, threads int) *Ranking {
 	n := len(core)
 	kmax := KMax(core)
-	p := par.Threads(threads)
-	if p > n && n > 0 {
-		p = n
-	}
 	r := &Ranking{
-		Order:      make([]int32, n),
-		Rank:       make([]int32, n),
-		ShellStart: make([]int64, kmax+2),
-		KMax:       kmax,
+		Rank: make([]int32, n),
+		KMax: kmax,
 	}
 	if n == 0 {
+		r.Order = make([]int32, 0)
+		r.ShellStart = make([]int64, kmax+2)
 		return r
 	}
-	// Per-thread histogram of shell sizes.
-	counts := make([][]int64, p)
-	par.For(p, p, func(lo, hi int) {
-		for t := lo; t < hi; t++ {
-			cnt := make([]int64, kmax+1)
-			vlo, vhi := t*n/p, (t+1)*n/p
-			for v := vlo; v < vhi; v++ {
-				cnt[core[v]]++
-			}
-			counts[t] = cnt
-		}
-	})
-	// Prefix sums: offset[t][k] = where thread t writes its k-shell chunk.
-	offsets := make([][]int64, p)
-	var run int64
-	for k := int32(0); k <= kmax; k++ {
-		r.ShellStart[k] = run
-		for t := 0; t < p; t++ {
-			if offsets[t] == nil {
-				offsets[t] = make([]int64, kmax+1)
-			}
-			offsets[t][k] = run
-			run += counts[t][k]
-		}
-	}
-	r.ShellStart[kmax+1] = run
-	// Scatter pass: each thread writes its vertices in ascending id into
-	// its private chunk of every shell.
-	par.For(p, p, func(lo, hi int) {
-		for t := lo; t < hi; t++ {
-			cur := make([]int64, kmax+1)
-			copy(cur, offsets[t])
-			vlo, vhi := t*n/p, (t+1)*n/p
-			for v := vlo; v < vhi; v++ {
-				k := core[v]
-				r.Order[cur[k]] = int32(v)
-				cur[k]++
-			}
-		}
-	})
-	par.ForEach(n, p, func(i int) {
+	r.ShellStart, r.Order = par.GroupBy(n, int(kmax)+1, threads,
+		func(i int) int32 { return core[i] })
+	par.ForEach(n, threads, func(i int) {
 		r.Rank[r.Order[i]] = int32(i)
 	})
 	return r

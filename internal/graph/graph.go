@@ -45,6 +45,13 @@ func (g *Graph) Neighbors(v int32) []int32 {
 	return g.adj[g.offsets[v]:g.offsets[v+1]]
 }
 
+// Offsets returns the CSR offset array (length n+1): Neighbors(v) spans
+// positions Offsets()[v] to Offsets()[v+1] of the flat adjacency. The
+// returned slice aliases the graph's storage and must not be modified.
+// Alternative adjacency layouts (e.g. internal/shellidx) share it so their
+// per-vertex lists line up with the graph's.
+func (g *Graph) Offsets() []int64 { return g.offsets }
+
 // HasEdge reports whether the undirected edge (u, v) exists, by binary
 // search over the shorter adjacency list. O(log min(d(u), d(v))).
 func (g *Graph) HasEdge(u, v int32) bool {

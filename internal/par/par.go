@@ -83,6 +83,12 @@ func ForChunked(n, threads, grain int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
+	// Never spawn more goroutines than there are chunks to grab: a range of
+	// ceil(n/grain) chunks keeps at most that many workers busy, and the
+	// surplus would only be scheduled to immediately exit.
+	if chunks := (n + grain - 1) / grain; p > chunks {
+		p = chunks
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(p)
@@ -151,6 +157,19 @@ func MinInt32(addr *atomic.Int32, v int32) bool {
 	for {
 		cur := addr.Load()
 		if cur <= v {
+			return false
+		}
+		if addr.CompareAndSwap(cur, v) {
+			return true
+		}
+	}
+}
+
+// MaxInt32 atomically folds v into the int32 at addr, keeping the maximum.
+func MaxInt32(addr *atomic.Int32, v int32) bool {
+	for {
+		cur := addr.Load()
+		if cur >= v {
 			return false
 		}
 		if addr.CompareAndSwap(cur, v) {

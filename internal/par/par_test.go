@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestThreads(t *testing.T) {
@@ -95,6 +96,66 @@ func TestMaxInt64(t *testing.T) {
 	}
 	if MaxInt64(&v, 41) {
 		t.Error("MaxInt64 should not report change when candidate is smaller")
+	}
+}
+
+func TestMaxInt32(t *testing.T) {
+	cases := []struct {
+		name        string
+		start, v    int32
+		wantChanged bool
+		wantValue   int32
+	}{
+		{"raise", 0, 42, true, 42},
+		{"equal", 42, 42, false, 42},
+		{"lower", 42, 41, false, 42},
+		{"negative-raise", -10, -5, true, -5},
+		{"negative-keep", -5, -10, false, -5},
+		{"extremes", -1 << 31, 1<<31 - 1, true, 1<<31 - 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var v atomic.Int32
+			v.Store(c.start)
+			if got := MaxInt32(&v, c.v); got != c.wantChanged {
+				t.Errorf("MaxInt32(%d, %d) changed = %v, want %v", c.start, c.v, got, c.wantChanged)
+			}
+			if got := v.Load(); got != c.wantValue {
+				t.Errorf("MaxInt32(%d, %d) value = %d, want %d", c.start, c.v, got, c.wantValue)
+			}
+		})
+	}
+}
+
+func TestMaxInt32Concurrent(t *testing.T) {
+	var v atomic.Int32
+	v.Store(-1 << 30)
+	ForEach(10000, 8, func(i int) { MaxInt32(&v, int32(i)) })
+	if v.Load() != 9999 {
+		t.Errorf("concurrent MaxInt32 = %d, want 9999", v.Load())
+	}
+}
+
+// Regression: ForChunked must not spawn more goroutines than there are
+// chunks. With n=8, grain=4 there are exactly 2 chunks, so requesting 64
+// threads must not put ~64 goroutines on the scheduler.
+func TestForChunkedClampsGoroutines(t *testing.T) {
+	const n, grain, threads = 8, 4, 64
+	chunks := (n + grain - 1) / grain
+	before := runtime.NumGoroutine()
+	var maxSeen atomic.Int32
+	ForChunked(n, threads, grain, func(lo, hi int) {
+		// Give any surplus goroutines time to start before sampling.
+		time.Sleep(2 * time.Millisecond)
+		g := int32(runtime.NumGoroutine())
+		MaxInt32(&maxSeen, g)
+	})
+	// Allow generous slack for unrelated runtime goroutines; the failure
+	// mode being guarded against is ~64 extra goroutines.
+	limit := int32(before + chunks + 16)
+	if got := maxSeen.Load(); got > limit {
+		t.Errorf("ForChunked spawned too many goroutines: saw %d live (baseline %d, %d chunks)",
+			got, before, chunks)
 	}
 }
 

@@ -1,0 +1,136 @@
+package par
+
+// Parallel prefix-sum (scan) kernels and the counting-sort scatter built on
+// them. All three follow the classic work-efficient three-phase shape:
+// chunk-local sums, a serial carry pass over the (few) chunk totals, then a
+// parallel chunk fixup. Outputs are deterministic — independent of the
+// thread count and of scheduling — because chunk boundaries are a pure
+// function of (n, p) and the carry pass is serial.
+
+// ExclusiveScan replaces xs[i] with xs[0]+...+xs[i-1] in place (xs[0]
+// becomes 0) and returns the total sum of the original slice. The classic
+// exclusive prefix sum, parallelised over contiguous chunks.
+func ExclusiveScan(xs []int64, threads int) int64 {
+	return scan(xs, threads, true)
+}
+
+// ScanInt64 replaces xs[i] with xs[0]+...+xs[i] in place (an inclusive
+// prefix sum) and returns the total. Same kernel as ExclusiveScan.
+func ScanInt64(xs []int64, threads int) int64 {
+	return scan(xs, threads, false)
+}
+
+func scan(xs []int64, threads int, exclusive bool) int64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	p := Threads(threads)
+	if p > n {
+		p = n
+	}
+	if p == 1 {
+		var run int64
+		for i := range xs {
+			v := xs[i]
+			if exclusive {
+				xs[i] = run
+				run += v
+			} else {
+				run += v
+				xs[i] = run
+			}
+		}
+		return run
+	}
+	// Phase 1: chunk-local sums.
+	sums := make([]int64, p)
+	For(p, p, func(tlo, thi int) {
+		for t := tlo; t < thi; t++ {
+			var s int64
+			for i := t * n / p; i < (t+1)*n/p; i++ {
+				s += xs[i]
+			}
+			sums[t] = s
+		}
+	})
+	// Phase 2: serial carry across chunk totals (p values).
+	var total int64
+	for t := 0; t < p; t++ {
+		s := sums[t]
+		sums[t] = total
+		total += s
+	}
+	// Phase 3: chunk fixup — rescan each chunk seeded with its carry.
+	For(p, p, func(tlo, thi int) {
+		for t := tlo; t < thi; t++ {
+			run := sums[t]
+			for i := t * n / p; i < (t+1)*n/p; i++ {
+				v := xs[i]
+				if exclusive {
+					xs[i] = run
+					run += v
+				} else {
+					run += v
+					xs[i] = run
+				}
+			}
+		}
+	})
+	return total
+}
+
+// GroupBy stably groups the indices [0, n) by key using per-thread counting
+// and a prefix-sum scatter — a counting sort with no atomics. key(i) must
+// return a value in [0, keys) and be safe to call concurrently (it is
+// invoked twice per index, from the counting and scatter passes).
+//
+// Group k occupies order[starts[k]:starts[k+1]], listing its indices in
+// ascending order (stability). starts has length keys+1 with starts[keys]
+// == n. The result is byte-identical for every thread count: grouping by
+// ascending index is scheduling-independent, unlike an atomic-cursor
+// scatter.
+func GroupBy(n, keys, threads int, key func(i int) int32) (starts []int64, order []int32) {
+	starts = make([]int64, keys+1)
+	if n <= 0 {
+		return starts, nil
+	}
+	p := Threads(threads)
+	if p > n {
+		p = n
+	}
+	// Each thread owns a full row of `keys` counters; cap the counting
+	// matrix at O(n) extra space so fine-grained keys (keys ≈ n) do not
+	// multiply memory by p.
+	for p > 1 && keys*p > 4*n+1024 {
+		p /= 2
+	}
+	// counts is column-major — counts[k*p+t] is thread t's count for key k —
+	// so the exclusive scan over it yields, in one pass, every thread's
+	// write cursor for every key, in (key, thread) order.
+	counts := make([]int64, keys*p)
+	For(p, p, func(tlo, thi int) {
+		for t := tlo; t < thi; t++ {
+			for i := t * n / p; i < (t+1)*n/p; i++ {
+				counts[int(key(i))*p+t]++
+			}
+		}
+	})
+	ExclusiveScan(counts, p)
+	for k := 0; k < keys; k++ {
+		starts[k] = counts[k*p]
+	}
+	starts[keys] = int64(n)
+	order = make([]int32, n)
+	// Scatter: each thread advances its own column of cursors — no sharing.
+	For(p, p, func(tlo, thi int) {
+		for t := tlo; t < thi; t++ {
+			for i := t * n / p; i < (t+1)*n/p; i++ {
+				c := int(key(i))*p + t
+				order[counts[c]] = int32(i)
+				counts[c]++
+			}
+		}
+	})
+	return starts, order
+}

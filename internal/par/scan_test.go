@@ -1,0 +1,170 @@
+package par
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func serialExclusive(xs []int64) ([]int64, int64) {
+	out := make([]int64, len(xs))
+	var run int64
+	for i, v := range xs {
+		out[i] = run
+		run += v
+	}
+	return out, run
+}
+
+func TestExclusiveScanMatchesSerial(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 15, 64, 1000, 4097} {
+		for _, p := range []int{1, 2, 3, 8, 31} {
+			rng := rand.New(rand.NewSource(int64(n*100 + p)))
+			xs := make([]int64, n)
+			for i := range xs {
+				xs[i] = int64(rng.Intn(1000) - 500)
+			}
+			want, wantTotal := serialExclusive(xs)
+			got := append([]int64(nil), xs...)
+			total := ExclusiveScan(got, p)
+			if total != wantTotal {
+				t.Fatalf("n=%d p=%d: total = %d, want %d", n, p, total, wantTotal)
+			}
+			if n > 0 && !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d p=%d: exclusive scan mismatch", n, p)
+			}
+		}
+	}
+}
+
+func TestScanInt64MatchesSerial(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 2048} {
+		for _, p := range []int{1, 4, 13} {
+			rng := rand.New(rand.NewSource(int64(n + p)))
+			xs := make([]int64, n)
+			for i := range xs {
+				xs[i] = int64(rng.Intn(100))
+			}
+			want := make([]int64, n)
+			var run int64
+			for i, v := range xs {
+				run += v
+				want[i] = run
+			}
+			got := append([]int64(nil), xs...)
+			if total := ScanInt64(got, p); total != run {
+				t.Fatalf("n=%d p=%d: total = %d, want %d", n, p, total, run)
+			}
+			if n > 0 && !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d p=%d: inclusive scan mismatch", n, p)
+			}
+		}
+	}
+}
+
+// Property: scans are thread-count invariant.
+func TestScanThreadInvariantProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16, p uint8) bool {
+		n := int(nRaw % 3000)
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]int64, n)
+		for i := range xs {
+			xs[i] = int64(rng.Intn(2000) - 1000)
+		}
+		a := append([]int64(nil), xs...)
+		b := append([]int64(nil), xs...)
+		ta := ExclusiveScan(a, 1)
+		tb := ExclusiveScan(b, int(p%16)+1)
+		return ta == tb && reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func serialGroupBy(n, keys int, key func(i int) int32) ([]int64, []int32) {
+	starts := make([]int64, keys+1)
+	for i := 0; i < n; i++ {
+		starts[key(i)+1]++
+	}
+	for k := 1; k <= keys; k++ {
+		starts[k] += starts[k-1]
+	}
+	order := make([]int32, n)
+	cur := append([]int64(nil), starts[:keys]...)
+	for i := 0; i < n; i++ {
+		k := key(i)
+		order[cur[k]] = int32(i)
+		cur[k]++
+	}
+	return starts, order
+}
+
+func TestGroupByMatchesSerial(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 100, 5000} {
+		for _, keys := range []int{1, 2, 7, 256} {
+			for _, p := range []int{1, 3, 8} {
+				rng := rand.New(rand.NewSource(int64(n + keys + p)))
+				ks := make([]int32, n)
+				for i := range ks {
+					ks[i] = int32(rng.Intn(keys))
+				}
+				key := func(i int) int32 { return ks[i] }
+				wantStarts, wantOrder := serialGroupBy(n, keys, key)
+				starts, order := GroupBy(n, keys, p, key)
+				if !reflect.DeepEqual(starts, wantStarts) {
+					t.Fatalf("n=%d keys=%d p=%d: starts mismatch", n, keys, p)
+				}
+				if len(order) != len(wantOrder) {
+					t.Fatalf("n=%d keys=%d p=%d: order length %d, want %d", n, keys, p, len(order), len(wantOrder))
+				}
+				if n > 0 && !reflect.DeepEqual(order, wantOrder) {
+					t.Fatalf("n=%d keys=%d p=%d: order mismatch (stability broken)", n, keys, p)
+				}
+			}
+		}
+	}
+}
+
+// GroupBy with keys ≈ n exercises the memory clamp path.
+func TestGroupByFineGrainedKeys(t *testing.T) {
+	n := 4096
+	key := func(i int) int32 { return int32(n - 1 - i) } // reverse permutation
+	starts, order := GroupBy(n, n, 8, key)
+	for i := 0; i < n; i++ {
+		if starts[i] != int64(i) {
+			t.Fatalf("starts[%d] = %d, want %d", i, starts[i], i)
+		}
+		if order[i] != int32(n-1-i) {
+			t.Fatalf("order[%d] = %d, want %d", i, order[i], n-1-i)
+		}
+	}
+}
+
+func BenchmarkExclusiveScan(b *testing.B) {
+	xs := make([]int64, 1<<20)
+	for i := range xs {
+		xs[i] = int64(i % 17)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExclusiveScan(xs, 0)
+	}
+}
+
+func BenchmarkGroupBy(b *testing.B) {
+	n := 1 << 20
+	keys := 512
+	ks := make([]int32, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range ks {
+		ks[i] = int32(rng.Intn(keys))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GroupBy(n, keys, 0, func(i int) int32 { return ks[i] })
+	}
+}

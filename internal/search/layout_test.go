@@ -1,0 +1,121 @@
+package search
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hcd/internal/coredecomp"
+	"hcd/internal/gen"
+	"hcd/internal/graph"
+	"hcd/internal/hierarchy"
+	"hcd/internal/metrics"
+	"hcd/internal/shellidx"
+)
+
+func layoutFor(g *graph.Graph, core []int32) *shellidx.Layout {
+	r := coredecomp.RankVertices(core, 0)
+	return shellidx.Build(g, core, r, 0)
+}
+
+// A layout-backed index must produce exactly the primaries of the plain
+// index — the layout only changes how the counts are reached.
+func TestPrimariesWithLayoutMatchPlain(t *testing.T) {
+	for name, g := range testGraphs() {
+		core, h := setup(g)
+		lay := layoutFor(g, core)
+		plain := NewIndex(g, core, h, 3)
+		wantA := plain.PrimaryA(3)
+		wantB := plain.PrimaryB(3)
+		for _, threads := range []int{1, 2, 6} {
+			ix := NewIndexWithLayout(g, core, h, lay, threads)
+			if got := ix.PrimaryA(threads); !reflect.DeepEqual(got, wantA) {
+				t.Errorf("%s threads=%d: PrimaryA with layout differs", name, threads)
+			}
+			if got := ix.PrimaryB(threads); !reflect.DeepEqual(got, wantB) {
+				t.Errorf("%s threads=%d: PrimaryB with layout differs", name, threads)
+			}
+		}
+	}
+}
+
+func TestSearchWithLayoutMatchesPlain(t *testing.T) {
+	for name, g := range testGraphs() {
+		core, h := setup(g)
+		if h.NumNodes() == 0 {
+			continue
+		}
+		lay := layoutFor(g, core)
+		plain := NewIndex(g, core, h, 2)
+		ix := NewIndexWithLayout(g, core, h, lay, 2)
+		for _, m := range metrics.All() {
+			rp := plain.Search(m, 2)
+			rl := ix.Search(m, 2)
+			if rp.Node != rl.Node || rp.Score != rl.Score || !reflect.DeepEqual(rp.Scores, rl.Scores) {
+				t.Errorf("%s %s: layout search differs (node %d/%d score %v/%v)",
+					name, m.Name(), rp.Node, rl.Node, rp.Score, rl.Score)
+			}
+		}
+		ma := metrics.AverageDegree{}
+		pk, ps, pss := plain.BestKSet(ma, 2)
+		lk, ls, lss := ix.BestKSet(ma, 2)
+		if pk != lk || ps != ls || !reflect.DeepEqual(pss, lss) {
+			t.Errorf("%s: BestKSet with layout differs", name)
+		}
+	}
+}
+
+// The per-thread-buffer accumulation must make the primaries exact sums:
+// identical across thread counts and repeated runs (the atomic version was
+// value-deterministic too, but this pins the contract for the rewrite).
+func TestPrimariesDeterministicAcrossThreads(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 300
+	edges := make([]graph.Edge, 4*n)
+	for i := range edges {
+		edges[i] = graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))}
+	}
+	g := graph.MustFromEdges(n, edges)
+	core, h := setup(g)
+	lay := layoutFor(g, core)
+	for _, lays := range []*shellidx.Layout{nil, lay} {
+		ix := NewIndexWithLayout(g, core, h, lays, 0)
+		refA := ix.PrimaryA(1)
+		refB := ix.PrimaryB(1)
+		for _, threads := range []int{2, 5, 8, 2} {
+			if got := ix.PrimaryA(threads); !reflect.DeepEqual(got, refA) {
+				t.Fatalf("layout=%v threads=%d: PrimaryA not deterministic", lays != nil, threads)
+			}
+			if got := ix.PrimaryB(threads); !reflect.DeepEqual(got, refB) {
+				t.Fatalf("layout=%v threads=%d: PrimaryB not deterministic", lays != nil, threads)
+			}
+		}
+	}
+}
+
+func TestPrimaryBWithLayoutMatchesBruteForce(t *testing.T) {
+	for name, g := range testGraphs() {
+		core, h := setup(g)
+		lay := layoutFor(g, core)
+		want := brutePrimary(g, h)
+		ix := NewIndexWithLayout(g, core, h, lay, 4)
+		got := ix.PrimaryB(4)
+		for i := range want {
+			if !pvEqual(got[i], want[i], true) {
+				t.Errorf("%s node %d: PrimaryB %+v, want %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func BenchmarkPBKSTypeBWithLayout(b *testing.B) {
+	g := gen.BarabasiAlbert(5000, 8, 1)
+	core := coredecomp.Serial(g)
+	h := hierarchy.BruteForce(g, core)
+	lay := layoutFor(g, core)
+	ix := NewIndexWithLayout(g, core, h, lay, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(metrics.ClusteringCoefficient{}, 0)
+	}
+}

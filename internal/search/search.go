@@ -27,6 +27,7 @@ import (
 	"hcd/internal/hierarchy"
 	"hcd/internal/metrics"
 	"hcd/internal/par"
+	"hcd/internal/shellidx"
 )
 
 // Index is the PBKS search state for one (graph, core, HCD) triple. The
@@ -37,27 +38,47 @@ type Index struct {
 	g    *graph.Graph
 	core []int32
 	h    *hierarchy.HCD
-	gtK  []int32 // gtK[v] = |{u in N(v) : c(u) > c(v)}|
-	eqK  []int32 // eqK[v] = |{u in N(v) : c(u) = c(v)}|
+	lay  *shellidx.Layout // optional coreness-ordered adjacency (may be nil)
+	gtK  []int32          // gtK[v] = |{u in N(v) : c(u) > c(v)}|
+	eqK  []int32          // eqK[v] = |{u in N(v) : c(u) = c(v)}|
 	kmax int32
 }
 
 // NewIndex builds the search index, running the preprocessing with the
-// given number of threads. core and h must belong to g.
+// given number of threads. core and h must belong to g. Callers that
+// already hold a shellidx.Layout for (g, core) — e.g. one shared with
+// core.PHCDWithLayout — should use NewIndexWithLayout, which skips the 2m
+// preprocessing scan entirely.
 func NewIndex(g *graph.Graph, core []int32, h *hierarchy.HCD, threads int) *Index {
+	return NewIndexWithLayout(g, core, h, nil, threads)
+}
+
+// NewIndexWithLayout builds the search index on a prebuilt coreness-ordered
+// adjacency layout (shellidx.Build for the same g and core; nil falls back
+// to scanning the raw adjacency). The layout already carries the gt/eq
+// neighbor counts, so the §IV-A preprocessing becomes two O(1) aliases, and
+// PrimaryB's triplet binning walks the layout's shallower segment instead
+// of re-bucketing neighbors by coreness.
+func NewIndexWithLayout(g *graph.Graph, core []int32, h *hierarchy.HCD, lay *shellidx.Layout, threads int) *Index {
 	n := g.NumVertices()
 	ix := &Index{
 		g:    g,
 		core: core,
 		h:    h,
-		gtK:  make([]int32, n),
-		eqK:  make([]int32, n),
+		lay:  lay,
 	}
 	for _, c := range core {
 		if c > ix.kmax {
 			ix.kmax = c
 		}
 	}
+	if lay != nil {
+		ix.gtK = lay.GtCounts()
+		ix.eqK = lay.EqCounts()
+		return ix
+	}
+	ix.gtK = make([]int32, n)
+	ix.eqK = make([]int32, n)
 	par.ForEach(n, threads, func(i int) {
 		v := int32(i)
 		var gt, eq int32

@@ -1,8 +1,6 @@
 package search
 
 import (
-	"sync/atomic"
-
 	"hcd/internal/metrics"
 	"hcd/internal/par"
 	"hcd/internal/treeaccum"
@@ -11,7 +9,7 @@ import (
 // PrimaryA computes, for every tree node, the Type A primary values —
 // n(S), m(S), b(S) — of the node's original k-core (Algorithm 4).
 //
-// Each vertex contributes to its own tree node, in parallel:
+// Each vertex contributes to its own tree node:
 //
 //	vertices:       +1
 //	edges (doubled): 2·gt_k + eq_k   (an edge to a deeper vertex counted
@@ -19,20 +17,29 @@ import (
 //	boundary:        lt_k − gt_k     (edges to shallower vertices appear,
 //	                 edges to deeper vertices stop being boundary)
 //
+// The loop is node-centric: h.Vertices already groups the vertices by tree
+// node, so each node's row is owned by exactly one loop iteration — plain
+// writes, no atomic contention, and a deterministic (exact-sum) result.
 // Bottom-up accumulation then turns per-node contributions into per-core
 // totals. Work: O(n) plus the once-only preprocessing — work-efficient.
 func (ix *Index) PrimaryA(threads int) []metrics.PrimaryValues {
 	nn := ix.h.NumNodes()
 	vals := make([]int64, nn*3) // rows: [n, 2m, b]
-	par.ForEach(ix.g.NumVertices(), threads, func(i int) {
-		v := int32(i)
-		gt := int64(ix.gtK[v])
-		eq := int64(ix.eqK[v])
-		lt := int64(ix.g.Degree(v)) - gt - eq
-		row := int(ix.h.TID[v]) * 3
-		atomic.AddInt64(&vals[row], 1)
-		atomic.AddInt64(&vals[row+1], 2*gt+eq)
-		atomic.AddInt64(&vals[row+2], lt-gt)
+	par.ForChunked(nn, threads, 64, func(lo, hi int) {
+		for id := lo; id < hi; id++ {
+			var cn, m2, b int64
+			for _, v := range ix.h.Vertices[id] {
+				gt := int64(ix.gtK[v])
+				eq := int64(ix.eqK[v])
+				lt := int64(ix.g.Degree(v)) - gt - eq
+				cn++
+				m2 += 2*gt + eq
+				b += lt - gt
+			}
+			vals[id*3] = cn
+			vals[id*3+1] = m2
+			vals[id*3+2] = b
+		}
 	})
 	treeaccum.Accumulate(ix.h, vals, 3, threads)
 	out := make([]metrics.PrimaryValues, nn)
@@ -49,24 +56,41 @@ func (ix *Index) PrimaryA(threads int) []metrics.PrimaryValues {
 // BestKSet evaluates the §VI "finding the best k" extension for a Type A
 // metric: instead of individual k-cores, score every k-core *set*
 // Kk = G[{v : c(v) >= k}] (possibly disconnected) and return the best k
-// with its score. Contributions are charged to shells and suffix-summed,
-// so the whole computation is O(n) after preprocessing.
+// with its score. Contributions are charged to shells in per-thread
+// buffers (levels is small, so the buffers are cheap and the shared rows
+// stay contention-free) and suffix-summed, so the whole computation is
+// O(n) after preprocessing.
 func (ix *Index) BestKSet(m metrics.Metric, threads int) (bestK int32, bestScore float64, scores []float64) {
 	if m.Kind() != metrics.TypeA {
 		panic("search: BestKSet supports Type A metrics only")
 	}
 	n := ix.g.NumVertices()
 	levels := int(ix.kmax) + 1
+	p := par.Threads(threads)
+	locals := make([][]int64, p)
+	par.For(p, p, func(tlo, thi int) {
+		for t := tlo; t < thi; t++ {
+			buf := make([]int64, levels*3)
+			for i := t * n / p; i < (t+1)*n/p; i++ {
+				v := int32(i)
+				gt := int64(ix.gtK[v])
+				eq := int64(ix.eqK[v])
+				lt := int64(ix.g.Degree(v)) - gt - eq
+				row := int(ix.core[v]) * 3
+				buf[row]++
+				buf[row+1] += 2*gt + eq
+				buf[row+2] += lt - gt
+			}
+			locals[t] = buf
+		}
+	})
 	vals := make([]int64, levels*3)
-	par.ForEach(n, threads, func(i int) {
-		v := int32(i)
-		gt := int64(ix.gtK[v])
-		eq := int64(ix.eqK[v])
-		lt := int64(ix.g.Degree(v)) - gt - eq
-		row := int(ix.core[v]) * 3
-		atomic.AddInt64(&vals[row], 1)
-		atomic.AddInt64(&vals[row+1], 2*gt+eq)
-		atomic.AddInt64(&vals[row+2], lt-gt)
+	par.ForEach(levels*3, p, func(j int) {
+		var s int64
+		for t := 0; t < p; t++ {
+			s += locals[t][j]
+		}
+		vals[j] = s
 	})
 	// Suffix sums: Kk contains every shell with c >= k.
 	for k := levels - 2; k >= 0; k-- {

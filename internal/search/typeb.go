@@ -1,8 +1,6 @@
 package search
 
 import (
-	"sync/atomic"
-
 	"hcd/internal/metrics"
 	"hcd/internal/par"
 	"hcd/internal/treeaccum"
@@ -27,32 +25,51 @@ import (
 //     coreness >= c(v) and are charged to v's node; for each lower level k
 //     with cnt_k neighbors in Hk, C(cnt_k,2) + gt_k·cnt_k triplets join at
 //     level k and are charged to any Hk-neighbor's node (they all share
-//     it, being connected through v in G[c >= k]) — O(m) work.
+//     it, being connected through v in G[c >= k]) — O(m) work. With a
+//     layout, the per-level counts are read off the shallower segment's
+//     coreness runs directly; without one they are bucketed into scratch
+//     arrays.
 //
-// Bottom-up accumulation then yields per-core totals. Total work O(m^1.5),
-// matching the best sequential bound for triangle counting: work-efficient.
+// Each thread accumulates into a private copy of the node table and the
+// copies are folded afterwards — no atomic traffic on hot nodes, and the
+// totals are exact sums, so the result is deterministic. Bottom-up
+// accumulation then yields per-core totals. Total work O(m^1.5), matching
+// the best sequential bound for triangle counting: work-efficient.
 func (ix *Index) PrimaryB(threads int) []metrics.PrimaryValues {
 	g, h := ix.g, ix.h
 	n := g.NumVertices()
 	nn := h.NumNodes()
-	vals := make([]int64, nn*2) // rows: [triangles, triplets]
 	p := par.Threads(threads)
 
 	// Split vertices into p contiguous ranges of roughly equal adjacency
 	// volume, so degree skew does not starve threads.
 	bounds := ix.edgeBalancedBounds(p)
 
+	locals := make([][]int64, p)
 	par.For(p, p, func(tlo, thi int) {
 		for t := tlo; t < thi; t++ {
 			lo, hi := bounds[t], bounds[t+1]
-			// Per-thread scratch.
-			mark := make([]int32, n) // mark[w] == v+1  <=>  w in N(v)
-			cnt := make([]int32, ix.kmax+1)
-			rep := make([]int32, ix.kmax+1)
-			for v := lo; v < hi; v++ {
-				ix.countVertex(int32(v), mark, cnt, rep, vals)
+			// Per-thread scratch and output table.
+			local := make([]int64, nn*2) // rows: [triangles, triplets]
+			mark := make([]int32, n)     // mark[w] == v+1  <=>  w in N(v)
+			var cnt, rep []int32
+			if ix.lay == nil {
+				cnt = make([]int32, ix.kmax+1)
+				rep = make([]int32, ix.kmax+1)
 			}
+			for v := lo; v < hi; v++ {
+				ix.countVertex(int32(v), mark, cnt, rep, local)
+			}
+			locals[t] = local
 		}
+	})
+	vals := make([]int64, nn*2)
+	par.ForEach(nn*2, p, func(j int) {
+		var s int64
+		for t := 0; t < p; t++ {
+			s += locals[t][j]
+		}
+		vals[j] = s
 	})
 	treeaccum.Accumulate(h, vals, 2, threads)
 
@@ -66,8 +83,8 @@ func (ix *Index) PrimaryB(threads int) []metrics.PrimaryValues {
 	return out
 }
 
-// countVertex adds vertex v's triangle and triplet contributions to vals
-// (atomically — several vertices may charge the same node concurrently).
+// countVertex adds vertex v's triangle and triplet contributions to vals,
+// a table private to the calling thread (plain writes).
 func (ix *Index) countVertex(v int32, mark, cnt, rep []int32, vals []int64) {
 	g, core, h := ix.g, ix.core, ix.h
 	dv := int32(g.Degree(v))
@@ -81,7 +98,7 @@ func (ix *Index) countVertex(v int32, mark, cnt, rep []int32, vals []int64) {
 		if du < dv || (du == dv && u < v) {
 			for _, w := range g.Neighbors(u) {
 				if mark[w] == v+1 && ix.rankLess(w, u) && ix.rankLess(w, v) {
-					atomic.AddInt64(&vals[int(h.TID[w])*2], 1)
+					vals[int(h.TID[w])*2]++
 				}
 			}
 		}
@@ -90,7 +107,28 @@ func (ix *Index) countVertex(v int32, mark, cnt, rep []int32, vals []int64) {
 	// --- Triplets centered at v (Algorithm 5 lines 8-15) ---
 	// gt = |{u in N(v) : c(u) >= c(v)}| via the preprocessing.
 	gt := int64(ix.gtK[v]) + int64(ix.eqK[v])
-	atomic.AddInt64(&vals[int(h.TID[v])*2+1], gt*(gt-1)/2)
+	vals[int(h.TID[v])*2+1] += gt * (gt - 1) / 2
+
+	if ix.lay != nil {
+		// The layout's shallower segment is already grouped by coreness in
+		// descending order — exactly the level order the charging loop
+		// needs — so each level is one contiguous run: no scratch arrays,
+		// no O(kmax) sweep, just a walk over the d_lt(v) entries.
+		sh := ix.lay.Shallower(v)
+		for i := 0; i < len(sh); {
+			c := core[sh[i]]
+			j := i + 1
+			for j < len(sh) && core[sh[j]] == c {
+				j++
+			}
+			cc := int64(j - i)
+			vals[int(h.TID[sh[i]])*2+1] += cc*(cc-1)/2 + gt*cc
+			gt += cc
+			i = j
+		}
+		return
+	}
+
 	cv := core[v]
 	touched := false
 	for _, u := range g.Neighbors(v) {
@@ -104,7 +142,7 @@ func (ix *Index) countVertex(v int32, mark, cnt, rep []int32, vals []int64) {
 		for k := cv - 1; k >= 0; k-- {
 			if c := int64(cnt[k]); c > 0 {
 				w := rep[k]
-				atomic.AddInt64(&vals[int(h.TID[w])*2+1], c*(c-1)/2+gt*c)
+				vals[int(h.TID[w])*2+1] += c*(c-1)/2 + gt*c
 				gt += c
 				cnt[k] = 0
 			}
