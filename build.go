@@ -1,0 +1,181 @@
+package hcd
+
+import (
+	"context"
+	"time"
+
+	core2 "hcd/internal/core"
+	"hcd/internal/coredecomp"
+	"hcd/internal/hierarchy"
+	"hcd/internal/lcps"
+	"hcd/internal/par"
+	"hcd/internal/search"
+	"hcd/internal/shellidx"
+)
+
+// BuildReport describes how a BuildCtx call actually ran: whether the
+// parallel path succeeded, whether the serial fallback had to take over
+// (and why), and whether the result was verified.
+type BuildReport struct {
+	// Threads is the resolved worker count the parallel path used.
+	Threads int
+	// Fallback is true when the parallel pipeline failed and the result
+	// was produced by the serial baseline instead.
+	Fallback bool
+	// Cause is the error recovered from the parallel pipeline when
+	// Fallback is true (typically a *par.PanicError), or the validation
+	// error that triggered a SelfVerify rebuild. Nil on the fast path.
+	Cause error
+	// Verified is true when Options.SelfVerify was set and the returned
+	// hierarchy passed hierarchy validation.
+	Verified bool
+	// Elapsed is the wall-clock duration of the whole build.
+	Elapsed time.Duration
+}
+
+// BuildCtx is Build with failure containment, cooperative cancellation
+// and optional self-verification — the graceful-degradation entry point:
+//
+//   - A worker panic anywhere in the parallel pipeline (core
+//     decomposition, PHCD) is recovered, reported in BuildReport.Cause,
+//     and the build falls back to the serial baseline
+//     (Batagelj-Zaversnik peeling + LCPS), which shares no code with the
+//     parallel path. The call still succeeds.
+//   - A cancelled ctx — or an exceeded Options.Deadline, which wraps ctx
+//     with a timeout — aborts the build at the next level/chunk boundary
+//     and returns the context's error. Cancellation is a caller
+//     decision, so it is never "rescued" by the fallback.
+//   - Options.SelfVerify runs hierarchy validation on the result before
+//     returning. If the parallel result fails validation, the serial
+//     baseline rebuilds it (Fallback=true, Cause=the validation error)
+//     and the replacement is validated in turn.
+//
+// The returned report is non-nil whenever err is nil.
+func BuildCtx(ctx context.Context, g *Graph, opt Options) (*HCD, []int32, *BuildReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Deadline)
+		defer cancel()
+	}
+	start := time.Now()
+	rep := &BuildReport{Threads: par.Threads(opt.Threads)}
+
+	h, core, err := buildParallel(ctx, g, opt)
+	if err != nil {
+		// Cancellation and deadline expiry propagate: the caller asked the
+		// build to stop, so a serial fallback would be wrong twice over
+		// (slower, and against the caller's wishes).
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, nil, nil, ctxErr
+		}
+		rep.Fallback = true
+		rep.Cause = err
+		core = coredecomp.Serial(g)
+		h = lcps.Build(g, core)
+	}
+	if opt.SelfVerify {
+		if verr := hierarchy.Validate(h, g, core); verr != nil {
+			if rep.Fallback {
+				// The serial baseline itself produced an invalid hierarchy:
+				// nothing further to fall back to.
+				return nil, nil, nil, verr
+			}
+			rep.Fallback = true
+			rep.Cause = verr
+			core = coredecomp.Serial(g)
+			h = lcps.Build(g, core)
+			if verr := hierarchy.Validate(h, g, core); verr != nil {
+				return nil, nil, nil, verr
+			}
+		}
+		rep.Verified = true
+	}
+	rep.Elapsed = time.Since(start)
+	return h, core, rep, nil
+}
+
+// buildParallel runs the parallel pipeline (ParallelCtx peeling, shared
+// layout, PHCDCtx) under ctx, returning the first contained failure.
+func buildParallel(ctx context.Context, g *Graph, opt Options) (*HCD, []int32, error) {
+	core, err := coredecomp.ParallelCtx(ctx, g, opt.Threads)
+	if err != nil {
+		return nil, nil, err
+	}
+	h, err := core2.PHCDCtx(ctx, g, core, nil, opt.Threads)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, core, nil
+}
+
+// BuildAndIndexCtx is BuildAndIndex with the same containment contract as
+// BuildCtx: on parallel failure the hierarchy comes from the serial
+// baseline and the searcher is built serially (threads=1) on top of it.
+func BuildAndIndexCtx(ctx context.Context, g *Graph, opt Options) (*HCD, []int32, *Searcher, *BuildReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Deadline)
+		defer cancel()
+	}
+	start := time.Now()
+	rep := &BuildReport{Threads: par.Threads(opt.Threads)}
+
+	h, core, s, err := buildAndIndexParallel(ctx, g, opt)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, nil, nil, nil, ctxErr
+		}
+		rep.Fallback = true
+		rep.Cause = err
+		core = coredecomp.Serial(g)
+		h = lcps.Build(g, core)
+		s = &Searcher{ix: search.NewIndex(g, core, h, 1), h: h}
+	}
+	if opt.SelfVerify {
+		if verr := hierarchy.Validate(h, g, core); verr != nil {
+			if rep.Fallback {
+				return nil, nil, nil, nil, verr
+			}
+			rep.Fallback = true
+			rep.Cause = verr
+			core = coredecomp.Serial(g)
+			h = lcps.Build(g, core)
+			s = &Searcher{ix: search.NewIndex(g, core, h, 1), h: h}
+			if verr := hierarchy.Validate(h, g, core); verr != nil {
+				return nil, nil, nil, nil, verr
+			}
+		}
+		rep.Verified = true
+	}
+	rep.Elapsed = time.Since(start)
+	return h, core, s, rep, nil
+}
+
+func buildAndIndexParallel(ctx context.Context, g *Graph, opt Options) (*HCD, []int32, *Searcher, error) {
+	core, err := coredecomp.ParallelCtx(ctx, g, opt.Threads)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	r := coredecomp.RankVertices(core, opt.Threads)
+	lay := shellidx.Build(g, core, r, opt.Threads)
+	h, err := core2.PHCDCtx(ctx, g, core, lay, opt.Threads)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	s := &Searcher{ix: search.NewIndexWithLayout(g, core, h, lay, opt.Threads), h: h}
+	return h, core, s, nil
+}
+
+// BestCtx is Searcher.Best with failure containment and cooperative
+// cancellation: a worker panic inside the search kernels surfaces as an
+// error (typically a *par.PanicError) instead of crashing, and a
+// cancelled ctx aborts the kernels at their internal chunk boundaries.
+func (s *Searcher) BestCtx(ctx context.Context, m Metric, opt Options) (SearchResult, error) {
+	return s.ix.SearchCtx(ctx, m, opt.Threads)
+}

@@ -1,0 +1,248 @@
+package hcd_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"hcd"
+	"hcd/internal/faultinject"
+	"hcd/internal/gen"
+	"hcd/internal/hierarchy"
+)
+
+func TestBuildCtxFastPath(t *testing.T) {
+	g := gen.ErdosRenyi(500, 2000, 3)
+	h, core, rep, err := hcd.BuildCtx(context.Background(), g, hcd.Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fallback || rep.Cause != nil {
+		t.Errorf("fast path reported fallback: %+v", rep)
+	}
+	if rep.Threads != 4 || rep.Elapsed <= 0 {
+		t.Errorf("report = %+v, want Threads=4 and a positive Elapsed", rep)
+	}
+	if err := hierarchy.Validate(h, g, core); err != nil {
+		t.Errorf("fast-path hierarchy invalid: %v", err)
+	}
+	// Nil ctx is allowed and means background.
+	if _, _, _, err := hcd.BuildCtx(nil, g, hcd.Options{Threads: 2}); err != nil {
+		t.Errorf("nil ctx: %v", err)
+	}
+}
+
+// TestBuildCtxFallsBackOnInjectedPanic is the tentpole acceptance check:
+// with a panic injected into any PHCD step or the peeling phases, BuildCtx
+// must still succeed — via the serial baseline — report the recovered
+// cause, produce a Validate-clean hierarchy, and leak no goroutines.
+func TestBuildCtxFallsBackOnInjectedPanic(t *testing.T) {
+	defer faultinject.Disable()
+	g := gen.ErdosRenyi(500, 2000, 4)
+	want, wantCore := hcd.BuildHCDSerial(g, hcd.CoreDecompositionSerial(g)), hcd.CoreDecompositionSerial(g)
+	sites := []string{
+		"coredecomp.collect", "coredecomp.peel",
+		"phcd.step1", "phcd.step2", "phcd.step3", "phcd.step4",
+	}
+	for _, site := range sites {
+		if err := faultinject.Enable(site + ":panic:1"); err != nil {
+			t.Fatal(err)
+		}
+		before := runtime.NumGoroutine()
+		h, core, rep, err := hcd.BuildCtx(context.Background(), g, hcd.Options{Threads: 4})
+		if err != nil {
+			t.Fatalf("%s: BuildCtx failed outright: %v", site, err)
+		}
+		if !rep.Fallback || rep.Cause == nil {
+			t.Fatalf("%s: fallback not reported: %+v", site, rep)
+		}
+		var f *faultinject.Fault
+		if !errors.As(rep.Cause, &f) || f.Site != site {
+			t.Errorf("%s: cause %v does not unwrap to the injected fault", site, rep.Cause)
+		}
+		if err := hierarchy.Validate(h, g, core); err != nil {
+			t.Errorf("%s: fallback hierarchy invalid: %v", site, err)
+		}
+		if !reflect.DeepEqual(core, wantCore) {
+			t.Errorf("%s: fallback coreness differs from serial baseline", site)
+		}
+		if h.NumNodes() != want.NumNodes() {
+			t.Errorf("%s: fallback hierarchy has %d nodes, serial baseline %d",
+				site, h.NumNodes(), want.NumNodes())
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if got := runtime.NumGoroutine(); got > before {
+			t.Errorf("%s: goroutine leak: %d before, %d after", site, before, got)
+		}
+		faultinject.Disable()
+	}
+}
+
+// TestBuildCtxCancellationIsNotRescued checks that caller-initiated
+// cancellation propagates as an error instead of triggering the serial
+// fallback (which would override the caller's decision to stop).
+func TestBuildCtxCancellationIsNotRescued(t *testing.T) {
+	defer faultinject.Disable()
+	g := gen.ErdosRenyi(500, 2000, 5)
+	// A delay rule pins step 1 so the cancel lands mid-build
+	// deterministically, without depending on graph size or machine speed.
+	if err := faultinject.Enable("phcd.step1:delay:1:300ms"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	h, _, rep, err := hcd.BuildCtx(ctx, g, hcd.Options{Threads: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("BuildCtx = (%v, %+v, %v), want context.Canceled", h, rep, err)
+	}
+	if el := time.Since(start); el > 3*time.Second {
+		t.Errorf("cancelled build still took %v", el)
+	}
+}
+
+func TestBuildCtxDeadline(t *testing.T) {
+	defer faultinject.Disable()
+	g := gen.ErdosRenyi(500, 2000, 6)
+	// Without a delay the build finishes in well under a millisecond, so
+	// pin the first PHCD step long enough to trip a short deadline.
+	if err := faultinject.Enable("phcd.step1:delay:1:300ms"); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err := hcd.BuildCtx(context.Background(), g,
+		hcd.Options{Threads: 4, Deadline: 20 * time.Millisecond})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	faultinject.Disable()
+	// A deadline that is not hit leaves the build untouched.
+	h, core, rep, err := hcd.BuildCtx(context.Background(), g,
+		hcd.Options{Threads: 4, Deadline: time.Minute})
+	if err != nil || rep.Fallback {
+		t.Fatalf("generous deadline: err=%v rep=%+v", err, rep)
+	}
+	if err := hierarchy.Validate(h, g, core); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildCtxSelfVerify(t *testing.T) {
+	g := gen.Onion(6, 12, 2, 2, 3, 7)
+	h, core, rep, err := hcd.BuildCtx(context.Background(), g,
+		hcd.Options{Threads: 4, SelfVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Verified {
+		t.Errorf("SelfVerify set but report.Verified = false: %+v", rep)
+	}
+	if err := hierarchy.Validate(h, g, core); err != nil {
+		t.Error(err)
+	}
+	// SelfVerify composes with the fallback path: inject a fault, and the
+	// serial replacement must itself be verified.
+	defer faultinject.Disable()
+	if err := faultinject.Enable("phcd.step3:panic:1"); err != nil {
+		t.Fatal(err)
+	}
+	_, _, rep2, err := hcd.BuildCtx(context.Background(), g,
+		hcd.Options{Threads: 4, SelfVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Fallback || !rep2.Verified {
+		t.Errorf("fallback+verify report = %+v, want Fallback and Verified", rep2)
+	}
+}
+
+func TestBuildAndIndexCtx(t *testing.T) {
+	defer faultinject.Disable()
+	g := gen.BarabasiAlbert(400, 4, 8)
+	ctx := context.Background()
+	h, core, s, rep, err := hcd.BuildAndIndexCtx(ctx, g, hcd.Options{Threads: 4, SelfVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fallback || !rep.Verified {
+		t.Errorf("report = %+v", rep)
+	}
+	if err := hierarchy.Validate(h, g, core); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.BestCtx(ctx, hcd.AverageDegree(), hcd.Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The searcher from the fallback path answers the same query.
+	if err := faultinject.Enable("phcd.step2:panic:1"); err != nil {
+		t.Fatal(err)
+	}
+	_, _, s2, rep2, err := hcd.BuildAndIndexCtx(ctx, g, hcd.Options{Threads: 4})
+	faultinject.Disable()
+	if err != nil || !rep2.Fallback {
+		t.Fatalf("fallback BuildAndIndexCtx: err=%v rep=%+v", err, rep2)
+	}
+	r2, err := s2.BestCtx(ctx, hcd.AverageDegree(), hcd.Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.K != r2.K || r.Score != r2.Score {
+		t.Errorf("fallback searcher answer (k=%d, %v) != parallel answer (k=%d, %v)",
+			r2.K, r2.Score, r.K, r.Score)
+	}
+}
+
+// TestBestCtxContainsKernelPanic checks the public search entry point
+// surfaces injected kernel panics as errors.
+func TestBestCtxContainsKernelPanic(t *testing.T) {
+	defer faultinject.Disable()
+	g := gen.BarabasiAlbert(400, 4, 9)
+	_, _, s, _, err := hcd.BuildAndIndexCtx(context.Background(), g, hcd.Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultinject.Enable("search.typea:panic:1"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.BestCtx(context.Background(), hcd.AverageDegree(), hcd.Options{Threads: 4})
+	var f *faultinject.Fault
+	if err == nil || !errors.As(err, &f) {
+		t.Errorf("BestCtx err = %v, want the injected fault", err)
+	}
+}
+
+// TestBuildCtxCancelsLargeBuildEarly is the acceptance criterion's timing
+// check without fault injection: cancelling a build of a non-trivial graph
+// aborts well before the build would have completed at that thread count.
+func TestBuildCtxCancelsLargeBuildEarly(t *testing.T) {
+	g := gen.RMAT(16, 1<<19, 10)
+	// Time one full build for scale.
+	full := time.Now()
+	if _, _, _, err := hcd.BuildCtx(context.Background(), g, hcd.Options{Threads: 2}); err != nil {
+		t.Fatal(err)
+	}
+	fullDur := time.Since(full)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(fullDur / 20)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, _, err := hcd.BuildCtx(ctx, g, hcd.Options{Threads: 2})
+	el := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if el > fullDur/2+50*time.Millisecond {
+		t.Errorf("cancelled build took %v of a %v full build — not an early abort", el, fullDur)
+	}
+}

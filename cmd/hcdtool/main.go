@@ -17,29 +17,44 @@
 //	hcdtool -cmd maintain  -in g.bin -stream ops.txt -engine order
 //
 // Input formats: "bin" (gengraph/WriteBinary) or "text" (SNAP edge list).
+//
+// Builds are interruptible: Ctrl-C (or SIGTERM) cancels the pipeline and
+// the tool exits 130. -deadline bounds a build, -verify validates the
+// hierarchy before use, and -faults arms the fault injector (testing).
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"hcd"
+	"hcd/internal/faultinject"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	// SIGINT/SIGTERM cancel the build context: parallel phases notice at
+	// the next level/chunk boundary, workers drain, and the tool exits
+	// cleanly with the conventional 128+SIGINT code instead of dying
+	// mid-allocation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run executes the tool with explicit streams and returns a process exit
 // code; main is a thin wrapper so tests can drive every command in-process.
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	flag := flag.NewFlagSet("hcdtool", flag.ContinueOnError)
 	flag.SetOutput(stderr)
 	cmd := flag.String("cmd", "stats", "stats | decompose | build | search | densest | clique | bestk | kcore | truss | influence")
@@ -55,12 +70,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	kFlag := flag.Int("k", 2, "core level (kcore, influence)")
 	stream := flag.String("stream", "", "edge stream file for maintain: one 'i u v' or 'd u v' per line")
 	engine := flag.String("engine", "order", "maintenance engine: traversal or order")
+	deadline := flag.Duration("deadline", 0, "abort the build after this long (0 = no limit)")
+	verify := flag.Bool("verify", false, "self-verify the built hierarchy before using it")
+	faults := flag.String("faults", "", "fault-injection spec, e.g. 'phcd.step2:panic:1' (testing)")
 	if err := flag.Parse(args); err != nil {
 		return 2
 	}
 	fail := func(err error) int {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(stderr, "hcdtool: interrupted")
+			return 130
+		}
 		fmt.Fprintf(stderr, "hcdtool: %v\n", err)
 		return 1
+	}
+	if *faults != "" {
+		if err := faultinject.Enable(*faults); err != nil {
+			return fail(err)
+		}
+		defer faultinject.Disable()
 	}
 
 	if *in == "" {
@@ -77,7 +105,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
-	opt := hcd.Options{Threads: *threads}
+	opt := hcd.Options{Threads: *threads, Deadline: *deadline, SelfVerify: *verify}
+	// build runs the containment-aware pipeline: Ctrl-C cancels it, -deadline
+	// bounds it, a parallel-path failure degrades to the serial baseline
+	// (reported on stderr), and -verify validates the result before use.
+	build := func() (*hcd.HCD, []int32, error) {
+		h, core, rep, err := hcd.BuildCtx(ctx, g, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		if rep.Fallback {
+			fmt.Fprintf(stderr, "hcdtool: parallel build failed (%v); serial fallback used\n", rep.Cause)
+		}
+		return h, core, nil
+	}
 
 	switch *cmd {
 	case "stats":
@@ -110,7 +151,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	case "build":
 		start := time.Now()
-		h, core := hcd.Build(g, opt)
+		h, core, err := build()
+		if err != nil {
+			return fail(err)
+		}
 		fmt.Fprintf(stdout, "built HCD in %v: %s\n", time.Since(start), h.ComputeStats())
 		_ = core
 		if *dot != "" {
@@ -155,10 +199,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
-		h, core := hcd.Build(g, opt)
+		h, core, err := build()
+		if err != nil {
+			return fail(err)
+		}
 		s := hcd.NewSearcher(g, core, h, opt)
 		start := time.Now()
-		r := s.Best(m, opt)
+		r, err := s.BestCtx(ctx, m, opt)
+		if err != nil {
+			return fail(err)
+		}
 		fmt.Fprintf(stdout, "search (%s) in %v\n", m.Name(), time.Since(start))
 		if r.Node == hcd.NilNode {
 			fmt.Fprintln(stdout, "empty hierarchy")
@@ -183,7 +233,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 
 	case "densest":
-		h, core := hcd.Build(g, opt)
+		h, core, err := build()
+		if err != nil {
+			return fail(err)
+		}
 		start := time.Now()
 		d := hcd.DensestSubgraph(g, core, h, opt)
 		fmt.Fprintf(stdout, "PBKS-D in %v: k=%d avg-degree=%.4f |S*|=%d (%.4f%% of n)\n",
@@ -200,13 +253,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
-		h, core := hcd.Build(g, opt)
+		h, core, err := build()
+		if err != nil {
+			return fail(err)
+		}
 		s := hcd.NewSearcher(g, core, h, opt)
 		k, score, _ := s.BestK(m, opt)
 		fmt.Fprintf(stdout, "best k for %s: k=%d score=%.6f\n", m.Name(), k, score)
 
 	case "kcore":
-		h, _ := hcd.Build(g, opt)
+		h, _, err := build()
+		if err != nil {
+			return fail(err)
+		}
 		q := hcd.NewLocalQuery(h)
 		v, k := int32(*vFlag), int32(*kFlag)
 		if v < 0 || int(v) >= g.NumVertices() {

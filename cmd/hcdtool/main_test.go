@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -31,7 +32,7 @@ func writeTestGraph(t *testing.T) string {
 func runTool(t *testing.T, args ...string) (string, string, int) {
 	t.Helper()
 	var out, errb bytes.Buffer
-	code := run(args, &out, &errb)
+	code := run(context.Background(), args, &out, &errb)
 	return out.String(), errb.String(), code
 }
 
@@ -150,6 +151,56 @@ func TestRunErrors(t *testing.T) {
 	}
 	if _, _, code := runTool(t, "-bad-flag"); code != 2 {
 		t.Error("bad flag not rejected")
+	}
+}
+
+// TestRunFaultsFallsBackAndVerifies drives the containment path end to
+// end through the CLI: an injected PHCD panic degrades to the serial
+// baseline (reported on stderr), the build still succeeds, and -verify
+// validates the replacement.
+func TestRunFaultsFallsBackAndVerifies(t *testing.T) {
+	path := writeTestGraph(t)
+	// -threads 4 forces the parallel path (where the fault sites live)
+	// even on single-CPU machines.
+	out, errOut, code := runTool(t, "-cmd", "build", "-in", path,
+		"-threads", "4", "-faults", "phcd.step1:panic:1", "-verify")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "serial fallback") {
+		t.Errorf("fallback not reported on stderr:\n%s", errOut)
+	}
+	if !strings.Contains(out, "built HCD") {
+		t.Errorf("build output missing:\n%s", out)
+	}
+	// A bad spec is rejected up front.
+	if _, _, code := runTool(t, "-cmd", "build", "-in", path, "-faults", "nonsense"); code != 1 {
+		t.Error("bad -faults spec not rejected")
+	}
+}
+
+// TestRunInterrupted checks a cancelled context maps to the conventional
+// 128+SIGINT exit code.
+func TestRunInterrupted(t *testing.T) {
+	path := writeTestGraph(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errb bytes.Buffer
+	code := run(ctx, []string{"-cmd", "build", "-in", path}, &out, &errb)
+	if code != 130 {
+		t.Errorf("exit %d, want 130; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "interrupted") {
+		t.Errorf("stderr = %q, want an interrupted notice", errb.String())
+	}
+}
+
+func TestRunDeadlineFlagParses(t *testing.T) {
+	path := writeTestGraph(t)
+	// A generous deadline must not perturb a normal build.
+	out, errOut, code := runTool(t, "-cmd", "build", "-in", path, "-deadline", "1m")
+	if code != 0 || !strings.Contains(out, "built HCD") {
+		t.Errorf("exit %d:\n%s%s", code, out, errOut)
 	}
 }
 

@@ -71,4 +71,26 @@ func main() {
 		}
 	}
 	fmt.Printf("maximum clique contained in S*: %v\n", contained)
+
+	// The exact solver is exponential, so it refuses anything but toy
+	// graphs — handle the error instead of assuming it can run.
+	if _, err := hcd.DensestExact(g); err != nil {
+		fmt.Printf("exact solver on the full graph: %v (expected)\n", err)
+	}
+	tiny, err := hcd.NewGraph(6, []hcd.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2},
+		{U: 1, V: 3}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := hcd.DensestExact(tiny)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tcore := hcd.CoreDecompositionSerial(tiny)
+	th := hcd.BuildHCDSerial(tiny, tcore)
+	approx := hcd.DensestSubgraph(tiny, tcore, th, hcd.Options{Threads: 1})
+	fmt.Printf("toy graph: exact avg degree %.3f, PBKS-D %.3f (>= half of exact: %v)\n",
+		exact.AvgDegree, approx.AvgDegree, approx.AvgDegree >= exact.AvgDegree/2)
 }

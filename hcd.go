@@ -25,6 +25,7 @@ package hcd
 
 import (
 	"io"
+	"time"
 
 	"hcd/internal/clique"
 	core2 "hcd/internal/core"
@@ -43,6 +44,15 @@ type Options struct {
 	// Threads is the number of goroutines used by parallel phases.
 	// 0 means runtime.GOMAXPROCS(0); 1 runs inline with no scheduling.
 	Threads int
+	// Deadline, when positive, bounds a BuildCtx call: the build's context
+	// is wrapped with this timeout and a build that overruns returns
+	// context.DeadlineExceeded. Ignored by the non-context entry points.
+	Deadline time.Duration
+	// SelfVerify makes BuildCtx run hierarchy validation on the result
+	// before returning it, so a wrong-but-not-crashing parallel build is
+	// caught (and replaced by the serial baseline's output) instead of
+	// being served. Costs one extra pass over every k-core.
+	SelfVerify bool
 }
 
 // Re-exported foundation types. The concrete implementations live in
@@ -203,6 +213,16 @@ func DensestSubgraph(g *Graph, core []int32, h *HCD, opt Options) DensestSolutio
 	ix := search.NewIndex(g, core, h, opt.Threads)
 	return densest.PBKSD(ix, opt.Threads)
 }
+
+// ErrTooLarge is returned by DensestExact for graphs beyond the exact
+// solver's enumeration limit (20 vertices).
+var ErrTooLarge = densest.ErrTooLarge
+
+// DensestExact computes the exact densest subgraph by subset enumeration.
+// Exponential: it returns ErrTooLarge for graphs with more than 20
+// vertices. It exists so small examples can verify the approximate
+// solvers' 0.5 bound.
+func DensestExact(g *Graph) (DensestSolution, error) { return densest.ExactTiny(g) }
 
 // MaximumClique returns one maximum clique of g (branch and bound with
 // coreness pruning). Exact but exponential in the worst case; fast on

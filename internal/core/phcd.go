@@ -38,10 +38,12 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync/atomic"
 
 	"hcd/internal/coredecomp"
+	"hcd/internal/faultinject"
 	"hcd/internal/graph"
 	"hcd/internal/hierarchy"
 	"hcd/internal/par"
@@ -68,14 +70,40 @@ func PHCD(g *graph.Graph, core []int32, threads int) *hierarchy.HCD {
 // and h.Children order are identical for every thread count (including
 // the serial path) and every run. Per node, h.Vertices lists the shell
 // vertices in ascending id order.
+//
+// Thin wrapper over PHCDCtx; a contained worker panic re-raises on the
+// calling goroutine.
 func PHCDWithLayout(g *graph.Graph, core []int32, lay *shellidx.Layout, threads int) *hierarchy.HCD {
+	h, err := PHCDCtx(context.Background(), g, core, lay, threads)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// PHCDCtx is PHCDWithLayout with failure containment and cooperative
+// cancellation: a panic inside any of the four per-level steps — in a
+// worker goroutine or on the coordinating path — surfaces as a
+// *par.PanicError, and a cancelled ctx aborts the level loop at the next
+// level boundary (there are kmax+1 levels, so cancellation latency is one
+// level's work). On error the partially-built hierarchy is discarded;
+// every worker has been joined before PHCDCtx returns.
+func PHCDCtx(ctx context.Context, g *graph.Graph, core []int32, lay *shellidx.Layout, threads int) (h *hierarchy.HCD, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			h, err = nil, par.AsPanicError(r)
+		}
+	}()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := g.NumVertices()
-	h := &hierarchy.HCD{TID: make([]hierarchy.NodeID, n)}
+	h = &hierarchy.HCD{TID: make([]hierarchy.NodeID, n)}
 	for i := range h.TID {
 		h.TID[i] = hierarchy.Nil
 	}
 	if n == 0 {
-		return h
+		return h, ctx.Err()
 	}
 	p := par.Threads(threads)
 
@@ -86,8 +114,10 @@ func PHCDWithLayout(g *graph.Graph, core []int32, lay *shellidx.Layout, threads 
 		// The sequential version of PHCD (§V-B compares it against LCPS):
 		// same four steps, but over the serial union-find with in-union
 		// pivot maintenance — no atomics, no barriers.
-		phcdSerial(g, core, rank, lay, h)
-		return h
+		if err := phcdSerial(ctx, g, core, rank, lay, h); err != nil {
+			return nil, err
+		}
+		return h, nil
 	}
 
 	// Union-find with pivot (§III-B). Linking by vertex rank makes every
@@ -117,6 +147,9 @@ func PHCDWithLayout(g *graph.Graph, core []int32, lay *shellidx.Layout, threads 
 	nodeIdx := make([]int32, n)
 
 	for k := rank.KMax; k >= 0; k-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		shell := rank.Shell(k)
 		ns := len(shell)
 		if ns == 0 {
@@ -125,7 +158,8 @@ func PHCDWithLayout(g *graph.Graph, core []int32, lay *shellidx.Layout, threads 
 
 		// Step 1: find the deeper-core pivots that will merge with this
 		// shell. Must complete before any Step 2 union (par.For barriers).
-		par.For(p, p, func(tlo, thi int) {
+		err := par.ForErr(ctx, p, p, func(tlo, thi int) error {
+			faultinject.Maybe("phcd.step1")
 			for t := tlo; t < thi; t++ {
 				local := kpcLocal[t][:0]
 				for i := t * ns / p; i < (t+1)*ns/p; i++ {
@@ -149,13 +183,18 @@ func PHCDWithLayout(g *graph.Graph, core []int32, lay *shellidx.Layout, threads 
 				}
 				kpcLocal[t] = local
 			}
+			return nil
 		})
+		if err != nil {
+			return nil, err
+		}
 
 		// Step 2: connect the shell to everything of coreness >= k. For
 		// same-shell edges one direction suffices (union is symmetric);
 		// with the layout, the same-shell segment is id-sorted, so the
 		// u > v half is the suffix past a binary search.
-		par.For(p, p, func(tlo, thi int) {
+		err = par.ForErr(ctx, p, p, func(tlo, thi int) error {
+			faultinject.Maybe("phcd.step2")
 			for t := tlo; t < thi; t++ {
 				for i := t * ns / p; i < (t+1)*ns/p; i++ {
 					v := shell[i]
@@ -176,13 +215,18 @@ func PHCDWithLayout(g *graph.Graph, core []int32, lay *shellidx.Layout, threads 
 					}
 				}
 			}
+			return nil
 		})
+		if err != nil {
+			return nil, err
+		}
 
 		// Step 3: one node per pivot; group shell vertices by pivot.
 		// Every component touched this level has a k-shell pivot, and in
 		// the rank-linked union-find the pivot is the root, so the pivots
 		// are exactly the shell vertices that are their own root.
-		par.For(p, p, func(tlo, thi int) {
+		err = par.ForErr(ctx, p, p, func(tlo, thi int) error {
+			faultinject.Maybe("phcd.step3")
 			for t := tlo; t < thi; t++ {
 				local := pivLocal[t][:0]
 				for i := t * ns / p; i < (t+1)*ns/p; i++ {
@@ -193,7 +237,11 @@ func PHCDWithLayout(g *graph.Graph, core []int32, lay *shellidx.Layout, threads 
 				}
 				pivLocal[t] = local
 			}
+			return nil
 		})
+		if err != nil {
+			return nil, err
+		}
 		// Concatenating the per-thread pivot lists in thread order visits
 		// the pivots in ascending shell position — the chunks are
 		// contiguous — so node ids do not depend on the thread count. A
@@ -235,7 +283,8 @@ func PHCDWithLayout(g *graph.Graph, core []int32, lay *shellidx.Layout, threads 
 		// in ascending child order (which thread discovered a pivot in
 		// Step 1 is scheduling-dependent, so the per-thread lists are
 		// merged and sorted to keep h.Children deterministic).
-		par.For(p, p, func(tlo, thi int) {
+		err = par.ForErr(ctx, p, p, func(tlo, thi int) error {
+			faultinject.Maybe("phcd.step4")
 			for t := tlo; t < thi; t++ {
 				local := linkLocal[t][:0]
 				for _, v := range kpcLocal[t] {
@@ -244,7 +293,11 @@ func PHCDWithLayout(g *graph.Graph, core []int32, lay *shellidx.Layout, threads 
 				}
 				linkLocal[t] = local
 			}
+			return nil
 		})
+		if err != nil {
+			return nil, err
+		}
 		links = links[:0]
 		for t := 0; t < p; t++ {
 			links = append(links, linkLocal[t]...)
@@ -257,7 +310,7 @@ func PHCDWithLayout(g *graph.Graph, core []int32, lay *shellidx.Layout, threads 
 			h.Children[pa] = append(h.Children[pa], ch)
 		}
 	}
-	return h
+	return h, nil
 }
 
 // suffixAfter returns the first index i with list[i] > v, for an

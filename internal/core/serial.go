@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"slices"
 
 	"hcd/internal/coredecomp"
@@ -16,7 +17,9 @@ import (
 // atomic operations. This is the configuration Table III's "(1)" column
 // measures against LCPS. With a layout, the fused scan touches only the
 // coreness >= k prefix of each list — m edge visits total instead of 2m.
-func phcdSerial(g *graph.Graph, core []int32, rank *coredecomp.Ranking, lay *shellidx.Layout, h *hierarchy.HCD) {
+// A cancelled ctx aborts between levels; panics propagate to PHCDCtx's
+// recovery.
+func phcdSerial(ctx context.Context, g *graph.Graph, core []int32, rank *coredecomp.Ranking, lay *shellidx.Layout, h *hierarchy.HCD) error {
 	n := g.NumVertices()
 	uf := unionfind.New(n, rank.Rank)
 	inKpc := make([]bool, n)
@@ -32,6 +35,9 @@ func phcdSerial(g *graph.Graph, core []int32, rank *coredecomp.Ranking, lay *she
 	}
 
 	for k := rank.KMax; k >= 0; k-- {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		shell := rank.Shell(k)
 		if len(shell) == 0 {
 			continue
@@ -106,6 +112,7 @@ func phcdSerial(g *graph.Graph, core []int32, rank *coredecomp.Ranking, lay *she
 			h.Children[pa] = append(h.Children[pa], ch)
 		}
 	}
+	return nil
 }
 
 // sortInt32 insertion-sorts short slices in place (kpc lists are almost

@@ -17,8 +17,10 @@
 package coredecomp
 
 import (
+	"context"
 	"sync/atomic"
 
+	"hcd/internal/faultinject"
 	"hcd/internal/graph"
 	"hcd/internal/par"
 )
@@ -91,12 +93,28 @@ func SerialOrder(g *graph.Graph) (core []int32, order []int32) {
 }
 
 // Parallel computes coreness with PKC-style level-synchronous peeling
-// using the given number of threads (0 = GOMAXPROCS).
+// using the given number of threads (0 = GOMAXPROCS). Thin wrapper over
+// ParallelCtx; a contained worker panic re-raises on the calling
+// goroutine.
 func Parallel(g *graph.Graph, threads int) []int32 {
+	core, err := ParallelCtx(context.Background(), g, threads)
+	if err != nil {
+		panic(err)
+	}
+	return core
+}
+
+// ParallelCtx is Parallel with failure containment: worker panics surface
+// as a *par.PanicError and a cancelled ctx aborts the peeling between
+// levels (kmax levels, so cancellation latency is one level's work).
+func ParallelCtx(ctx context.Context, g *graph.Graph, threads int) ([]int32, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := g.NumVertices()
 	core := make([]int32, n)
 	if n == 0 {
-		return core
+		return core, ctx.Err()
 	}
 	p := par.Threads(threads)
 	deg := make([]atomic.Int32, n)
@@ -121,11 +139,15 @@ func Parallel(g *graph.Graph, threads int) []int32 {
 		}
 	})
 	for level := int32(0); visited.Load() < int64(n); level++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Phase 1 (with a trailing barrier): collect the frontier of
 		// vertices whose degree equals `level` and compact the active
 		// list. No decrements run during this phase, so each frontier
 		// vertex is collected exactly once by the thread owning it.
-		par.For(p, p, func(tlo, thi int) {
+		err := par.ForErr(ctx, p, p, func(tlo, thi int) error {
+			faultinject.Maybe("coredecomp.collect")
 			for t := tlo; t < thi; t++ {
 				buf := frontiers[t][:0]
 				act := actives[t]
@@ -144,11 +166,16 @@ func Parallel(g *graph.Graph, threads int) []int32 {
 				actives[t] = act[:w]
 				frontiers[t] = buf
 			}
+			return nil
 		})
+		if err != nil {
+			return nil, err
+		}
 		// Phase 2: process the frontier, cascading atomic decrements. A
 		// vertex can now reach `level` only through a decrement, and only
 		// the thread whose decrement lands exactly on `level` adopts it.
-		par.For(p, p, func(tlo, thi int) {
+		err = par.ForErr(ctx, p, p, func(tlo, thi int) error {
+			faultinject.Maybe("coredecomp.peel")
 			for t := tlo; t < thi; t++ {
 				buf := frontiers[t]
 				processed := int64(len(buf))
@@ -176,9 +203,13 @@ func Parallel(g *graph.Graph, threads int) []int32 {
 				frontiers[t] = buf
 				visited.Add(processed)
 			}
+			return nil
 		})
+		if err != nil {
+			return nil, err
+		}
 	}
-	return core
+	return core, nil
 }
 
 // KMax returns the graph degeneracy: the largest coreness value (0 for an

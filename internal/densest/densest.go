@@ -20,6 +20,8 @@
 package densest
 
 import (
+	"errors"
+
 	"hcd/internal/graph"
 	"hcd/internal/hierarchy"
 	"hcd/internal/metrics"
@@ -187,16 +189,21 @@ func Peel(g *graph.Graph) Solution {
 	return Solution{Vertices: verts, AvgDegree: bestScore, K: -1}
 }
 
+// ErrTooLarge is returned by ExactTiny for graphs beyond its enumeration
+// limit.
+var ErrTooLarge = errors.New("densest: ExactTiny is exponential; graph exceeds 20 vertices")
+
 // ExactTiny computes the exact densest subgraph by subset enumeration.
-// It is exponential and refuses graphs with more than 20 vertices; it
-// exists so tests and examples can verify the 0.5-approximation bound.
-func ExactTiny(g *graph.Graph) Solution {
+// It is exponential and returns ErrTooLarge for graphs with more than 20
+// vertices; it exists so tests and examples can verify the
+// 0.5-approximation bound.
+func ExactTiny(g *graph.Graph) (Solution, error) {
 	n := g.NumVertices()
 	if n == 0 {
-		return Solution{K: -1}
+		return Solution{K: -1}, nil
 	}
 	if n > 20 {
-		panic("densest: ExactTiny is exponential; graph too large")
+		return Solution{K: -1}, ErrTooLarge
 	}
 	best := Solution{AvgDegree: -1, K: -1}
 	for mask := 1; mask < 1<<n; mask++ {
@@ -222,5 +229,5 @@ func ExactTiny(g *graph.Graph) Solution {
 			best = Solution{Vertices: verts, AvgDegree: s, K: -1}
 		}
 	}
-	return best
+	return best, nil
 }

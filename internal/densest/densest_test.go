@@ -1,6 +1,7 @@
 package densest
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -87,7 +88,10 @@ func TestHalfApproximationBound(t *testing.T) {
 		if g.NumEdges() == 0 {
 			continue
 		}
-		exact := ExactTiny(g)
+		exact, err := ExactTiny(g)
+		if err != nil {
+			t.Fatalf("ExactTiny on %d vertices: %v", n, err)
+		}
 		pbksd, _, coreapp, peel := solveAll(t, g)
 		for name, s := range map[string]Solution{"pbksd": pbksd, "coreapp": coreapp, "peel": peel} {
 			if s.AvgDegree < exact.AvgDegree/2-1e-9 {
@@ -133,12 +137,9 @@ func TestEmptyGraphs(t *testing.T) {
 }
 
 func TestExactTinyRefusesLarge(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("ExactTiny must refuse large graphs")
-		}
-	}()
-	ExactTiny(gen.ErdosRenyi(30, 60, 1))
+	if _, err := ExactTiny(gen.ErdosRenyi(30, 60, 1)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("ExactTiny on 30 vertices: err = %v, want ErrTooLarge", err)
+	}
 }
 
 func BenchmarkPBKSD(b *testing.B) {

@@ -1,0 +1,49 @@
+//go:build nofaults
+
+// Stub implementation selected by the `nofaults` build tag: every trigger
+// point compiles to an empty function the toolchain can inline away, so
+// production builds carry zero injection overhead (not even the atomic
+// load of the armed gate).
+package faultinject
+
+import (
+	"fmt"
+	"os"
+)
+
+// Fault mirrors the armed build's panic value; it is never raised here.
+type Fault struct {
+	Site string
+	Hit  uint64
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("faultinject: injected panic at %s (hit %d)", f.Site, f.Hit)
+}
+
+// Enable always fails: a nofaults binary cannot arm the injector, and a
+// caller passing a spec should learn it is being ignored.
+func Enable(spec string) error {
+	return fmt.Errorf("faultinject: built with the nofaults tag; spec %q ignored", spec)
+}
+
+// Disable is a no-op.
+func Disable() {}
+
+// Enabled always reports false.
+func Enabled() bool { return false }
+
+// EnableFromEnv fails like Enable when HCD_FAULTS is set, and is a no-op
+// otherwise.
+func EnableFromEnv() error {
+	if spec := os.Getenv("HCD_FAULTS"); spec != "" {
+		return Enable(spec)
+	}
+	return nil
+}
+
+// Maybe is an empty, inlinable no-op.
+func Maybe(string) {}
+
+// Hits always reports zero.
+func Hits(string) uint64 { return 0 }

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"encoding/binary"
+	"fmt"
 	"io"
 )
 
@@ -12,7 +13,13 @@ import (
 const readChunk = 1 << 16
 
 // ReadInt64s reads count little-endian int64 values in bounded chunks.
+// A negative count is rejected: counts derive from untrusted headers, and
+// arithmetic on a hostile value (e.g. n+1 overflowing int64) must surface
+// as an error here rather than as an empty slice the caller then indexes.
 func ReadInt64s(r io.Reader, count int64) ([]int64, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("graph: negative element count %d", count)
+	}
 	out := make([]int64, 0, min64(count, readChunk))
 	buf := make([]int64, 0)
 	for int64(len(out)) < count {
@@ -30,7 +37,11 @@ func ReadInt64s(r io.Reader, count int64) ([]int64, error) {
 }
 
 // ReadInt32s reads count little-endian int32 values in bounded chunks.
+// Negative counts are rejected, as in ReadInt64s.
 func ReadInt32s(r io.Reader, count int64) ([]int32, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("graph: negative element count %d", count)
+	}
 	out := make([]int32, 0, min64(count, readChunk))
 	buf := make([]int32, 0)
 	for int64(len(out)) < count {

@@ -2,9 +2,26 @@ package graph
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"strings"
 	"testing"
 )
+
+// TestReadBinaryRejectsOverflowingHeader pins a decoder hardening fix: a
+// header declaring n = MaxInt64 used to overflow the n+1 offset count to
+// a negative value, which ReadInt64s answered with an empty slice that
+// ReadBinary then indexed — a panic on hostile input. Negative counts now
+// fail cleanly.
+func TestReadBinaryRejectsOverflowingHeader(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("HCDG0001")
+	binary.Write(&buf, binary.LittleEndian, int64(math.MaxInt64)) // n
+	binary.Write(&buf, binary.LittleEndian, int64(0))             // adj len
+	if _, err := ReadBinary(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("header with n=MaxInt64 accepted, want error")
+	}
+}
 
 // FuzzReadEdgeList checks the text loader never panics and that any graph
 // it accepts satisfies the CSR invariants.

@@ -1,0 +1,121 @@
+package hierarchy
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"hcd/internal/graph"
+)
+
+// tinyHCD builds a small valid hierarchy (two K4s joined by a bridge
+// vertex) through the brute-force constructor.
+func tinyHCD(t testing.TB) (*graph.Graph, []int32, *HCD) {
+	g := graph.MustFromEdges(9, []graph.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2}, {U: 1, V: 3}, {U: 2, V: 3},
+		{U: 4, V: 5}, {U: 4, V: 6}, {U: 4, V: 7}, {U: 5, V: 6}, {U: 5, V: 7}, {U: 6, V: 7},
+		{U: 3, V: 8}, {U: 8, V: 4},
+	})
+	core := []int32{3, 3, 3, 3, 3, 3, 3, 3, 2}
+	return g, core, BruteForce(g, core)
+}
+
+// encodeRaw serialises an arbitrary (possibly invalid) header + payload in
+// the WriteBinary wire format, for crafting hostile seeds.
+func encodeRaw(nodes, verts int64, ks, parents []int32, vertexSets [][]int32, tids []int32) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(hcdMagic)
+	w := func(v any) { binary.Write(&buf, binary.LittleEndian, v) }
+	w(nodes)
+	w(verts)
+	w(ks)
+	w(parents)
+	for _, vs := range vertexSets {
+		w(int64(len(vs)))
+		w(vs)
+	}
+	w(tids)
+	return buf.Bytes()
+}
+
+// FuzzHierarchyRead checks the index loader rejects or safely parses
+// arbitrary bytes: no panic, and any hierarchy it accepts must be safe to
+// traverse — acyclic parents, non-empty vertex sets, and a lossless
+// Write/Read round trip.
+func FuzzHierarchyRead(f *testing.F) {
+	_, _, h := tinyHCD(f)
+	var buf bytes.Buffer
+	if err := h.WriteBinary(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])
+	f.Add([]byte("HCDT0001garbage"))
+	f.Add([]byte{})
+	// Parent cycle between nodes 0 and 1: must be rejected, not looped on.
+	f.Add(encodeRaw(2, 2, []int32{0, 1}, []int32{1, 0},
+		[][]int32{{0}, {1}}, []int32{0, 1}))
+	// Empty vertex set on node 1: must be rejected (Pivots indexes vs[0]).
+	f.Add(encodeRaw(2, 2, []int32{0, 1}, []int32{-1, 0},
+		[][]int32{{0, 1}, {}}, []int32{0, 0}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ReadBinary panicked: %v", r)
+			}
+		}()
+		h, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Traversal safety: the forest order must visit every node exactly
+		// once (acyclic, fully reachable from roots)...
+		if got := len(h.TopDown()); got != h.NumNodes() {
+			t.Fatalf("accepted hierarchy: TopDown visits %d of %d nodes", got, h.NumNodes())
+		}
+		// ...every node must own vertices (Pivots reads vs[0])...
+		for i := 0; i < h.NumNodes(); i++ {
+			if len(h.Vertices[i]) == 0 {
+				t.Fatalf("accepted hierarchy: node %d has no vertices", i)
+			}
+			h.CoreVertices(NodeID(i)) // must terminate
+		}
+		if h.NumNodes() > 0 {
+			h.Pivots()
+		}
+		// ...and the accepted value must survive a round trip unchanged.
+		var out bytes.Buffer
+		if err := h.WriteBinary(&out); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		h2, err := ReadBinary(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(h.K, h2.K) || !reflect.DeepEqual(h.Parent, h2.Parent) ||
+			!reflect.DeepEqual(h.Vertices, h2.Vertices) || !reflect.DeepEqual(h.TID, h2.TID) {
+			t.Fatal("round trip changed the hierarchy")
+		}
+	})
+}
+
+// TestReadBinaryRejectsHostileIndexes pins the two decoder classes the
+// fuzz seeds above encode: parent cycles (CoreVertices would never
+// terminate) and empty vertex sets (Pivots would panic).
+func TestReadBinaryRejectsHostileIndexes(t *testing.T) {
+	cases := map[string][]byte{
+		"two-node parent cycle": encodeRaw(2, 2, []int32{0, 1}, []int32{1, 0},
+			[][]int32{{0}, {1}}, []int32{0, 1}),
+		"self-parent": encodeRaw(1, 1, []int32{0}, []int32{0},
+			[][]int32{{0}}, []int32{0}),
+		"empty vertex set": encodeRaw(2, 2, []int32{0, 1}, []int32{-1, 0},
+			[][]int32{{0, 1}, {}}, []int32{0, 0}),
+	}
+	for name, data := range cases {
+		if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted, want error", name)
+		}
+	}
+}

@@ -111,7 +111,7 @@ func ReadBinary(r io.Reader) (*HCD, error) {
 		return nil, err
 	}
 	for i, p := range parents {
-		if p < -1 || int64(p) >= nodes {
+		if p < -1 || int64(p) >= nodes || int64(p) == int64(i) {
 			return nil, fmt.Errorf("hierarchy: parent %d out of range", p)
 		}
 		h.Parent[i] = NodeID(p)
@@ -119,12 +119,21 @@ func ReadBinary(r io.Reader) (*HCD, error) {
 			h.Children[p] = append(h.Children[p], NodeID(i))
 		}
 	}
+	// Reject parent cycles: TopDown only reaches nodes connected to a root,
+	// so any cycle (unreachable from every root) shows up as a count
+	// mismatch. Without this check CoreVertices would loop forever on a
+	// crafted index.
+	if len(h.TopDown()) != int(nodes) {
+		return nil, fmt.Errorf("hierarchy: parent pointers contain a cycle")
+	}
 	for i := int64(0); i < nodes; i++ {
 		var sz int64
 		if err := read(&sz); err != nil {
 			return nil, err
 		}
-		if sz < 0 || sz > verts {
+		// Every tree node owns at least one vertex (its k-shell portion is
+		// what distinguishes it); sz == 0 would make Pivots panic downstream.
+		if sz < 1 || sz > verts {
 			return nil, fmt.Errorf("hierarchy: node %d size %d out of range", i, sz)
 		}
 		vs, err := graph.ReadInt32s(br, sz)

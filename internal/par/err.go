@@ -1,0 +1,230 @@
+package par
+
+// Panic-safe, cancellable variants of the parallel-for primitives. The
+// error-returning entry points recover panics raised inside worker
+// goroutines into a *PanicError (carrying the panic value and the worker's
+// stack), observe context cancellation at chunk boundaries, and always
+// join every worker before returning — a failed call never leaks a
+// goroutine and never takes the process down. The original non-error entry
+// points in par.go are thin wrappers over these.
+//
+// Error semantics: the first failure (body error, recovered panic, or
+// context cancellation) wins; workers that have not started a chunk yet
+// observe the stop flag and drain. Work already in flight when the failure
+// happens runs to completion — cancellation is cooperative, checked
+// between chunks, so bodies with very long chunks should poll ctx
+// themselves if they need finer-grained aborts.
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// PanicError wraps a panic recovered inside a parallel worker. Value is
+// the original panic value and Stack the worker's stack at the point of
+// the panic.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: worker panicked: %v", e.Value)
+}
+
+// Unwrap exposes a panic value that is itself an error (e.g. an injected
+// faultinject.Fault) to errors.Is / errors.As.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// AsPanicError converts an arbitrary recover() value into a *PanicError,
+// passing through values that already are one (so stacks are captured at
+// the innermost recovery point, not re-wrapped on each hop).
+func AsPanicError(r any) *PanicError {
+	if pe, ok := r.(*PanicError); ok {
+		return pe
+	}
+	return &PanicError{Value: r, Stack: debug.Stack()}
+}
+
+// failure coordinates early exit across the workers of one parallel call:
+// the first error is kept, and the stop flag tells the remaining workers
+// to drain at their next chunk boundary.
+type failure struct {
+	ctx  context.Context // may be nil
+	stop atomic.Bool
+	once sync.Once
+	err  error
+}
+
+func (f *failure) set(err error) {
+	f.once.Do(func() { f.err = err })
+	f.stop.Store(true)
+}
+
+// stopped reports whether workers should drain, folding a context
+// cancellation into the recorded error as a side effect.
+func (f *failure) stopped() bool {
+	if f.stop.Load() {
+		return true
+	}
+	if f.ctx != nil {
+		if err := f.ctx.Err(); err != nil {
+			f.set(err)
+			return true
+		}
+	}
+	return false
+}
+
+// call invokes body(lo, hi) with panic recovery.
+func call(body func(lo, hi int) error, lo, hi int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = AsPanicError(r)
+		}
+	}()
+	return body(lo, hi)
+}
+
+// ctxErr returns ctx's error, tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// ForErr is For with failure containment: body may return an error, panics
+// inside body are recovered into a *PanicError, and a cancelled ctx (nil
+// is allowed and means "never cancelled") stops workers at chunk
+// boundaries. The first error wins; ForErr returns only after every worker
+// has exited, so no goroutines are leaked on any path.
+func ForErr(ctx context.Context, n, threads int, body func(lo, hi int) error) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return nil
+	}
+	p := Threads(threads)
+	if p > n {
+		p = n
+	}
+	if p == 1 {
+		return call(body, 0, n)
+	}
+	f := &failure{ctx: ctx}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for t := 0; t < p; t++ {
+		lo := t * n / p
+		hi := (t + 1) * n / p
+		go func(lo, hi int) {
+			defer wg.Done()
+			if f.stopped() {
+				return
+			}
+			if err := call(body, lo, hi); err != nil {
+				f.set(err)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return f.err
+}
+
+// ForEachErr is ForEach with failure containment: the first non-nil error
+// from body stops that worker's chunk immediately and the other workers at
+// their next chunk boundary.
+func ForEachErr(ctx context.Context, n, threads int, body func(i int) error) error {
+	return ForErr(ctx, n, threads, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if err := body(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ForChunkedErr is ForChunked with failure containment. Cancellation and
+// the stop flag are checked before every chunk grab, so a cancelled ctx
+// aborts after at most one in-flight chunk per worker.
+func ForChunkedErr(ctx context.Context, n, threads, grain int, body func(lo, hi int) error) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return nil
+	}
+	if grain <= 0 {
+		grain = 1024
+	}
+	p := Threads(threads)
+	if p == 1 || n <= grain {
+		return call(body, 0, n)
+	}
+	if chunks := (n + grain - 1) / grain; p > chunks {
+		p = chunks
+	}
+	f := &failure{ctx: ctx}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for t := 0; t < p; t++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if f.stopped() {
+					return
+				}
+				lo := int(next.Add(int64(grain))) - grain
+				if lo >= n {
+					return
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				if err := call(body, lo, hi); err != nil {
+					f.set(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return f.err
+}
+
+// RunErr executes the thunks concurrently with failure containment and
+// waits for all of them; the first error (or recovered panic) is returned.
+func RunErr(ctx context.Context, fns ...func() error) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	f := &failure{ctx: ctx}
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for _, fn := range fns {
+		go func(fn func() error) {
+			defer wg.Done()
+			if f.stopped() {
+				return
+			}
+			if err := call(func(_, _ int) error { return fn() }, 0, 0); err != nil {
+				f.set(err)
+			}
+		}(fn)
+	}
+	wg.Wait()
+	return f.err
+}

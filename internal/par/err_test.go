@@ -1,0 +1,239 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// leakCheck fails the test if the goroutine count has not returned to its
+// starting level shortly after fn runs — the containment contract says a
+// failed parallel call joins every worker before returning.
+func leakCheck(t *testing.T, fn func()) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	fn()
+	// Workers are joined before the primitives return, but the runtime may
+	// take a moment to retire exited goroutines from the count.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Errorf("goroutine leak: %d before, %d after", before, got)
+	}
+}
+
+func TestForErrRecoversWorkerPanic(t *testing.T) {
+	for _, threads := range []int{1, 4} {
+		leakCheck(t, func() {
+			err := ForErr(context.Background(), 100, threads, func(lo, hi int) error {
+				if lo <= 42 && 42 < hi {
+					panic("boom at 42")
+				}
+				return nil
+			})
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("threads=%d: err = %v, want *PanicError", threads, err)
+			}
+			if pe.Value != "boom at 42" {
+				t.Errorf("threads=%d: panic value = %v", threads, pe.Value)
+			}
+			if threads > 1 && !strings.Contains(string(pe.Stack), "err_test") {
+				t.Errorf("threads=%d: stack does not point at the panicking body", threads)
+			}
+		})
+	}
+}
+
+func TestPanicErrorUnwrapExposesErrorValues(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	err := ForErr(nil, 10, 4, func(lo, hi int) error {
+		panic(sentinel)
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("errors.Is(err, sentinel) = false; err = %v", err)
+	}
+	// Non-error panic values unwrap to nil.
+	pe := &PanicError{Value: 7}
+	if pe.Unwrap() != nil {
+		t.Errorf("Unwrap of non-error value = %v, want nil", pe.Unwrap())
+	}
+}
+
+func TestForErrFirstBodyErrorWins(t *testing.T) {
+	want := errors.New("first")
+	err := ForEachErr(context.Background(), 1000, 8, func(i int) error {
+		if i == 17 {
+			return want
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Errorf("err = %v, want %v", err, want)
+	}
+}
+
+func TestForErrNilContextAndEmptyRange(t *testing.T) {
+	if err := ForErr(nil, 0, 4, func(lo, hi int) error { return errors.New("never") }); err != nil {
+		t.Errorf("n=0: err = %v", err)
+	}
+	if err := ForErr(nil, 8, 4, func(lo, hi int) error { return nil }); err != nil {
+		t.Errorf("nil ctx: err = %v", err)
+	}
+}
+
+func TestForErrPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := ForErr(ctx, 100, 4, func(lo, hi int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("body ran %d times after pre-cancelled ctx", ran.Load())
+	}
+}
+
+func TestForChunkedErrCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var chunks atomic.Int32
+	const n, grain = 1 << 16, 16
+	leakCheck(t, func() {
+		err := ForChunkedErr(ctx, n, 4, grain, func(lo, hi int) error {
+			if chunks.Add(1) == 3 {
+				cancel() // cancel while most chunks are still ungrabbed
+			}
+			time.Sleep(100 * time.Microsecond)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	})
+	// Cancellation is checked before every chunk grab: at most the chunks
+	// in flight when cancel fired (one per worker, plus the grabs that
+	// raced the flag) may still run — nowhere near all n/grain chunks.
+	if got := chunks.Load(); got > 64 {
+		t.Errorf("%d chunks ran after cancellation, want an early abort (<< %d)", got, n/grain)
+	}
+}
+
+func TestForChunkedErrPanicStopsRemainingChunks(t *testing.T) {
+	var after atomic.Int32
+	leakCheck(t, func() {
+		err := ForChunkedErr(context.Background(), 1<<14, 4, 8, func(lo, hi int) error {
+			if lo == 0 {
+				return fmt.Errorf("chunk failure")
+			}
+			after.Add(1)
+			time.Sleep(50 * time.Microsecond)
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "chunk failure") {
+			t.Fatalf("err = %v, want chunk failure", err)
+		}
+	})
+	if got := after.Load(); got > 256 {
+		t.Errorf("%d chunks ran after the failure, want an early drain", got)
+	}
+}
+
+func TestRunErr(t *testing.T) {
+	// All succeed.
+	var hits atomic.Int32
+	if err := RunErr(nil,
+		func() error { hits.Add(1); return nil },
+		func() error { hits.Add(1); return nil },
+	); err != nil || hits.Load() != 2 {
+		t.Errorf("err = %v, hits = %d", err, hits.Load())
+	}
+	// One panics.
+	leakCheck(t, func() {
+		err := RunErr(context.Background(),
+			func() error { return nil },
+			func() error { panic("thunk") },
+		)
+		var pe *PanicError
+		if !errors.As(err, &pe) || pe.Value != "thunk" {
+			t.Errorf("err = %v, want PanicError(thunk)", err)
+		}
+	})
+	// Pre-cancelled context.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := RunErr(ctx, func() error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// BenchmarkForOverhead compares the wrapper (For, routed through ForErr)
+// against a direct ForErr call on a memory-light body — the error-variant
+// plumbing must stay within noise of the primitive it replaced.
+func BenchmarkForOverhead(b *testing.B) {
+	const n = 1 << 16
+	dst := make([]int64, n)
+	b.Run("For", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			For(n, 0, func(lo, hi int) {
+				for j := lo; j < hi; j++ {
+					dst[j]++
+				}
+			})
+		}
+	})
+	b.Run("ForErr", func(b *testing.B) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			_ = ForErr(ctx, n, 0, func(lo, hi int) error {
+				for j := lo; j < hi; j++ {
+					dst[j]++
+				}
+				return nil
+			})
+		}
+	})
+	b.Run("ForChunkedErr", func(b *testing.B) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			_ = ForChunkedErr(ctx, n, 0, 1024, func(lo, hi int) error {
+				for j := lo; j < hi; j++ {
+					dst[j]++
+				}
+				return nil
+			})
+		}
+	})
+}
+
+// TestWrapperRepanicsRecoverably pins the upgrade the wrappers provide:
+// the old primitives crashed the process when a worker panicked (the panic
+// escaped on a worker goroutine); now the panic re-raises on the calling
+// goroutine, where a deferred recover works.
+func TestWrapperRepanicsRecoverably(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("wrapper swallowed the worker panic")
+		}
+		pe, ok := r.(*PanicError)
+		if !ok || pe.Value != "worker" {
+			t.Fatalf("recover() = %v, want *PanicError(worker)", r)
+		}
+	}()
+	For(64, 4, func(lo, hi int) {
+		if lo == 0 {
+			panic("worker")
+		}
+	})
+}

@@ -11,7 +11,6 @@ package par
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
 )
 
@@ -31,29 +30,20 @@ func Threads(threads int) int {
 // Chunks are contiguous (not interleaved) to match the paper's Algorithm 1,
 // which distributes vertices "in ascending vertex id" to threads; this keeps
 // per-thread bin concatenation order deterministic.
+//
+// For is a thin wrapper over ForErr: a panic inside body is contained to
+// its worker, every worker is joined, and the panic is then re-raised on
+// the calling goroutine as a *PanicError — it no longer takes down the
+// whole process, and callers that cannot return an error can still recover
+// it.
 func For(n, threads int, body func(lo, hi int)) {
-	if n <= 0 {
-		return
+	err := ForErr(nil, n, threads, func(lo, hi int) error {
+		body(lo, hi)
+		return nil
+	})
+	if err != nil {
+		panic(err)
 	}
-	p := Threads(threads)
-	if p > n {
-		p = n
-	}
-	if p == 1 {
-		body(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for t := 0; t < p; t++ {
-		lo := t * n / p
-		hi := (t + 1) * n / p
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
 }
 
 // ForEach calls body(i) for every i in [0, n), distributing iterations over
@@ -70,58 +60,34 @@ func ForEach(n, threads int, body func(i int)) {
 // ForChunked is like For but with dynamic load balancing: the range is cut
 // into chunks of size grain and threads grab chunks from a shared atomic
 // counter. Use it when per-index work is highly skewed (e.g. per-vertex work
-// proportional to degree on power-law graphs).
+// proportional to degree on power-law graphs). Thin wrapper over
+// ForChunkedErr; worker panics re-raise on the calling goroutine as a
+// *PanicError.
 func ForChunked(n, threads, grain int, body func(lo, hi int)) {
-	if n <= 0 {
-		return
+	err := ForChunkedErr(nil, n, threads, grain, func(lo, hi int) error {
+		body(lo, hi)
+		return nil
+	})
+	if err != nil {
+		panic(err)
 	}
-	if grain <= 0 {
-		grain = 1024
-	}
-	p := Threads(threads)
-	if p == 1 || n <= grain {
-		body(0, n)
-		return
-	}
-	// Never spawn more goroutines than there are chunks to grab: a range of
-	// ceil(n/grain) chunks keeps at most that many workers busy, and the
-	// surplus would only be scheduled to immediately exit.
-	if chunks := (n + grain - 1) / grain; p > chunks {
-		p = chunks
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for t := 0; t < p; t++ {
-		go func() {
-			defer wg.Done()
-			for {
-				lo := int(next.Add(int64(grain))) - grain
-				if lo >= n {
-					return
-				}
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				body(lo, hi)
-			}
-		}()
-	}
-	wg.Wait()
 }
 
 // Run executes the given thunks concurrently and waits for all of them.
+// Thin wrapper over RunErr; worker panics re-raise on the calling
+// goroutine as a *PanicError.
 func Run(fns ...func()) {
-	var wg sync.WaitGroup
-	wg.Add(len(fns))
-	for _, fn := range fns {
-		go func(f func()) {
-			defer wg.Done()
-			f()
-		}(fn)
+	wrapped := make([]func() error, len(fns))
+	for i, fn := range fns {
+		fn := fn
+		wrapped[i] = func() error {
+			fn()
+			return nil
+		}
 	}
-	wg.Wait()
+	if err := RunErr(nil, wrapped...); err != nil {
+		panic(err)
+	}
 }
 
 // MinInt64 atomically folds v into *addr, keeping the minimum. Returns true

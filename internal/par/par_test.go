@@ -67,6 +67,38 @@ func TestForChunkedCoversRangeExactlyOnce(t *testing.T) {
 	}
 }
 
+// TestForChunkedEdgeGeometry pins the degenerate shapes: a grain larger
+// than the whole range (one inline chunk), grain 1 (every index its own
+// chunk), and more threads than indexes (workers clamp; nothing double
+// visits, nothing deadlocks).
+func TestForChunkedEdgeGeometry(t *testing.T) {
+	cases := []struct{ n, threads, grain int }{
+		{10, 4, 100}, // grain > n
+		{100, 4, 1},  // grain = 1
+		{3, 64, 1},   // threads > n
+		{1, 16, 1},   // single index, many threads
+		{17, 100, 5}, // threads > chunk count
+		{0, 8, 1},    // empty range
+	}
+	for _, c := range cases {
+		seen := make([]atomic.Int32, max(c.n, 1))
+		ForChunked(c.n, c.threads, c.grain, func(lo, hi int) {
+			if lo < 0 || hi > c.n || lo >= hi {
+				t.Errorf("n=%d threads=%d grain=%d: bad chunk [%d,%d)", c.n, c.threads, c.grain, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				seen[i].Add(1)
+			}
+		})
+		for i := 0; i < c.n; i++ {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("n=%d threads=%d grain=%d: index %d visited %d times",
+					c.n, c.threads, c.grain, i, got)
+			}
+		}
+	}
+}
+
 func TestRun(t *testing.T) {
 	var a, b atomic.Bool
 	Run(func() { a.Store(true) }, func() { b.Store(true) })

@@ -1,0 +1,81 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"hcd/internal/coredecomp"
+	"hcd/internal/faultinject"
+	"hcd/internal/gen"
+	"hcd/internal/hierarchy"
+	"hcd/internal/metrics"
+)
+
+func faultIndex(t *testing.T) *Index {
+	t.Helper()
+	g := gen.BarabasiAlbert(500, 4, 17)
+	core := coredecomp.Serial(g)
+	h := hierarchy.BruteForce(g, core)
+	return NewIndex(g, core, h, 4)
+}
+
+// TestSearchCtxContainsKernelPanics injects a panic into the Type A and
+// Type B kernels and checks SearchCtx reports it as an error.
+func TestSearchCtxContainsKernelPanics(t *testing.T) {
+	defer faultinject.Disable()
+	ix := faultIndex(t)
+	cases := []struct {
+		site   string
+		metric metrics.Metric
+	}{
+		{"search.typea", metrics.AverageDegree{}},         // Type A kernel
+		{"search.typeb", metrics.ClusteringCoefficient{}}, // Type B kernel
+		{"treeaccum", metrics.AverageDegree{}},            // shared accumulation
+	}
+	for _, c := range cases {
+		if err := faultinject.Enable(c.site + ":panic:1"); err != nil {
+			t.Fatal(err)
+		}
+		_, err := ix.SearchCtx(context.Background(), c.metric, 4)
+		var f *faultinject.Fault
+		if err == nil || !errors.As(err, &f) || f.Site != c.site {
+			t.Errorf("%s: SearchCtx err = %v, want the injected fault", c.site, err)
+		}
+		faultinject.Disable()
+	}
+	// Disarmed, the same searches succeed.
+	for _, m := range []metrics.Metric{metrics.AverageDegree{}, metrics.ClusteringCoefficient{}} {
+		if _, err := ix.SearchCtx(context.Background(), m, 4); err != nil {
+			t.Errorf("disarmed search (%s): %v", m.Name(), err)
+		}
+	}
+}
+
+// TestSearchCtxCancellation checks the long-running Type B kernel notices
+// a cancellation that arrives mid-count (it polls every 1024 vertices).
+func TestSearchCtxCancellation(t *testing.T) {
+	ix := faultIndex(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ix.SearchCtx(ctx, metrics.ClusteringCoefficient{}, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled SearchCtx err = %v, want context.Canceled", err)
+	}
+
+	// And a cancellation that lands while the kernel is running: a delay
+	// rule pins the first chunk so the cancel deterministically arrives
+	// mid-kernel.
+	defer faultinject.Disable()
+	if err := faultinject.Enable("search.typeb:delay:1:200ms"); err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel2()
+	}()
+	if _, err := ix.SearchCtx(ctx2, metrics.ClusteringCoefficient{}, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("mid-kernel cancel err = %v, want context.Canceled", err)
+	}
+}

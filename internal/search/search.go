@@ -21,6 +21,7 @@
 package search
 
 import (
+	"context"
 	"math"
 
 	"hcd/internal/graph"
@@ -130,17 +131,37 @@ type Result struct {
 // scores every k-core and returns the best one. Ties break toward the
 // smaller node id so results are deterministic.
 func (ix *Index) Search(m metrics.Metric, threads int) Result {
+	r, err := ix.SearchCtx(context.Background(), m, threads)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// SearchCtx is Search with failure containment and cooperative
+// cancellation: a panic inside either primary-value kernel or the tree
+// accumulation surfaces as a *par.PanicError instead of crashing the
+// process, and a cancelled ctx (nil means background) aborts the kernels
+// at their internal chunk boundaries.
+func (ix *Index) SearchCtx(ctx context.Context, m metrics.Metric, threads int) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	nn := ix.h.NumNodes()
 	if nn == 0 {
-		return Result{Node: hierarchy.Nil}
+		return Result{Node: hierarchy.Nil}, ctx.Err()
 	}
 	var vals []metrics.PrimaryValues
+	var err error
 	if m.Kind() == metrics.TypeA {
-		vals = ix.PrimaryA(threads)
+		vals, err = ix.PrimaryACtx(ctx, threads)
 	} else {
-		vals = ix.PrimaryB(threads)
+		vals, err = ix.PrimaryBCtx(ctx, threads)
 	}
-	return ix.pick(m, vals, threads)
+	if err != nil {
+		return Result{Node: hierarchy.Nil}, err
+	}
+	return ix.pick(m, vals, threads), nil
 }
 
 // pick evaluates the metric on every node's primary values and returns the

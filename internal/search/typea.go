@@ -1,6 +1,9 @@
 package search
 
 import (
+	"context"
+
+	"hcd/internal/faultinject"
 	"hcd/internal/metrics"
 	"hcd/internal/par"
 	"hcd/internal/treeaccum"
@@ -23,9 +26,23 @@ import (
 // Bottom-up accumulation then turns per-node contributions into per-core
 // totals. Work: O(n) plus the once-only preprocessing — work-efficient.
 func (ix *Index) PrimaryA(threads int) []metrics.PrimaryValues {
+	out, err := ix.PrimaryACtx(context.Background(), threads)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// PrimaryACtx is PrimaryA with failure containment: worker panics surface
+// as a *par.PanicError and a cancelled ctx aborts between chunks.
+func (ix *Index) PrimaryACtx(ctx context.Context, threads int) ([]metrics.PrimaryValues, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	nn := ix.h.NumNodes()
 	vals := make([]int64, nn*3) // rows: [n, 2m, b]
-	par.ForChunked(nn, threads, 64, func(lo, hi int) {
+	err := par.ForChunkedErr(ctx, nn, threads, 64, func(lo, hi int) error {
+		faultinject.Maybe("search.typea")
 		for id := lo; id < hi; id++ {
 			var cn, m2, b int64
 			for _, v := range ix.h.Vertices[id] {
@@ -40,17 +57,27 @@ func (ix *Index) PrimaryA(threads int) []metrics.PrimaryValues {
 			vals[id*3+1] = m2
 			vals[id*3+2] = b
 		}
+		return nil
 	})
-	treeaccum.Accumulate(ix.h, vals, 3, threads)
+	if err != nil {
+		return nil, err
+	}
+	if err := treeaccum.AccumulateCtx(ctx, ix.h, vals, 3, threads); err != nil {
+		return nil, err
+	}
 	out := make([]metrics.PrimaryValues, nn)
-	par.ForEach(nn, threads, func(i int) {
+	err = par.ForEachErr(ctx, nn, threads, func(i int) error {
 		out[i] = metrics.PrimaryValues{
 			N: vals[i*3],
 			M: vals[i*3+1] / 2,
 			B: vals[i*3+2],
 		}
+		return nil
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // BestKSet evaluates the §VI "finding the best k" extension for a Type A

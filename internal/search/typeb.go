@@ -1,6 +1,9 @@
 package search
 
 import (
+	"context"
+
+	"hcd/internal/faultinject"
 	"hcd/internal/metrics"
 	"hcd/internal/par"
 	"hcd/internal/treeaccum"
@@ -36,6 +39,21 @@ import (
 // accumulation then yields per-core totals. Total work O(m^1.5), matching
 // the best sequential bound for triangle counting: work-efficient.
 func (ix *Index) PrimaryB(threads int) []metrics.PrimaryValues {
+	out, err := ix.PrimaryBCtx(context.Background(), threads)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// PrimaryBCtx is PrimaryB with failure containment: worker panics surface
+// as a *par.PanicError, and a cancelled ctx aborts the counting loop
+// within a thread's vertex range (polled every 1024 vertices — Type B is
+// the longest-running kernel, so it cannot wait for a chunk boundary).
+func (ix *Index) PrimaryBCtx(ctx context.Context, threads int) ([]metrics.PrimaryValues, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	g, h := ix.g, ix.h
 	n := g.NumVertices()
 	nn := h.NumNodes()
@@ -46,7 +64,8 @@ func (ix *Index) PrimaryB(threads int) []metrics.PrimaryValues {
 	bounds := ix.edgeBalancedBounds(p)
 
 	locals := make([][]int64, p)
-	par.For(p, p, func(tlo, thi int) {
+	err := par.ForErr(ctx, p, p, func(tlo, thi int) error {
+		faultinject.Maybe("search.typeb")
 		for t := tlo; t < thi; t++ {
 			lo, hi := bounds[t], bounds[t+1]
 			// Per-thread scratch and output table.
@@ -58,29 +77,51 @@ func (ix *Index) PrimaryB(threads int) []metrics.PrimaryValues {
 				rep = make([]int32, ix.kmax+1)
 			}
 			for v := lo; v < hi; v++ {
+				if (v-lo)&1023 == 1023 {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+				}
 				ix.countVertex(int32(v), mark, cnt, rep, local)
 			}
 			locals[t] = local
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	vals := make([]int64, nn*2)
-	par.ForEach(nn*2, p, func(j int) {
+	err = par.ForEachErr(ctx, nn*2, p, func(j int) error {
 		var s int64
 		for t := 0; t < p; t++ {
 			s += locals[t][j]
 		}
 		vals[j] = s
+		return nil
 	})
-	treeaccum.Accumulate(h, vals, 2, threads)
+	if err != nil {
+		return nil, err
+	}
+	if err := treeaccum.AccumulateCtx(ctx, h, vals, 2, threads); err != nil {
+		return nil, err
+	}
 
-	a := ix.PrimaryA(threads)
+	a, err := ix.PrimaryACtx(ctx, threads)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]metrics.PrimaryValues, nn)
-	par.ForEach(nn, threads, func(i int) {
+	err = par.ForEachErr(ctx, nn, threads, func(i int) error {
 		out[i] = a[i]
 		out[i].Triangles = vals[i*2]
 		out[i].Triplets = vals[i*2+1]
+		return nil
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // countVertex adds vertex v's triangle and triplet contributions to vals,

@@ -12,8 +12,10 @@
 package treeaccum
 
 import (
+	"context"
 	"sync/atomic"
 
+	"hcd/internal/faultinject"
 	"hcd/internal/hierarchy"
 	"hcd/internal/par"
 )
@@ -21,11 +23,25 @@ import (
 // Accumulate folds vals bottom-up over the forest: vals is a row-major
 // matrix with one row of `width` int64 values per tree node; on return,
 // row i holds the sum of the original rows over node i's entire subtree.
-// threads <= 0 means GOMAXPROCS.
+// threads <= 0 means GOMAXPROCS. Thin wrapper over AccumulateCtx; a
+// contained worker panic re-raises on the calling goroutine.
 func Accumulate(h *hierarchy.HCD, vals []int64, width, threads int) {
+	if err := AccumulateCtx(context.Background(), h, vals, width, threads); err != nil {
+		panic(err)
+	}
+}
+
+// AccumulateCtx is Accumulate with failure containment: a panic inside a
+// worker surfaces as a *par.PanicError, and a cancelled ctx aborts the
+// fold between depth levels (the partially-folded vals must then be
+// discarded by the caller).
+func AccumulateCtx(ctx context.Context, h *hierarchy.HCD, vals []int64, width, threads int) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	nn := h.NumNodes()
 	if nn == 0 || width == 0 {
-		return
+		return ctx.Err()
 	}
 	if len(vals) != nn*width {
 		panic("treeaccum: vals size does not match node count and width")
@@ -42,15 +58,26 @@ func Accumulate(h *hierarchy.HCD, vals []int64, width, threads int) {
 		byDepth[depth[i]] = append(byDepth[depth[i]], hierarchy.NodeID(i))
 	}
 	for d := maxDepth; d >= 1; d-- {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		nodes := byDepth[d]
-		par.ForEach(len(nodes), threads, func(i int) {
-			id := nodes[i]
-			pa := h.Parent[id]
-			for f := 0; f < width; f++ {
-				atomic.AddInt64(&vals[int(pa)*width+f], vals[int(id)*width+f])
+		err := par.ForErr(ctx, len(nodes), threads, func(lo, hi int) error {
+			faultinject.Maybe("treeaccum")
+			for i := lo; i < hi; i++ {
+				id := nodes[i]
+				pa := h.Parent[id]
+				for f := 0; f < width; f++ {
+					atomic.AddInt64(&vals[int(pa)*width+f], vals[int(id)*width+f])
+				}
 			}
+			return nil
 		})
+		if err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // AccumulateSerial is the serial reference used by the BKS baseline and by

@@ -1,11 +1,14 @@
 package treeaccum
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
 
 	"hcd/internal/coredecomp"
+	"hcd/internal/faultinject"
 	"hcd/internal/gen"
 	"hcd/internal/graph"
 	"hcd/internal/hierarchy"
@@ -104,5 +107,46 @@ func BenchmarkAccumulateSerialRef(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		copy(work, vals)
 		AccumulateSerial(h, work, 3)
+	}
+}
+
+func TestAccumulateCtxContainment(t *testing.T) {
+	defer faultinject.Disable()
+	g := gen.Onion(6, 10, 2, 2, 3, 11)
+	h := buildHCD(t, g)
+	nn := h.NumNodes()
+	vals := make([]int64, nn)
+
+	// Injected panic surfaces as an identifiable error.
+	if err := faultinject.Enable("treeaccum:panic:1"); err != nil {
+		t.Fatal(err)
+	}
+	err := AccumulateCtx(context.Background(), h, vals, 1, 4)
+	var f *faultinject.Fault
+	if err == nil || !errors.As(err, &f) || f.Site != "treeaccum" {
+		t.Errorf("err = %v, want the injected treeaccum fault", err)
+	}
+	faultinject.Disable()
+
+	// Pre-cancelled context aborts before touching the values.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := AccumulateCtx(ctx, h, vals, 1, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+
+	// Nil ctx means background: same result as Accumulate.
+	a := make([]int64, nn)
+	b := make([]int64, nn)
+	for i := range a {
+		a[i] = int64(i)
+		b[i] = int64(i)
+	}
+	if err := AccumulateCtx(nil, h, a, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	Accumulate(h, b, 1, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("AccumulateCtx(nil ctx) differs from Accumulate")
 	}
 }
