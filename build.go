@@ -2,20 +2,34 @@ package hcd
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"time"
 
 	core2 "hcd/internal/core"
 	"hcd/internal/coredecomp"
 	"hcd/internal/hierarchy"
 	"hcd/internal/lcps"
+	"hcd/internal/obs"
 	"hcd/internal/par"
 	"hcd/internal/search"
 	"hcd/internal/shellidx"
 )
 
+// ErrVerification is the sentinel wrapped by every self-verification
+// failure BuildCtx / BuildAndIndexCtx cannot recover from (the serial
+// fallback itself produced an invalid hierarchy, or the rebuild after a
+// failed validation failed validation again). Test with errors.Is.
+var ErrVerification = errors.New("hcd: self-verification failed")
+
+// validate is hierarchy.Validate, indirected so tests can force the
+// otherwise-unreachable double-failure error paths.
+var validate = hierarchy.Validate
+
 // BuildReport describes how a BuildCtx call actually ran: whether the
 // parallel path succeeded, whether the serial fallback had to take over
-// (and why), and whether the result was verified.
+// (and why), whether the result was verified, and how long each pipeline
+// phase took.
 type BuildReport struct {
 	// Threads is the resolved worker count the parallel path used.
 	Threads int
@@ -31,6 +45,25 @@ type BuildReport struct {
 	Verified bool
 	// Elapsed is the wall-clock duration of the whole build.
 	Elapsed time.Duration
+	// Phases is the per-phase breakdown, in execution order. Durations
+	// come from a local clock (so they are populated even under the noobs
+	// build tag) and sum to ≈ Elapsed; the worker-balance statistics come
+	// from the obs layer and are zero under noobs. A phase that failed
+	// (triggering the fallback) still appears, with the time it consumed.
+	Phases []PhaseStat
+}
+
+// runPhase runs f as one named pipeline phase: an obs phase span is
+// opened around it (arming the par worker hooks) and the measured
+// PhaseStat is appended to the report. Returns f's error.
+func (rep *BuildReport) runPhase(name string, f func() error) error {
+	sp := obs.StartPhase(name)
+	start := time.Now()
+	err := f()
+	d := time.Since(start)
+	sp.End()
+	rep.Phases = append(rep.Phases, obs.NewPhaseStat(name, d, sp.WorkerStats()))
+	return err
 }
 
 // BuildCtx is Build with failure containment, cooperative cancellation
@@ -50,7 +83,12 @@ type BuildReport struct {
 //     baseline rebuilds it (Fallback=true, Cause=the validation error)
 //     and the replacement is validated in turn.
 //
-// The returned report is non-nil whenever err is nil.
+// The returned report is non-nil whenever err is nil. On the two
+// unrecoverable verification paths — the serial fallback's own output
+// fails validation, or the post-validation rebuild fails validation
+// again — the error wraps ErrVerification and the report is returned
+// partially populated alongside it, so callers can still see which
+// phases ran and what the original failure cause was.
 func BuildCtx(ctx context.Context, g *Graph, opt Options) (*HCD, []int32, *BuildReport, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -60,10 +98,11 @@ func BuildCtx(ctx context.Context, g *Graph, opt Options) (*HCD, []int32, *Build
 		ctx, cancel = context.WithTimeout(ctx, opt.Deadline)
 		defer cancel()
 	}
+	defer obs.StartSpan("build").End()
 	start := time.Now()
 	rep := &BuildReport{Threads: par.Threads(opt.Threads)}
 
-	h, core, err := buildParallel(ctx, g, opt)
+	h, core, err := buildParallel(ctx, g, opt, rep)
 	if err != nil {
 		// Cancellation and deadline expiry propagate: the caller asked the
 		// build to stop, so a serial fallback would be wrong twice over
@@ -73,22 +112,30 @@ func BuildCtx(ctx context.Context, g *Graph, opt Options) (*HCD, []int32, *Build
 		}
 		rep.Fallback = true
 		rep.Cause = err
-		core = coredecomp.Serial(g)
-		h = lcps.Build(g, core)
+		rep.runPhase("fallback", func() error {
+			core = coredecomp.Serial(g)
+			h = lcps.Build(g, core)
+			return nil
+		})
 	}
 	if opt.SelfVerify {
-		if verr := hierarchy.Validate(h, g, core); verr != nil {
+		if verr := rep.runPhase("verify", func() error { return validate(h, g, core) }); verr != nil {
 			if rep.Fallback {
 				// The serial baseline itself produced an invalid hierarchy:
 				// nothing further to fall back to.
-				return nil, nil, nil, verr
+				rep.Elapsed = time.Since(start)
+				return nil, nil, rep, fmt.Errorf("%w: serial fallback output invalid: %v", ErrVerification, verr)
 			}
 			rep.Fallback = true
 			rep.Cause = verr
-			core = coredecomp.Serial(g)
-			h = lcps.Build(g, core)
-			if verr := hierarchy.Validate(h, g, core); verr != nil {
-				return nil, nil, nil, verr
+			rep.runPhase("fallback", func() error {
+				core = coredecomp.Serial(g)
+				h = lcps.Build(g, core)
+				return nil
+			})
+			if verr := rep.runPhase("verify", func() error { return validate(h, g, core) }); verr != nil {
+				rep.Elapsed = time.Since(start)
+				return nil, nil, rep, fmt.Errorf("%w: rebuilt hierarchy invalid: %v", ErrVerification, verr)
 			}
 		}
 		rep.Verified = true
@@ -97,14 +144,25 @@ func BuildCtx(ctx context.Context, g *Graph, opt Options) (*HCD, []int32, *Build
 	return h, core, rep, nil
 }
 
-// buildParallel runs the parallel pipeline (ParallelCtx peeling, shared
-// layout, PHCDCtx) under ctx, returning the first contained failure.
-func buildParallel(ctx context.Context, g *Graph, opt Options) (*HCD, []int32, error) {
-	core, err := coredecomp.ParallelCtx(ctx, g, opt.Threads)
+// buildParallel runs the parallel pipeline (ParallelCtx peeling, PHCDCtx)
+// under ctx as instrumented phases on rep, returning the first contained
+// failure.
+func buildParallel(ctx context.Context, g *Graph, opt Options, rep *BuildReport) (*HCD, []int32, error) {
+	var core []int32
+	err := rep.runPhase("peel", func() error {
+		var err error
+		core, err = coredecomp.ParallelCtx(ctx, g, opt.Threads)
+		return err
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	h, err := core2.PHCDCtx(ctx, g, core, nil, opt.Threads)
+	var h *HCD
+	err = rep.runPhase("phcd", func() error {
+		var err error
+		h, err = core2.PHCDCtx(ctx, g, core, nil, opt.Threads)
+		return err
+	})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -114,6 +172,7 @@ func buildParallel(ctx context.Context, g *Graph, opt Options) (*HCD, []int32, e
 // BuildAndIndexCtx is BuildAndIndex with the same containment contract as
 // BuildCtx: on parallel failure the hierarchy comes from the serial
 // baseline and the searcher is built serially (threads=1) on top of it.
+// The error-path report contract matches BuildCtx's.
 func BuildAndIndexCtx(ctx context.Context, g *Graph, opt Options) (*HCD, []int32, *Searcher, *BuildReport, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -123,32 +182,41 @@ func BuildAndIndexCtx(ctx context.Context, g *Graph, opt Options) (*HCD, []int32
 		ctx, cancel = context.WithTimeout(ctx, opt.Deadline)
 		defer cancel()
 	}
+	defer obs.StartSpan("build").End()
 	start := time.Now()
 	rep := &BuildReport{Threads: par.Threads(opt.Threads)}
 
-	h, core, s, err := buildAndIndexParallel(ctx, g, opt)
+	h, core, s, err := buildAndIndexParallel(ctx, g, opt, rep)
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, nil, nil, nil, ctxErr
 		}
 		rep.Fallback = true
 		rep.Cause = err
-		core = coredecomp.Serial(g)
-		h = lcps.Build(g, core)
-		s = &Searcher{ix: search.NewIndex(g, core, h, 1), h: h}
-	}
-	if opt.SelfVerify {
-		if verr := hierarchy.Validate(h, g, core); verr != nil {
-			if rep.Fallback {
-				return nil, nil, nil, nil, verr
-			}
-			rep.Fallback = true
-			rep.Cause = verr
+		rep.runPhase("fallback", func() error {
 			core = coredecomp.Serial(g)
 			h = lcps.Build(g, core)
 			s = &Searcher{ix: search.NewIndex(g, core, h, 1), h: h}
-			if verr := hierarchy.Validate(h, g, core); verr != nil {
-				return nil, nil, nil, nil, verr
+			return nil
+		})
+	}
+	if opt.SelfVerify {
+		if verr := rep.runPhase("verify", func() error { return validate(h, g, core) }); verr != nil {
+			if rep.Fallback {
+				rep.Elapsed = time.Since(start)
+				return nil, nil, nil, rep, fmt.Errorf("%w: serial fallback output invalid: %v", ErrVerification, verr)
+			}
+			rep.Fallback = true
+			rep.Cause = verr
+			rep.runPhase("fallback", func() error {
+				core = coredecomp.Serial(g)
+				h = lcps.Build(g, core)
+				s = &Searcher{ix: search.NewIndex(g, core, h, 1), h: h}
+				return nil
+			})
+			if verr := rep.runPhase("verify", func() error { return validate(h, g, core) }); verr != nil {
+				rep.Elapsed = time.Since(start)
+				return nil, nil, nil, rep, fmt.Errorf("%w: rebuilt hierarchy invalid: %v", ErrVerification, verr)
 			}
 		}
 		rep.Verified = true
@@ -157,25 +225,47 @@ func BuildAndIndexCtx(ctx context.Context, g *Graph, opt Options) (*HCD, []int32
 	return h, core, s, rep, nil
 }
 
-func buildAndIndexParallel(ctx context.Context, g *Graph, opt Options) (*HCD, []int32, *Searcher, error) {
-	core, err := coredecomp.ParallelCtx(ctx, g, opt.Threads)
+// buildAndIndexParallel runs the shared-layout pipeline under ctx as
+// instrumented phases on rep, returning the first contained failure.
+func buildAndIndexParallel(ctx context.Context, g *Graph, opt Options, rep *BuildReport) (*HCD, []int32, *Searcher, error) {
+	var core []int32
+	err := rep.runPhase("peel", func() error {
+		var err error
+		core, err = coredecomp.ParallelCtx(ctx, g, opt.Threads)
+		return err
+	})
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	r := coredecomp.RankVertices(core, opt.Threads)
-	lay := shellidx.Build(g, core, r, opt.Threads)
-	h, err := core2.PHCDCtx(ctx, g, core, lay, opt.Threads)
+	var lay *shellidx.Layout
+	rep.runPhase("rank+layout", func() error {
+		r := coredecomp.RankVertices(core, opt.Threads)
+		lay = shellidx.Build(g, core, r, opt.Threads)
+		return nil
+	})
+	var h *HCD
+	err = rep.runPhase("phcd", func() error {
+		var err error
+		h, err = core2.PHCDCtx(ctx, g, core, lay, opt.Threads)
+		return err
+	})
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	s := &Searcher{ix: search.NewIndexWithLayout(g, core, h, lay, opt.Threads), h: h}
+	var s *Searcher
+	rep.runPhase("index", func() error {
+		s = &Searcher{ix: search.NewIndexWithLayout(g, core, h, lay, opt.Threads), h: h}
+		return nil
+	})
 	return h, core, s, nil
 }
 
-// BestCtx is Searcher.Best with failure containment and cooperative
-// cancellation: a worker panic inside the search kernels surfaces as an
-// error (typically a *par.PanicError) instead of crashing, and a
-// cancelled ctx aborts the kernels at their internal chunk boundaries.
-func (s *Searcher) BestCtx(ctx context.Context, m Metric, opt Options) (SearchResult, error) {
-	return s.ix.SearchCtx(ctx, m, opt.Threads)
+// BestCtx is Searcher.Best with failure containment, cooperative
+// cancellation, and a per-phase report: a worker panic inside the search
+// kernels surfaces as an error (typically a *par.PanicError) instead of
+// crashing, a cancelled ctx aborts the kernels at their internal chunk
+// boundaries, and the returned SearchReport (non-nil whenever err is
+// nil) breaks the query down into its primary-value and scoring phases.
+func (s *Searcher) BestCtx(ctx context.Context, m Metric, opt Options) (SearchResult, *SearchReport, error) {
+	return s.ix.SearchReportCtx(ctx, m, opt.Threads)
 }

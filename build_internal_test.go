@@ -1,0 +1,128 @@
+package hcd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"hcd/internal/faultinject"
+	"hcd/internal/gen"
+	"hcd/internal/graph"
+	"hcd/internal/hierarchy"
+)
+
+// failValidate replaces validate for one test, failing the first n calls.
+func failValidate(t *testing.T, n int) {
+	t.Helper()
+	calls := 0
+	validate = func(h *hierarchy.HCD, g *graph.Graph, core []int32) error {
+		calls++
+		if calls <= n {
+			return fmt.Errorf("forced validation failure %d", calls)
+		}
+		return hierarchy.Validate(h, g, core)
+	}
+	t.Cleanup(func() { validate = hierarchy.Validate })
+}
+
+// TestBuildCtxDoubleVerifyFailureReturnsPartialReport forces validation
+// to fail on both the parallel result and the serial rebuild: the error
+// must wrap ErrVerification and the partially populated report must come
+// back with it, recording the phases that ran and the first cause.
+func TestBuildCtxDoubleVerifyFailureReturnsPartialReport(t *testing.T) {
+	g := gen.ErdosRenyi(200, 800, 21)
+	failValidate(t, 2)
+	h, core, rep, err := BuildCtx(context.Background(), g, Options{Threads: 2, SelfVerify: true})
+	if !errors.Is(err, ErrVerification) {
+		t.Fatalf("err = %v, want ErrVerification", err)
+	}
+	if h != nil || core != nil {
+		t.Error("failed build returned a hierarchy anyway")
+	}
+	if rep == nil {
+		t.Fatal("error path returned a nil report")
+	}
+	if !rep.Fallback || rep.Cause == nil || rep.Verified {
+		t.Errorf("report = %+v, want Fallback with a Cause and not Verified", rep)
+	}
+	if rep.Elapsed <= 0 {
+		t.Errorf("partial report Elapsed = %v, want > 0", rep.Elapsed)
+	}
+	names := map[string]bool{}
+	for _, p := range rep.Phases {
+		names[p.Name] = true
+	}
+	for _, want := range []string{"peel", "phcd", "verify", "fallback"} {
+		if !names[want] {
+			t.Errorf("partial report phases %v missing %q", rep.Phases, want)
+		}
+	}
+}
+
+// TestBuildCtxFallbackThenInvalidReturnsPartialReport arms a panic so the
+// serial fallback produces the result, then forces its validation to
+// fail — the "nothing further to fall back to" path.
+func TestBuildCtxFallbackThenInvalidReturnsPartialReport(t *testing.T) {
+	defer faultinject.Disable()
+	g := gen.ErdosRenyi(200, 800, 22)
+	if err := faultinject.Enable("phcd.step2:panic:1"); err != nil {
+		t.Fatal(err)
+	}
+	failValidate(t, 1)
+	_, _, rep, err := BuildCtx(context.Background(), g, Options{Threads: 2, SelfVerify: true})
+	if !errors.Is(err, ErrVerification) {
+		t.Fatalf("err = %v, want ErrVerification", err)
+	}
+	if rep == nil || !rep.Fallback {
+		t.Fatalf("report = %+v, want the fallback recorded", rep)
+	}
+	var f *faultinject.Fault
+	if !errors.As(rep.Cause, &f) {
+		t.Errorf("cause = %v, want the injected fault preserved", rep.Cause)
+	}
+}
+
+// TestBuildAndIndexCtxDoubleVerifyFailure mirrors the double-failure
+// check for the indexing pipeline.
+func TestBuildAndIndexCtxDoubleVerifyFailure(t *testing.T) {
+	g := gen.ErdosRenyi(200, 800, 23)
+	failValidate(t, 2)
+	_, _, s, rep, err := BuildAndIndexCtx(context.Background(), g, Options{Threads: 2, SelfVerify: true})
+	if !errors.Is(err, ErrVerification) {
+		t.Fatalf("err = %v, want ErrVerification", err)
+	}
+	if s != nil {
+		t.Error("failed build returned a searcher anyway")
+	}
+	if rep == nil || !rep.Fallback || rep.Verified {
+		t.Errorf("report = %+v, want partial (Fallback, not Verified)", rep)
+	}
+}
+
+// TestBuildCtxSingleVerifyFailureRecovers checks one forced failure still
+// recovers through the rebuild (the happy rebuild path), with both
+// verify phases and the fallback recorded.
+func TestBuildCtxSingleVerifyFailureRecovers(t *testing.T) {
+	g := gen.ErdosRenyi(200, 800, 24)
+	failValidate(t, 1)
+	h, core, rep, err := BuildCtx(context.Background(), g, Options{Threads: 2, SelfVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Fallback || !rep.Verified {
+		t.Errorf("report = %+v, want Fallback and Verified", rep)
+	}
+	if err := hierarchy.Validate(h, g, core); err != nil {
+		t.Error(err)
+	}
+	verifies := 0
+	for _, p := range rep.Phases {
+		if p.Name == "verify" {
+			verifies++
+		}
+	}
+	if verifies != 2 {
+		t.Errorf("recorded %d verify phases, want 2 (failed + passed)", verifies)
+	}
+}

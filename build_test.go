@@ -178,9 +178,12 @@ func TestBuildAndIndexCtx(t *testing.T) {
 	if err := hierarchy.Validate(h, g, core); err != nil {
 		t.Fatal(err)
 	}
-	r, err := s.BestCtx(ctx, hcd.AverageDegree(), hcd.Options{Threads: 4})
+	r, srep, err := s.BestCtx(ctx, hcd.AverageDegree(), hcd.Options{Threads: 4})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if srep == nil || len(srep.Phases) == 0 {
+		t.Errorf("BestCtx report = %+v, want phases", srep)
 	}
 	// The searcher from the fallback path answers the same query.
 	if err := faultinject.Enable("phcd.step2:panic:1"); err != nil {
@@ -191,7 +194,7 @@ func TestBuildAndIndexCtx(t *testing.T) {
 	if err != nil || !rep2.Fallback {
 		t.Fatalf("fallback BuildAndIndexCtx: err=%v rep=%+v", err, rep2)
 	}
-	r2, err := s2.BestCtx(ctx, hcd.AverageDegree(), hcd.Options{Threads: 1})
+	r2, _, err := s2.BestCtx(ctx, hcd.AverageDegree(), hcd.Options{Threads: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +216,7 @@ func TestBestCtxContainsKernelPanic(t *testing.T) {
 	if err := faultinject.Enable("search.typea:panic:1"); err != nil {
 		t.Fatal(err)
 	}
-	_, err = s.BestCtx(context.Background(), hcd.AverageDegree(), hcd.Options{Threads: 4})
+	_, _, err = s.BestCtx(context.Background(), hcd.AverageDegree(), hcd.Options{Threads: 4})
 	var f *faultinject.Fault
 	if err == nil || !errors.As(err, &f) {
 		t.Errorf("BestCtx err = %v, want the injected fault", err)
@@ -244,5 +247,108 @@ func TestBuildCtxCancelsLargeBuildEarly(t *testing.T) {
 	}
 	if el > fullDur/2+50*time.Millisecond {
 		t.Errorf("cancelled build took %v of a %v full build — not an early abort", el, fullDur)
+	}
+}
+
+// phaseNames extracts the Name of every reported phase in order.
+func phaseNames(phases []hcd.PhaseStat) []string {
+	out := make([]string, len(phases))
+	for i, p := range phases {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// TestBuildReportPhases checks the instrumented BuildCtx breakdown: the
+// expected phases appear in order and their durations account for
+// (almost) all of Elapsed. The 70% floor is deliberately loose for noisy
+// CI machines; the trace-level ≥95% criterion is carried by the "build"
+// root span, which wraps the whole call by construction.
+func TestBuildReportPhases(t *testing.T) {
+	g := gen.RMAT(14, 1<<17, 11)
+	_, _, rep, err := hcd.BuildCtx(context.Background(), g,
+		hcd.Options{Threads: 4, SelfVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"peel", "phcd", "verify"}
+	if got := phaseNames(rep.Phases); !reflect.DeepEqual(got, want) {
+		t.Fatalf("phases = %v, want %v", got, want)
+	}
+	var sum time.Duration
+	for _, p := range rep.Phases {
+		if p.Duration <= 0 {
+			t.Errorf("phase %s has non-positive duration %v", p.Name, p.Duration)
+		}
+		sum += p.Duration
+	}
+	if sum > rep.Elapsed {
+		t.Errorf("phase sum %v exceeds Elapsed %v", sum, rep.Elapsed)
+	}
+	if float64(sum) < 0.7*float64(rep.Elapsed) {
+		t.Errorf("phase sum %v covers under 70%% of Elapsed %v", sum, rep.Elapsed)
+	}
+}
+
+// TestBuildAndIndexReportPhases checks the shared-layout pipeline's
+// breakdown, including the worker statistics the par hooks feed in (the
+// peel and phcd phases always run parallel primitives at Threads=4).
+func TestBuildAndIndexReportPhases(t *testing.T) {
+	g := gen.RMAT(14, 1<<17, 12)
+	_, _, _, rep, err := hcd.BuildAndIndexCtx(context.Background(), g, hcd.Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"peel", "rank+layout", "phcd", "index"}
+	if got := phaseNames(rep.Phases); !reflect.DeepEqual(got, want) {
+		t.Fatalf("phases = %v, want %v", got, want)
+	}
+	var sum time.Duration
+	for _, p := range rep.Phases {
+		sum += p.Duration
+	}
+	if float64(sum) < 0.7*float64(rep.Elapsed) || sum > rep.Elapsed {
+		t.Errorf("phase sum %v vs Elapsed %v out of bounds", sum, rep.Elapsed)
+	}
+	for _, p := range rep.Phases {
+		if p.Name != "peel" && p.Name != "phcd" {
+			continue
+		}
+		if p.Workers <= 0 || p.Busy <= 0 {
+			t.Skipf("no worker stats for %s (noobs build?): %+v", p.Name, p)
+		}
+		if p.Skew < 1 {
+			t.Errorf("%s skew = %f, want >= 1", p.Name, p.Skew)
+		}
+	}
+}
+
+// TestSearchReportPhases checks BestCtx's report: both phases present,
+// positive, and summing to ≈ Elapsed.
+func TestSearchReportPhases(t *testing.T) {
+	g := gen.RMAT(13, 1<<16, 13)
+	_, _, s, _, err := hcd.BuildAndIndexCtx(context.Background(), g, hcd.Options{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []hcd.Metric{hcd.AverageDegree(), hcd.ClusteringCoefficient()} {
+		_, rep, err := s.BestCtx(context.Background(), m, hcd.Options{Threads: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"search.primary", "search.score"}
+		if got := phaseNames(rep.Phases); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: phases = %v, want %v", m.Name(), got, want)
+		}
+		var sum time.Duration
+		for _, p := range rep.Phases {
+			if p.Duration <= 0 {
+				t.Errorf("%s: phase %s duration %v", m.Name(), p.Name, p.Duration)
+			}
+			sum += p.Duration
+		}
+		if sum > rep.Elapsed {
+			t.Errorf("%s: phase sum %v exceeds Elapsed %v", m.Name(), sum, rep.Elapsed)
+		}
 	}
 }

@@ -20,7 +20,14 @@
 //
 // Builds are interruptible: Ctrl-C (or SIGTERM) cancels the pipeline and
 // the tool exits 130. -deadline bounds a build, -verify validates the
-// hierarchy before use, and -faults arms the fault injector (testing).
+// hierarchy before use (a validation failure exits 3), and -faults arms
+// the fault injector (testing).
+//
+// Observability: -trace writes a Chrome trace-event JSON of the run
+// (load it in chrome://tracing or Perfetto), and -debug-addr serves
+// /metrics (Prometheus text), /trace, /debug/vars (expvar) and
+// /debug/pprof/ while the command runs. Both are no-ops under the noobs
+// build tag apart from valid empty output.
 package main
 
 import (
@@ -30,6 +37,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -40,6 +49,7 @@ import (
 
 	"hcd"
 	"hcd/internal/faultinject"
+	"hcd/internal/obs"
 )
 
 func main() {
@@ -71,8 +81,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	stream := flag.String("stream", "", "edge stream file for maintain: one 'i u v' or 'd u v' per line")
 	engine := flag.String("engine", "order", "maintenance engine: traversal or order")
 	deadline := flag.Duration("deadline", 0, "abort the build after this long (0 = no limit)")
-	verify := flag.Bool("verify", false, "self-verify the built hierarchy before using it")
+	verify := flag.Bool("verify", false, "self-verify the built hierarchy before using it (exit 3 on failure)")
 	faults := flag.String("faults", "", "fault-injection spec, e.g. 'phcd.step2:panic:1' (testing)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the run to this path")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /trace, /debug/vars and /debug/pprof/ on this address while the command runs (e.g. localhost:6060)")
 	if err := flag.Parse(args); err != nil {
 		return 2
 	}
@@ -82,6 +94,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return 130
 		}
 		fmt.Fprintf(stderr, "hcdtool: %v\n", err)
+		if errors.Is(err, hcd.ErrVerification) {
+			return 3
+		}
 		return 1
 	}
 	if *faults != "" {
@@ -89,6 +104,39 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		defer faultinject.Disable()
+	}
+	if *tracePath != "" {
+		// Scope the ring buffer to this command, and write it out deferred
+		// so the trace covers the whole run, whichever path it exits
+		// through.
+		obs.ResetTrace()
+		defer func() {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fmt.Fprintf(stderr, "hcdtool: trace: %v\n", err)
+				return
+			}
+			werr := obs.WriteTrace(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintf(stderr, "hcdtool: trace: %v\n", werr)
+				return
+			}
+			fmt.Fprintf(stderr, "hcdtool: wrote trace to %s\n", *tracePath)
+		}()
+	}
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fail(err)
+		}
+		obs.PublishExpvar()
+		srv := &http.Server{Handler: obs.Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(stderr, "hcdtool: debug server on http://%s/\n", ln.Addr())
 	}
 
 	if *in == "" {
@@ -111,12 +159,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// (reported on stderr), and -verify validates the result before use.
 	build := func() (*hcd.HCD, []int32, error) {
 		h, core, rep, err := hcd.BuildCtx(ctx, g, opt)
+		if rep != nil && rep.Fallback {
+			fmt.Fprintf(stderr, "hcdtool: parallel build failed (%v); serial fallback used\n", rep.Cause)
+		}
 		if err != nil {
 			return nil, nil, err
 		}
-		if rep.Fallback {
-			fmt.Fprintf(stderr, "hcdtool: parallel build failed (%v); serial fallback used\n", rep.Cause)
-		}
+		printPhases(stdout, "build", rep.Phases, rep.Elapsed)
 		return h, core, nil
 	}
 
@@ -205,11 +254,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		s := hcd.NewSearcher(g, core, h, opt)
 		start := time.Now()
-		r, err := s.BestCtx(ctx, m, opt)
+		r, srep, err := s.BestCtx(ctx, m, opt)
 		if err != nil {
 			return fail(err)
 		}
 		fmt.Fprintf(stdout, "search (%s) in %v\n", m.Name(), time.Since(start))
+		printPhases(stdout, "search", srep.Phases, srep.Elapsed)
 		if r.Node == hcd.NilNode {
 			fmt.Fprintln(stdout, "empty hierarchy")
 			return 0
@@ -371,6 +421,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	return 0
+}
+
+// printPhases prints one line per pipeline phase: duration, share of the
+// total, and worker balance when the obs layer recorded any stints.
+func printPhases(w io.Writer, what string, phases []hcd.PhaseStat, total time.Duration) {
+	if len(phases) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%s phases:\n", what)
+	for _, p := range phases {
+		fmt.Fprintf(w, "  %-14s %12v", p.Name, p.Duration.Round(time.Microsecond))
+		if total > 0 {
+			fmt.Fprintf(w, " (%5.1f%%)", 100*float64(p.Duration)/float64(total))
+		}
+		if p.Workers > 0 {
+			fmt.Fprintf(w, "  workers=%d chunks=%d skew=%.2f", p.Workers, p.Chunks, p.Skew)
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 // maintEngine is the shared surface of the two dynamic maintainers.

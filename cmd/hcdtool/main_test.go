@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -243,5 +244,103 @@ func TestRunMaintain(t *testing.T) {
 	}
 	if _, _, code := runTool(t, "-cmd", "maintain", "-in", path, "-stream", dup); code != 1 {
 		t.Error("duplicate edge insert not reported")
+	}
+}
+
+// TestRunBuildPrintsPhases checks the human summary carries the
+// per-phase breakdown for build and search.
+func TestRunBuildPrintsPhases(t *testing.T) {
+	path := writeTestGraph(t)
+	out, _, code := runTool(t, "-cmd", "build", "-in", path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"build phases:", "peel", "phcd"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("build output missing %q:\n%s", want, out)
+		}
+	}
+	out, _, code = runTool(t, "-cmd", "search", "-in", path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"search phases:", "search.primary", "search.score"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("search output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunTraceExport checks -trace writes valid Chrome trace JSON whose
+// root "build" span contains the pipeline phases — the span covers the
+// whole BuildCtx call by construction, which is how the trace accounts
+// for (≥95% of) BuildReport.Elapsed.
+func TestRunTraceExport(t *testing.T) {
+	path := writeTestGraph(t)
+	tracePath := filepath.Join(t.TempDir(), "out.json")
+	_, errOut, code := runTool(t, "-cmd", "build", "-in", path, "-trace", tracePath)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "wrote trace to") {
+		t.Errorf("trace write not reported:\n%s", errOut)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, raw)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Skip("empty trace (noobs build)")
+	}
+	var build *struct{ ts, dur float64 }
+	seen := map[string]bool{}
+	for _, ev := range tr.TraceEvents {
+		seen[ev.Name] = true
+		if ev.Name == "build" {
+			build = &struct{ ts, dur float64 }{ev.Ts, ev.Dur}
+		}
+	}
+	if build == nil {
+		t.Fatalf("no root build span in trace: %v", seen)
+	}
+	for _, want := range []string{"peel", "phcd", "coredecomp.parallel"} {
+		if !seen[want] {
+			t.Errorf("trace missing span %q (have %v)", want, seen)
+		}
+	}
+	// Every span the command recorded fits inside the root build span
+	// (1µs slack for timestamp rounding) — the ≥95% coverage argument.
+	for _, ev := range tr.TraceEvents {
+		if ev.Ts+1 < build.ts || ev.Ts+ev.Dur > build.ts+build.dur+1 {
+			t.Errorf("span %s [%f,+%f] outside build [%f,+%f]",
+				ev.Name, ev.Ts, ev.Dur, build.ts, build.dur)
+		}
+	}
+}
+
+// TestRunDebugAddr checks the -debug-addr server starts (and a bad
+// address is rejected).
+func TestRunDebugAddr(t *testing.T) {
+	path := writeTestGraph(t)
+	_, errOut, code := runTool(t, "-cmd", "stats", "-in", path, "-debug-addr", "127.0.0.1:0")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "debug server on http://127.0.0.1:") {
+		t.Errorf("debug server address not reported:\n%s", errOut)
+	}
+	if _, _, code := runTool(t, "-cmd", "stats", "-in", path, "-debug-addr", "256.0.0.1:bogus"); code != 1 {
+		t.Error("bad -debug-addr not rejected")
 	}
 }

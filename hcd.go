@@ -35,6 +35,7 @@ import (
 	"hcd/internal/hierarchy"
 	"hcd/internal/lcps"
 	"hcd/internal/metrics"
+	"hcd/internal/obs"
 	"hcd/internal/search"
 	"hcd/internal/shellidx"
 )
@@ -72,6 +73,11 @@ type (
 	PrimaryValues = metrics.PrimaryValues
 	// SearchResult reports the winning k-core of a subgraph search.
 	SearchResult = search.Result
+	// SearchReport is the per-phase breakdown of one BestCtx call.
+	SearchReport = search.Report
+	// PhaseStat is one pipeline phase's duration and worker statistics,
+	// as reported in BuildReport.Phases and SearchReport.Phases.
+	PhaseStat = obs.PhaseStat
 	// DensestSolution is an approximate densest subgraph.
 	DensestSolution = densest.Solution
 )

@@ -1,16 +1,19 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
 	"text/tabwriter"
 
+	"hcd"
 	core2 "hcd/internal/core"
 	"hcd/internal/coredecomp"
 	"hcd/internal/gen"
 	"hcd/internal/graph"
+	"hcd/internal/obs"
 	"hcd/internal/search"
 	"hcd/internal/shellidx"
 )
@@ -62,6 +65,11 @@ type phcdRow struct {
 	// pipeline_seed_ns / pipeline_new_ns.
 	SpeedupPrebuilt float64 `json:"speedup_prebuilt"`
 	SpeedupPipeline float64 `json:"speedup_pipeline"`
+	// Phases is the per-phase breakdown of one instrumented
+	// BuildAndIndexCtx run (peel, rank+layout, phcd, index) — a single
+	// run, not min-of-reps, so phase shares are representative rather
+	// than best-case.
+	Phases []obs.PhaseStat `json:"phases"`
 }
 
 type phcdReport struct {
@@ -132,6 +140,11 @@ func PHCDBench(cfg Config) error {
 			SpeedupPrebuilt: ratio(tSeed, tNew),
 			SpeedupPipeline: ratio(tPipeSeed, tPipeNew),
 		}
+		_, _, _, brep, err := hcd.BuildAndIndexCtx(context.Background(), g, hcd.Options{Threads: p})
+		if err != nil {
+			return fmt.Errorf("phcd: instrumented pipeline run: %w", err)
+		}
+		row.Phases = brep.Phases
 		report.Rows = append(report.Rows, row)
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t%.2fx\t%.2fx\n",
 			d.name, row.N, row.M,

@@ -42,5 +42,20 @@ func TestPHCDBenchWritesJSON(t *testing.T) {
 		if r.SpeedupPrebuilt <= 0 || r.SpeedupPipeline <= 0 {
 			t.Errorf("%s: non-positive speedup: %+v", r.Name, r)
 		}
+		if len(r.Phases) == 0 {
+			t.Errorf("%s: no phase breakdown in the JSON row", r.Name)
+		}
+		seen := map[string]bool{}
+		for _, p := range r.Phases {
+			seen[p.Name] = true
+			if p.Duration <= 0 {
+				t.Errorf("%s: phase %s has non-positive duration", r.Name, p.Name)
+			}
+		}
+		for _, want := range []string{"peel", "rank+layout", "phcd", "index"} {
+			if !seen[want] {
+				t.Errorf("%s: phases missing %q (have %v)", r.Name, want, seen)
+			}
+		}
 	}
 }

@@ -46,6 +46,7 @@ import (
 	"hcd/internal/faultinject"
 	"hcd/internal/graph"
 	"hcd/internal/hierarchy"
+	"hcd/internal/obs"
 	"hcd/internal/par"
 	"hcd/internal/shellidx"
 	"hcd/internal/unionfind"
@@ -114,11 +115,15 @@ func PHCDCtx(ctx context.Context, g *graph.Graph, core []int32, lay *shellidx.La
 		// The sequential version of PHCD (§V-B compares it against LCPS):
 		// same four steps, but over the serial union-find with in-union
 		// pivot maintenance — no atomics, no barriers.
+		sp := obs.StartSpan("phcd.serial")
+		defer sp.End()
 		if err := phcdSerial(ctx, g, core, rank, lay, h); err != nil {
 			return nil, err
 		}
 		return h, nil
 	}
+	sp := obs.StartSpan("phcd.parallel")
+	defer sp.End()
 
 	// Union-find with pivot (§III-B). Linking by vertex rank makes every
 	// set's root its pivot; see the unionfind package comment for the
@@ -155,9 +160,13 @@ func PHCDCtx(ctx context.Context, g *graph.Graph, core []int32, lay *shellidx.La
 		if ns == 0 {
 			continue
 		}
+		// Per-level and per-step trace spans (an errored level's open
+		// spans are dropped, never recorded).
+		lsp := obs.StartSpanArg("phcd.level", int64(k))
 
 		// Step 1: find the deeper-core pivots that will merge with this
 		// shell. Must complete before any Step 2 union (par.For barriers).
+		ssp := obs.StartSpan("phcd.step1")
 		err := par.ForErr(ctx, p, p, func(tlo, thi int) error {
 			faultinject.Maybe("phcd.step1")
 			for t := tlo; t < thi; t++ {
@@ -188,11 +197,13 @@ func PHCDCtx(ctx context.Context, g *graph.Graph, core []int32, lay *shellidx.La
 		if err != nil {
 			return nil, err
 		}
+		ssp.End()
 
 		// Step 2: connect the shell to everything of coreness >= k. For
 		// same-shell edges one direction suffices (union is symmetric);
 		// with the layout, the same-shell segment is id-sorted, so the
 		// u > v half is the suffix past a binary search.
+		ssp = obs.StartSpan("phcd.step2")
 		err = par.ForErr(ctx, p, p, func(tlo, thi int) error {
 			faultinject.Maybe("phcd.step2")
 			for t := tlo; t < thi; t++ {
@@ -220,11 +231,13 @@ func PHCDCtx(ctx context.Context, g *graph.Graph, core []int32, lay *shellidx.La
 		if err != nil {
 			return nil, err
 		}
+		ssp.End()
 
 		// Step 3: one node per pivot; group shell vertices by pivot.
 		// Every component touched this level has a k-shell pivot, and in
 		// the rank-linked union-find the pivot is the root, so the pivots
 		// are exactly the shell vertices that are their own root.
+		ssp = obs.StartSpan("phcd.step3")
 		err = par.ForErr(ctx, p, p, func(tlo, thi int) error {
 			faultinject.Maybe("phcd.step3")
 			for t := tlo; t < thi; t++ {
@@ -277,12 +290,14 @@ func PHCDCtx(ctx context.Context, g *graph.Graph, core []int32, lay *shellidx.La
 			// from clobbering its slab neighbor.
 			h.Vertices[firstNode+j] = slab[starts[j]:starts[j+1]:starts[j+1]]
 		}
+		ssp.End()
 
 		// Step 4: the recorded deeper-core pivots hang under the new
 		// nodes. The Finds run in parallel; the links are applied serially
 		// in ascending child order (which thread discovered a pivot in
 		// Step 1 is scheduling-dependent, so the per-thread lists are
 		// merged and sorted to keep h.Children deterministic).
+		ssp = obs.StartSpan("phcd.step4")
 		err = par.ForErr(ctx, p, p, func(tlo, thi int) error {
 			faultinject.Maybe("phcd.step4")
 			for t := tlo; t < thi; t++ {
@@ -309,6 +324,8 @@ func PHCDCtx(ctx context.Context, g *graph.Graph, core []int32, lay *shellidx.La
 			h.Parent[ch] = pa
 			h.Children[pa] = append(h.Children[pa], ch)
 		}
+		ssp.End()
+		lsp.End()
 	}
 	return h, nil
 }

@@ -22,6 +22,7 @@ import (
 
 	"hcd/internal/faultinject"
 	"hcd/internal/graph"
+	"hcd/internal/obs"
 	"hcd/internal/par"
 )
 
@@ -111,6 +112,8 @@ func ParallelCtx(ctx context.Context, g *graph.Graph, threads int) ([]int32, err
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	sp := obs.StartSpan("coredecomp.parallel")
+	defer sp.End()
 	n := g.NumVertices()
 	core := make([]int32, n)
 	if n == 0 {
@@ -142,6 +145,9 @@ func ParallelCtx(ctx context.Context, g *graph.Graph, threads int) ([]int32, err
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		// One trace span per level-synchronous round (a failed round's
+		// span is simply dropped, never recorded).
+		rsp := obs.StartSpanArg("peel.round", int64(level))
 		// Phase 1 (with a trailing barrier): collect the frontier of
 		// vertices whose degree equals `level` and compact the active
 		// list. No decrements run during this phase, so each frontier
@@ -208,6 +214,7 @@ func ParallelCtx(ctx context.Context, g *graph.Graph, threads int) ([]int32, err
 		if err != nil {
 			return nil, err
 		}
+		rsp.End()
 	}
 	return core, nil
 }

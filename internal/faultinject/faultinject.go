@@ -31,6 +31,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hcd/internal/obs"
 )
 
 // Fault is the value an armed panic rule panics with. It implements error
@@ -61,6 +63,8 @@ type site struct {
 	n     uint64 // fire on exactly this hit (1-based)
 	delay time.Duration
 	hits  atomic.Uint64
+	evals *obs.Counter // hcd_fault_evals_total{site=...}
+	fired *obs.Counter // hcd_fault_fired_total{site=...}
 }
 
 var (
@@ -73,10 +77,22 @@ var (
 // package comment for the grammar). It replaces any previous rules and
 // resets all hit counters. An empty spec is an error; use Disable to
 // disarm.
+//
+// Every armed site also gets a pair of obs counters,
+// hcd_fault_evals_total{site="..."} and hcd_fault_fired_total{site="..."},
+// so a rule whose site name is mis-spelled — which otherwise fails
+// silently, its trigger point never being evaluated — shows up on
+// /metrics as an armed site with zero evaluations.
 func Enable(spec string) error {
 	parsed, err := parse(spec)
 	if err != nil {
 		return err
+	}
+	for name, s := range parsed {
+		s.evals = obs.NewCounter(obs.Name("hcd_fault_evals_total", "site", name),
+			"Evaluations of an armed fault-injection site.")
+		s.fired = obs.NewCounter(obs.Name("hcd_fault_fired_total", "site", name),
+			"Fault-injection rules fired, by site.")
 	}
 	mu.Lock()
 	defer mu.Unlock()
@@ -123,9 +139,11 @@ func Maybe(name string) {
 		return
 	}
 	hit := s.hits.Add(1)
+	s.evals.Inc()
 	if hit != s.n {
 		return
 	}
+	s.fired.Inc()
 	switch s.mode {
 	case modePanic:
 		panic(&Fault{Site: name, Hit: hit})

@@ -1,0 +1,183 @@
+//go:build noobs
+
+// Stub implementation selected by the `noobs` build tag, mirroring
+// internal/faultinject's `nofaults` pattern: every span, metric, and
+// worker hook compiles to an empty function the toolchain can inline
+// away, so a noobs binary carries zero telemetry overhead (not even the
+// atomic load of the armed-phase gate). The exposition surface stays
+// callable — it reports that observability is compiled out — so tools
+// linking both paths need no build-tag conditionals of their own.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Tracer is the stub span recorder; it never stores anything.
+type Tracer struct{}
+
+// NewTracer returns the shared stub tracer.
+func NewTracer(int) *Tracer { return sharedTracer }
+
+// DefaultTracer returns the shared stub tracer.
+func DefaultTracer() *Tracer { return sharedTracer }
+
+var sharedTracer = &Tracer{}
+
+// Reset is a no-op.
+func (*Tracer) Reset() {}
+
+// SpanCount always reports zero.
+func (*Tracer) SpanCount() uint64 { return 0 }
+
+// WriteTrace emits a valid, empty Chrome trace.
+func (*Tracer) WriteTrace(w io.Writer) error {
+	_, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n")
+	return err
+}
+
+// WriteTrace emits a valid, empty Chrome trace.
+func WriteTrace(w io.Writer) error { return sharedTracer.WriteTrace(w) }
+
+// ResetTrace is a no-op.
+func ResetTrace() {}
+
+// Span is the stub span; all methods are no-ops.
+type Span struct{}
+
+var sharedSpan = &Span{}
+
+// StartSpan returns the shared stub span.
+func StartSpan(string) *Span { return sharedSpan }
+
+// StartSpanArg returns the shared stub span.
+func StartSpanArg(string, int64) *Span { return sharedSpan }
+
+// StartPhase returns the shared stub span; no worker hooks are armed.
+func StartPhase(string) *Span { return sharedSpan }
+
+// End reports a zero duration.
+func (*Span) End() time.Duration { return 0 }
+
+// WorkerStats reports zero statistics.
+func (*Span) WorkerStats() WorkerStats { return WorkerStats{} }
+
+// WorkerStart reports the zero mark, telling WorkerEnd to do nothing.
+func WorkerStart() time.Time { return time.Time{} }
+
+// WorkerEnd is an empty, inlinable no-op.
+func WorkerEnd(time.Time, int64) {}
+
+// Counter is the stub counter.
+type Counter struct{}
+
+// Gauge is the stub gauge.
+type Gauge struct{}
+
+// Histogram is the stub histogram.
+type Histogram struct{}
+
+var (
+	sharedCounter   = &Counter{}
+	sharedGauge     = &Gauge{}
+	sharedHistogram = &Histogram{}
+)
+
+// Name assembles the same labelled-name string as the live build (kept
+// functional so log messages stay identical across builds).
+func Name(base string, labelPairs ...string) string {
+	if len(labelPairs) == 0 {
+		return base
+	}
+	out := base + "{"
+	for i := 0; i+1 < len(labelPairs); i += 2 {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("%s=%q", labelPairs[i], labelPairs[i+1])
+	}
+	return out + "}"
+}
+
+// NewCounter returns the shared stub counter.
+func NewCounter(string, string) *Counter { return sharedCounter }
+
+// NewGauge returns the shared stub gauge.
+func NewGauge(string, string) *Gauge { return sharedGauge }
+
+// NewHistogram returns the shared stub histogram.
+func NewHistogram(string, string) *Histogram { return sharedHistogram }
+
+// Inc is a no-op.
+func (*Counter) Inc() {}
+
+// Add is a no-op.
+func (*Counter) Add(int64) {}
+
+// Value always reports zero.
+func (*Counter) Value() int64 { return 0 }
+
+// Set is a no-op.
+func (*Gauge) Set(int64) {}
+
+// Add is a no-op.
+func (*Gauge) Add(int64) {}
+
+// Value always reports zero.
+func (*Gauge) Value() int64 { return 0 }
+
+// Observe is a no-op.
+func (*Histogram) Observe(time.Duration) {}
+
+// Count always reports zero.
+func (*Histogram) Count() int64 { return 0 }
+
+// Sum always reports zero.
+func (*Histogram) Sum() time.Duration { return 0 }
+
+// HistogramSnapshot mirrors the live build's type; always empty here.
+type HistogramSnapshot struct {
+	Count        int64   `json:"count"`
+	SumNS        int64   `json:"sum_ns"`
+	BucketNS     []int64 `json:"bucket_ns"`
+	BucketCounts []int64 `json:"bucket_counts"`
+}
+
+// SnapshotData mirrors the live build's type; always empty here.
+type SnapshotData struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Spans      uint64                       `json:"spans"`
+}
+
+// Snapshot reports an empty snapshot.
+func Snapshot() SnapshotData {
+	return SnapshotData{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+}
+
+// WritePrometheus emits a single comment noting telemetry is compiled
+// out, which is a valid (empty) exposition document.
+func WritePrometheus(w io.Writer) error {
+	_, err := io.WriteString(w, "# observability compiled out (noobs build tag)\n")
+	return err
+}
+
+// PublishExpvar is a no-op.
+func PublishExpvar() {}
+
+// Handler serves a stub that reports observability is compiled out.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "observability compiled out (noobs build tag)\n")
+	})
+	return mux
+}

@@ -1,0 +1,103 @@
+//go:build noobs
+
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hcd/internal/obs"
+)
+
+// TestStubsAreInert checks the noobs build compiles the whole
+// observability surface to no-ops that never record anything —
+// mirroring internal/faultinject's nofaults stub test.
+func TestStubsAreInert(t *testing.T) {
+	sp := obs.StartPhase("test.phase")
+	if mark := obs.WorkerStart(); !mark.IsZero() {
+		t.Errorf("WorkerStart = %v, want zero", mark)
+	}
+	obs.WorkerEnd(time.Time{}, 3)
+	if d := sp.End(); d != 0 {
+		t.Errorf("Span.End = %v, want 0", d)
+	}
+	if w := sp.WorkerStats(); w != (obs.WorkerStats{}) {
+		t.Errorf("WorkerStats = %+v, want zero", w)
+	}
+	if n := obs.DefaultTracer().SpanCount(); n != 0 {
+		t.Errorf("SpanCount = %d, want 0", n)
+	}
+
+	c := obs.NewCounter("test_total", "test")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Errorf("counter = %d, want 0", c.Value())
+	}
+	g := obs.NewGauge("test_gauge", "test")
+	g.Set(9)
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+	h := obs.NewHistogram("test_seconds", "test")
+	h.Observe(time.Second)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Errorf("histogram = %d/%v, want 0/0", h.Count(), h.Sum())
+	}
+
+	snap := obs.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 || snap.Spans != 0 {
+		t.Errorf("snapshot = %+v, want empty", snap)
+	}
+}
+
+// TestStubTraceIsValidJSON checks the stub still emits a loadable,
+// empty Chrome trace.
+func TestStubTraceIsValidJSON(t *testing.T) {
+	obs.StartSpan("test.span").End()
+	var buf bytes.Buffer
+	if err := obs.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("stub trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(tr.TraceEvents) != 0 {
+		t.Errorf("stub trace has %d events, want 0", len(tr.TraceEvents))
+	}
+}
+
+// TestStubExposition checks Name stays functional and the exposition
+// endpoints answer with their compiled-out notices.
+func TestStubExposition(t *testing.T) {
+	got := obs.Name("hcd_x_total", "site", "a")
+	if want := `hcd_x_total{site="a"}`; got != want {
+		t.Errorf("Name = %q, want %q", got, want)
+	}
+	var buf bytes.Buffer
+	if err := obs.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "noobs") {
+		t.Errorf("stub exposition = %q, want a noobs notice", buf.String())
+	}
+	srv := httptest.NewServer(obs.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("stub handler status = %d", resp.StatusCode)
+	}
+	obs.PublishExpvar()
+	obs.ResetTrace()
+}

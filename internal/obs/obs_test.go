@@ -1,0 +1,268 @@
+//go:build !noobs
+
+package obs_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hcd/internal/obs"
+	"hcd/internal/par"
+)
+
+// TestCounterConcurrent hammers one counter from par.For workers; the
+// total must be exact (the -race build also proves the hot path clean).
+func TestCounterConcurrent(t *testing.T) {
+	c := obs.NewCounter("test_counter_concurrent_total", "test")
+	before := c.Value()
+	const n, perItem = 10000, 3
+	par.ForEach(n, 8, func(int) {
+		c.Inc()
+		c.Add(perItem - 1)
+	})
+	if got := c.Value() - before; got != n*perItem {
+		t.Errorf("counter delta = %d, want %d", got, n*perItem)
+	}
+}
+
+// TestGauge checks Set/Add and that registration is idempotent.
+func TestGauge(t *testing.T) {
+	g := obs.NewGauge("test_gauge", "test")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Value())
+	}
+	if g2 := obs.NewGauge("test_gauge", "other help"); g2 != g {
+		t.Error("re-registration returned a different gauge")
+	}
+}
+
+// TestHistogramConcurrent observes durations from par.For workers and
+// checks count, sum, and the cumulative bucket invariant via Snapshot.
+func TestHistogramConcurrent(t *testing.T) {
+	h := obs.NewHistogram("test_histogram_seconds", "test")
+	base := h.Count()
+	const n = 4096
+	par.ForEach(n, 8, func(i int) {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	})
+	if got := h.Count() - base; got != n {
+		t.Errorf("histogram count delta = %d, want %d", got, n)
+	}
+	if h.Sum() <= 0 {
+		t.Errorf("histogram sum = %v, want > 0", h.Sum())
+	}
+	snap := obs.Snapshot()
+	hs, ok := snap.Histograms["test_histogram_seconds"]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	for i := 1; i < len(hs.BucketCounts); i++ {
+		if hs.BucketCounts[i] < hs.BucketCounts[i-1] {
+			t.Fatalf("bucket counts not cumulative at %d: %v", i, hs.BucketCounts)
+		}
+	}
+	if last := hs.BucketCounts[len(hs.BucketCounts)-1]; last != hs.Count {
+		t.Errorf("last cumulative bucket = %d, want count %d", last, hs.Count)
+	}
+}
+
+// TestSpansConcurrent opens and closes spans from many par workers at
+// once: the recorder must stay race-clean and count every span.
+func TestSpansConcurrent(t *testing.T) {
+	tr := obs.DefaultTracer()
+	before := tr.SpanCount()
+	const n = 2000
+	par.ForEach(n, 8, func(i int) {
+		obs.StartSpanArg("test.span", int64(i)).End()
+	})
+	if got := tr.SpanCount() - before; got != n {
+		t.Errorf("span count delta = %d, want %d", got, n)
+	}
+}
+
+// chromeTrace is the subset of the Chrome trace-event format the tests
+// decode.
+type chromeTrace struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string           `json:"name"`
+		Cat  string           `json:"cat"`
+		Ph   string           `json:"ph"`
+		Ts   float64          `json:"ts"`
+		Dur  float64          `json:"dur"`
+		Args map[string]int64 `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// TestWriteTraceJSON checks the export is valid Chrome trace JSON with
+// the recorded span present, ordered by start time, args attached.
+func TestWriteTraceJSON(t *testing.T) {
+	obs.ResetTrace()
+	sp := obs.StartSpan("test.outer")
+	obs.StartSpanArg("test.inner", 42).End()
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := obs.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(tr.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(tr.TraceEvents))
+	}
+	for i, ev := range tr.TraceEvents {
+		if ev.Ph != "X" || ev.Cat != "hcd" {
+			t.Errorf("event %d = %+v, want ph=X cat=hcd", i, ev)
+		}
+		if i > 0 && ev.Ts < tr.TraceEvents[i-1].Ts {
+			t.Errorf("events out of start order at %d", i)
+		}
+	}
+	// Outer opened first: it sorts first and must contain the inner.
+	outer, inner := tr.TraceEvents[0], tr.TraceEvents[1]
+	if outer.Name != "test.outer" || inner.Name != "test.inner" {
+		t.Fatalf("order = %s, %s", outer.Name, inner.Name)
+	}
+	if inner.Ts+inner.Dur > outer.Ts+outer.Dur+1 { // 1µs slack for rounding
+		t.Errorf("inner [%f,+%f] not contained in outer [%f,+%f]",
+			inner.Ts, inner.Dur, outer.Ts, outer.Dur)
+	}
+	if inner.Args["k"] != 42 {
+		t.Errorf("inner args = %v, want k=42", inner.Args)
+	}
+}
+
+// TestPhaseWorkerStats arms a phase around parallel work and checks the
+// worker statistics the par hooks feed in.
+func TestPhaseWorkerStats(t *testing.T) {
+	sp := obs.StartPhase("test.phase")
+	err := par.ForChunkedErr(context.Background(), 256, 4, 16, func(lo, hi int) error {
+		time.Sleep(100 * time.Microsecond)
+		return nil
+	})
+	d := sp.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sp.WorkerStats()
+	if w.Workers <= 0 {
+		t.Fatalf("workers = %d, want > 0", w.Workers)
+	}
+	if w.Chunks < w.Workers {
+		t.Errorf("chunks = %d < workers = %d", w.Chunks, w.Workers)
+	}
+	if w.Busy <= 0 || w.MaxBusy <= 0 || w.MaxBusy > w.Busy {
+		t.Errorf("busy = %v, maxBusy = %v", w.Busy, w.MaxBusy)
+	}
+	if s := w.Skew(); s < 1 {
+		t.Errorf("skew = %f, want >= 1", s)
+	}
+	if d <= 0 {
+		t.Errorf("duration = %v, want > 0", d)
+	}
+}
+
+// TestPhaseStacking checks an inner phase captures the workers while
+// armed and its End restores the outer phase's aggregation.
+func TestPhaseStacking(t *testing.T) {
+	outer := obs.StartPhase("test.outer-phase")
+	inner := obs.StartPhase("test.inner-phase")
+	par.ForEach(64, 4, func(int) {})
+	inner.End()
+	par.ForEach(64, 4, func(int) {})
+	outer.End()
+	iw, ow := inner.WorkerStats(), outer.WorkerStats()
+	if iw.Workers <= 0 {
+		t.Errorf("inner workers = %d, want > 0", iw.Workers)
+	}
+	if ow.Workers <= 0 {
+		t.Errorf("outer workers = %d, want > 0 (post-inner work)", ow.Workers)
+	}
+}
+
+// TestWorkerHooksDisarmed checks the hooks are inert with no phase armed.
+func TestWorkerHooksDisarmed(t *testing.T) {
+	if mark := obs.WorkerStart(); !mark.IsZero() {
+		t.Errorf("WorkerStart with no armed phase = %v, want zero", mark)
+	}
+	obs.WorkerEnd(time.Time{}, 1) // must not panic or record
+}
+
+// TestName checks the labelled-name assembly.
+func TestName(t *testing.T) {
+	if got := obs.Name("hcd_x_total"); got != "hcd_x_total" {
+		t.Errorf("Name no labels = %q", got)
+	}
+	got := obs.Name("hcd_x_total", "site", "phcd.step2", "mode", "panic")
+	want := `hcd_x_total{site="phcd.step2",mode="panic"}`
+	if got != want {
+		t.Errorf("Name = %q, want %q", got, want)
+	}
+}
+
+// TestWritePrometheus checks the text exposition contains the TYPE
+// headers, the values, and spliced histogram buckets.
+func TestWritePrometheus(t *testing.T) {
+	c := obs.NewCounter(obs.Name("test_promexpo_total", "site", "a"), "test")
+	c.Add(5)
+	h := obs.NewHistogram("test_promexpo_seconds", "test")
+	h.Observe(3 * time.Millisecond)
+	var buf bytes.Buffer
+	if err := obs.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE test_promexpo_total counter",
+		`test_promexpo_total{site="a"} 5`,
+		"# TYPE test_promexpo_seconds histogram",
+		`test_promexpo_seconds_bucket{le="+Inf"}`,
+		"test_promexpo_seconds_sum",
+		"test_promexpo_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHandlerEndpoints drives the debug handler over httptest: the
+// index, /metrics, /trace, /debug/vars and the pprof index must answer.
+func TestHandlerEndpoints(t *testing.T) {
+	srv := httptest.NewServer(obs.Handler())
+	defer srv.Close()
+	for path, want := range map[string]string{
+		"/":             "/metrics",
+		"/metrics":      "# TYPE",
+		"/trace":        "traceEvents",
+		"/debug/vars":   "hcd.obs",
+		"/debug/pprof/": "profile",
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if resp.StatusCode != 200 {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), want) {
+			t.Errorf("%s: body missing %q", path, want)
+		}
+	}
+}

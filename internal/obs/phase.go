@@ -1,0 +1,112 @@
+// Package obs is the repository's always-on observability layer: phase
+// spans recorded into an in-memory ring buffer (exportable as Chrome
+// trace-event JSON, loadable in chrome://tracing or Perfetto), an atomic
+// metrics registry (counters, gauges, duration histograms), per-phase
+// worker statistics fed by the par primitives, and exposition over
+// expvar, Prometheus text format, and net/http/pprof.
+//
+// Everything is stdlib-only and built for hot paths: recording a metric
+// is one atomic add, opening a span is two time.Now calls and one short
+// mutex hold at End, and the par worker hooks cost a single atomic
+// pointer load when no phase is armed. Building with the `noobs` tag
+// (see noop.go) replaces the whole package with empty stubs, mirroring
+// internal/faultinject's `nofaults` pattern, so a production binary can
+// compile observability out entirely.
+//
+// Span taxonomy (all on one trace track; nesting is by time containment):
+//
+//	build                       whole BuildCtx / BuildAndIndexCtx call
+//	  peel                      parallel core decomposition phase
+//	    coredecomp.parallel     the kernel itself
+//	      peel.round (k)        one level-synchronous peeling round
+//	  rank+layout               Algorithm 1 ranking + shellidx build
+//	    shellidx.build
+//	  phcd                      PHCD construction phase
+//	    phcd.parallel|serial    the kernel itself
+//	      phcd.level (k)        one level of Algorithm 2
+//	        phcd.step1..step4   the four barrier-separated steps
+//	  index                     PBKS preprocessing (search.newindex)
+//	  verify                    SelfVerify hierarchy validation
+//	  fallback                  serial rebuild after a contained failure
+//	search                      whole SearchReportCtx call
+//	  search.primary            Type A/B kernel incl. tree accumulation
+//	    search.typea|typeb
+//	      treeaccum
+//	  search.score              metric evaluation + argmax
+//
+// The per-phase worker statistics are global (one armed phase at a time,
+// innermost wins): concurrent pipelines in one process share the
+// aggregation and the trace track, which blurs attribution but never
+// corrupts it. The intended deployment — one build/search pipeline per
+// process section — attributes exactly.
+package obs
+
+import "time"
+
+// WorkerStats aggregates the execution of every par worker that ran
+// while one phase was armed: how many worker stints there were, how many
+// dynamic chunks they processed, their summed busy time, and the longest
+// single stint. A "worker" here is one worker-goroutine activation of a
+// par.For*/Run* call; a phase spanning several parallel calls counts
+// each call's workers separately.
+type WorkerStats struct {
+	// Workers is the number of worker stints recorded.
+	Workers int64
+	// Chunks is the total number of chunks the workers processed (one
+	// per worker for the static primitives; the grabbed chunk count for
+	// ForChunked).
+	Chunks int64
+	// Busy is the summed wall-clock busy time across all worker stints.
+	Busy time.Duration
+	// MaxBusy is the longest single worker stint.
+	MaxBusy time.Duration
+}
+
+// Skew is the load-imbalance statistic max/mean: the longest worker
+// stint divided by the mean stint. 1.0 is perfectly balanced; large
+// values mean one worker carried the phase. 0 when nothing was recorded.
+func (w WorkerStats) Skew() float64 {
+	if w.Workers == 0 || w.Busy <= 0 {
+		return 0
+	}
+	mean := float64(w.Busy) / float64(w.Workers)
+	return float64(w.MaxBusy) / mean
+}
+
+// PhaseStat is one pipeline phase's contribution to a BuildReport or
+// SearchReport: its wall-clock duration plus the worker statistics
+// gathered while the phase was armed. Durations marshal as nanoseconds.
+type PhaseStat struct {
+	// Name identifies the phase (see the span taxonomy in the package
+	// comment).
+	Name string `json:"name"`
+	// Duration is the phase's wall-clock time.
+	Duration time.Duration `json:"duration_ns"`
+	// Workers, Chunks, Busy and MaxBusy mirror WorkerStats; zero when
+	// the phase ran no parallel primitives (or under the noobs tag).
+	Workers int64         `json:"workers,omitempty"`
+	Chunks  int64         `json:"chunks,omitempty"`
+	Busy    time.Duration `json:"busy_ns,omitempty"`
+	MaxBusy time.Duration `json:"max_busy_ns,omitempty"`
+	// Skew is WorkerStats.Skew at phase end (max/mean worker busy time).
+	Skew float64 `json:"skew,omitempty"`
+}
+
+// WorkerStats reconstructs the embedded worker statistics.
+func (p PhaseStat) WorkerStats() WorkerStats {
+	return WorkerStats{Workers: p.Workers, Chunks: p.Chunks, Busy: p.Busy, MaxBusy: p.MaxBusy}
+}
+
+// NewPhaseStat assembles a PhaseStat from a measured duration and the
+// worker statistics of the phase.
+func NewPhaseStat(name string, d time.Duration, w WorkerStats) PhaseStat {
+	return PhaseStat{
+		Name:     name,
+		Duration: d,
+		Workers:  w.Workers,
+		Chunks:   w.Chunks,
+		Busy:     w.Busy,
+		MaxBusy:  w.MaxBusy,
+		Skew:     w.Skew(),
+	}
+}

@@ -14,6 +14,10 @@ package par
 // happens runs to completion — cancellation is cooperative, checked
 // between chunks, so bodies with very long chunks should poll ctx
 // themselves if they need finer-grained aborts.
+//
+// Every worker stint additionally reports its busy time and chunk count
+// to the observability layer (internal/obs) when a phase is armed there;
+// disarmed — the common case — the hook is one atomic load per worker.
 
 import (
 	"context"
@@ -21,6 +25,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"hcd/internal/obs"
 )
 
 // PanicError wraps a panic recovered inside a parallel worker. Value is
@@ -119,7 +125,10 @@ func ForErr(ctx context.Context, n, threads int, body func(lo, hi int) error) er
 		p = n
 	}
 	if p == 1 {
-		return call(body, 0, n)
+		mark := obs.WorkerStart()
+		err := call(body, 0, n)
+		obs.WorkerEnd(mark, 1)
+		return err
 	}
 	f := &failure{ctx: ctx}
 	var wg sync.WaitGroup
@@ -132,7 +141,13 @@ func ForErr(ctx context.Context, n, threads int, body func(lo, hi int) error) er
 			if f.stopped() {
 				return
 			}
-			if err := call(body, lo, hi); err != nil {
+			// One chunk per worker: the stint, recorded into the armed
+			// obs phase (one atomic load when none is), is the whole
+			// busy time the load-imbalance skew stat is built from.
+			mark := obs.WorkerStart()
+			err := call(body, lo, hi)
+			obs.WorkerEnd(mark, 1)
+			if err != nil {
 				f.set(err)
 			}
 		}(lo, hi)
@@ -170,7 +185,10 @@ func ForChunkedErr(ctx context.Context, n, threads, grain int, body func(lo, hi 
 	}
 	p := Threads(threads)
 	if p == 1 || n <= grain {
-		return call(body, 0, n)
+		mark := obs.WorkerStart()
+		err := call(body, 0, n)
+		obs.WorkerEnd(mark, 1)
+		return err
 	}
 	if chunks := (n + grain - 1) / grain; p > chunks {
 		p = chunks
@@ -182,6 +200,9 @@ func ForChunkedErr(ctx context.Context, n, threads, grain int, body func(lo, hi 
 	for t := 0; t < p; t++ {
 		go func() {
 			defer wg.Done()
+			mark := obs.WorkerStart()
+			var grabbed int64
+			defer func() { obs.WorkerEnd(mark, grabbed) }()
 			for {
 				if f.stopped() {
 					return
@@ -194,6 +215,7 @@ func ForChunkedErr(ctx context.Context, n, threads, grain int, body func(lo, hi 
 				if hi > n {
 					hi = n
 				}
+				grabbed++
 				if err := call(body, lo, hi); err != nil {
 					f.set(err)
 					return
@@ -220,7 +242,10 @@ func RunErr(ctx context.Context, fns ...func() error) error {
 			if f.stopped() {
 				return
 			}
-			if err := call(func(_, _ int) error { return fn() }, 0, 0); err != nil {
+			mark := obs.WorkerStart()
+			err := call(func(_, _ int) error { return fn() }, 0, 0)
+			obs.WorkerEnd(mark, 1)
+			if err != nil {
 				f.set(err)
 			}
 		}(fn)

@@ -23,10 +23,12 @@ package search
 import (
 	"context"
 	"math"
+	"time"
 
 	"hcd/internal/graph"
 	"hcd/internal/hierarchy"
 	"hcd/internal/metrics"
+	"hcd/internal/obs"
 	"hcd/internal/par"
 	"hcd/internal/shellidx"
 )
@@ -61,6 +63,7 @@ func NewIndex(g *graph.Graph, core []int32, h *hierarchy.HCD, threads int) *Inde
 // PrimaryB's triplet binning walks the layout's shallower segment instead
 // of re-bucketing neighbors by coreness.
 func NewIndexWithLayout(g *graph.Graph, core []int32, h *hierarchy.HCD, lay *shellidx.Layout, threads int) *Index {
+	defer obs.StartSpan("search.newindex").End()
 	n := g.NumVertices()
 	ix := &Index{
 		g:    g,
@@ -142,15 +145,46 @@ func (ix *Index) Search(m metrics.Metric, threads int) Result {
 // cancellation: a panic inside either primary-value kernel or the tree
 // accumulation surfaces as a *par.PanicError instead of crashing the
 // process, and a cancelled ctx (nil means background) aborts the kernels
-// at their internal chunk boundaries.
+// at their internal chunk boundaries. Thin wrapper over SearchReportCtx,
+// discarding the report.
 func (ix *Index) SearchCtx(ctx context.Context, m metrics.Metric, threads int) (Result, error) {
+	r, _, err := ix.SearchReportCtx(ctx, m, threads)
+	return r, err
+}
+
+// Report describes how one SearchReportCtx call ran: the resolved thread
+// count, the wall-clock total, and the per-phase breakdown (primary-value
+// kernel including tree accumulation, then metric scoring) with each
+// phase's worker-balance statistics.
+type Report struct {
+	// Threads is the resolved worker count the kernels used.
+	Threads int `json:"threads"`
+	// Elapsed is the wall-clock duration of the whole search.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Phases is the per-phase breakdown; durations sum to ≈ Elapsed.
+	Phases []obs.PhaseStat `json:"phases"`
+}
+
+// SearchReportCtx is SearchCtx with a per-phase report: the returned
+// Report is non-nil whenever err is nil, and its phase durations are
+// measured around the primary-value kernel (Algorithm 4 or 5, including
+// the bottom-up tree accumulation) and the metric-evaluation pass.
+func (ix *Index) SearchReportCtx(ctx context.Context, m metrics.Metric, threads int) (Result, *Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	rep := &Report{Threads: par.Threads(threads)}
+	start := time.Now()
+	defer obs.StartSpan("search").End()
 	nn := ix.h.NumNodes()
 	if nn == 0 {
-		return Result{Node: hierarchy.Nil}, ctx.Err()
+		rep.Elapsed = time.Since(start)
+		return Result{Node: hierarchy.Nil}, rep, ctx.Err()
 	}
+	// Phase durations use a local clock so they stay populated under the
+	// noobs build tag; only the worker statistics come from obs.
+	sp := obs.StartPhase("search.primary")
+	ps := time.Now()
 	var vals []metrics.PrimaryValues
 	var err error
 	if m.Kind() == metrics.TypeA {
@@ -158,10 +192,20 @@ func (ix *Index) SearchCtx(ctx context.Context, m metrics.Metric, threads int) (
 	} else {
 		vals, err = ix.PrimaryBCtx(ctx, threads)
 	}
+	pd := time.Since(ps)
+	sp.End()
+	rep.Phases = append(rep.Phases, obs.NewPhaseStat("search.primary", pd, sp.WorkerStats()))
 	if err != nil {
-		return Result{Node: hierarchy.Nil}, err
+		return Result{Node: hierarchy.Nil}, nil, err
 	}
-	return ix.pick(m, vals, threads), nil
+	sp = obs.StartPhase("search.score")
+	ps = time.Now()
+	r := ix.pick(m, vals, threads)
+	pd = time.Since(ps)
+	sp.End()
+	rep.Phases = append(rep.Phases, obs.NewPhaseStat("search.score", pd, sp.WorkerStats()))
+	rep.Elapsed = time.Since(start)
+	return r, rep, nil
 }
 
 // pick evaluates the metric on every node's primary values and returns the

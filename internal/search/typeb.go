@@ -5,6 +5,7 @@ import (
 
 	"hcd/internal/faultinject"
 	"hcd/internal/metrics"
+	"hcd/internal/obs"
 	"hcd/internal/par"
 	"hcd/internal/treeaccum"
 )
@@ -54,6 +55,7 @@ func (ix *Index) PrimaryBCtx(ctx context.Context, threads int) ([]metrics.Primar
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	defer obs.StartSpan("search.typeb").End()
 	g, h := ix.g, ix.h
 	n := g.NumVertices()
 	nn := h.NumNodes()

@@ -26,6 +26,7 @@ package shellidx
 import (
 	"hcd/internal/coredecomp"
 	"hcd/internal/graph"
+	"hcd/internal/obs"
 	"hcd/internal/par"
 )
 
@@ -97,6 +98,7 @@ func (l *Layout) EqCounts() []int32 { return l.eq }
 // ranking (coredecomp.RankVertices(core, ...)); the ranking is reused for
 // the degeneracy bound and for the serial fast path. O(n + m) work.
 func Build(g *graph.Graph, core []int32, r *coredecomp.Ranking, threads int) *Layout {
+	defer obs.StartSpan("shellidx.build").End()
 	n := g.NumVertices()
 	l := &Layout{
 		offsets: g.Offsets(),

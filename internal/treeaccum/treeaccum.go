@@ -17,6 +17,7 @@ import (
 
 	"hcd/internal/faultinject"
 	"hcd/internal/hierarchy"
+	"hcd/internal/obs"
 	"hcd/internal/par"
 )
 
@@ -39,6 +40,7 @@ func AccumulateCtx(ctx context.Context, h *hierarchy.HCD, vals []int64, width, t
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	defer obs.StartSpan("treeaccum").End()
 	nn := h.NumNodes()
 	if nn == 0 || width == 0 {
 		return ctx.Err()
