@@ -57,6 +57,7 @@ type BuildReport struct {
 // opened around it (arming the par worker hooks) and the measured
 // PhaseStat is appended to the report. Returns f's error.
 func (rep *BuildReport) runPhase(name string, f func() error) error {
+	//hcdlint:allow site-hygiene phase names flow in from the fixed caller set below (peel, phcd, rank+layout, index, fallback, verify), each a literal at its call site
 	sp := obs.StartPhase(name)
 	start := time.Now()
 	err := f()
@@ -112,7 +113,7 @@ func BuildCtx(ctx context.Context, g *Graph, opt Options) (*HCD, []int32, *Build
 		}
 		rep.Fallback = true
 		rep.Cause = err
-		rep.runPhase("fallback", func() error {
+		_ = rep.runPhase("fallback", func() error {
 			core = coredecomp.Serial(g)
 			h = lcps.Build(g, core)
 			return nil
@@ -128,7 +129,7 @@ func BuildCtx(ctx context.Context, g *Graph, opt Options) (*HCD, []int32, *Build
 			}
 			rep.Fallback = true
 			rep.Cause = verr
-			rep.runPhase("fallback", func() error {
+			_ = rep.runPhase("fallback", func() error {
 				core = coredecomp.Serial(g)
 				h = lcps.Build(g, core)
 				return nil
@@ -182,7 +183,7 @@ func BuildAndIndexCtx(ctx context.Context, g *Graph, opt Options) (*HCD, []int32
 		ctx, cancel = context.WithTimeout(ctx, opt.Deadline)
 		defer cancel()
 	}
-	defer obs.StartSpan("build").End()
+	defer obs.StartSpan("build.index").End()
 	start := time.Now()
 	rep := &BuildReport{Threads: par.Threads(opt.Threads)}
 
@@ -193,7 +194,7 @@ func BuildAndIndexCtx(ctx context.Context, g *Graph, opt Options) (*HCD, []int32
 		}
 		rep.Fallback = true
 		rep.Cause = err
-		rep.runPhase("fallback", func() error {
+		_ = rep.runPhase("fallback", func() error {
 			core = coredecomp.Serial(g)
 			h = lcps.Build(g, core)
 			s = &Searcher{ix: search.NewIndex(g, core, h, 1), h: h}
@@ -208,7 +209,7 @@ func BuildAndIndexCtx(ctx context.Context, g *Graph, opt Options) (*HCD, []int32
 			}
 			rep.Fallback = true
 			rep.Cause = verr
-			rep.runPhase("fallback", func() error {
+			_ = rep.runPhase("fallback", func() error {
 				core = coredecomp.Serial(g)
 				h = lcps.Build(g, core)
 				s = &Searcher{ix: search.NewIndex(g, core, h, 1), h: h}
@@ -238,11 +239,15 @@ func buildAndIndexParallel(ctx context.Context, g *Graph, opt Options, rep *Buil
 		return nil, nil, nil, err
 	}
 	var lay *shellidx.Layout
-	rep.runPhase("rank+layout", func() error {
+	err = rep.runPhase("rank+layout", func() error {
 		r := coredecomp.RankVertices(core, opt.Threads)
-		lay = shellidx.Build(g, core, r, opt.Threads)
-		return nil
+		var err error
+		lay, err = shellidx.BuildCtx(ctx, g, core, r, opt.Threads)
+		return err
 	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	var h *HCD
 	err = rep.runPhase("phcd", func() error {
 		var err error
@@ -253,10 +258,17 @@ func buildAndIndexParallel(ctx context.Context, g *Graph, opt Options, rep *Buil
 		return nil, nil, nil, err
 	}
 	var s *Searcher
-	rep.runPhase("index", func() error {
-		s = &Searcher{ix: search.NewIndexWithLayout(g, core, h, lay, opt.Threads), h: h}
+	err = rep.runPhase("index", func() error {
+		ix, err := search.NewIndexCtx(ctx, g, core, h, lay, opt.Threads)
+		if err != nil {
+			return err
+		}
+		s = &Searcher{ix: ix, h: h}
 		return nil
 	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	return h, core, s, nil
 }
 

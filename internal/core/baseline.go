@@ -61,6 +61,7 @@ func PHCDBaseline(g *graph.Graph, core []int32, threads int) *hierarchy.HCD {
 		}
 
 		// Step 1: full-scan filter for deeper-core pivots.
+		//hcdlint:allow panic-safety PHCDBaseline is the frozen seed implementation regression tests diff the rewrite against; it must stay byte-for-byte the seed's algorithm, pre-dating the Err variants
 		par.For(p, p, func(tlo, thi int) {
 			for t := tlo; t < thi; t++ {
 				local := kpcLocal[t][:0]
@@ -80,6 +81,7 @@ func PHCDBaseline(g *graph.Graph, core []int32, threads int) *hierarchy.HCD {
 		})
 
 		// Step 2: full-scan filter for the >= k unions.
+		//hcdlint:allow panic-safety PHCDBaseline is the frozen seed implementation regression tests diff the rewrite against; it must stay byte-for-byte the seed's algorithm, pre-dating the Err variants
 		par.For(p, p, func(tlo, thi int) {
 			for t := tlo; t < thi; t++ {
 				for i := t * ns / p; i < (t+1)*ns/p; i++ {
@@ -94,6 +96,7 @@ func PHCDBaseline(g *graph.Graph, core []int32, threads int) *hierarchy.HCD {
 		})
 
 		// Step 3: atomic size count + atomic cursor scatter.
+		//hcdlint:allow panic-safety PHCDBaseline is the frozen seed implementation regression tests diff the rewrite against; it must stay byte-for-byte the seed's algorithm, pre-dating the Err variants
 		par.For(p, p, func(tlo, thi int) {
 			for t := tlo; t < thi; t++ {
 				local := pivLocal[t][:0]
@@ -114,6 +117,7 @@ func PHCDBaseline(g *graph.Graph, core []int32, threads int) *hierarchy.HCD {
 		}
 		numNew := len(h.K) - firstNode
 		sizes := make([]atomic.Int64, numNew)
+		//hcdlint:allow panic-safety PHCDBaseline is the frozen seed implementation regression tests diff the rewrite against; it must stay byte-for-byte the seed's algorithm, pre-dating the Err variants
 		par.ForEach(ns, p, func(i int) {
 			v := shell[i]
 			pvt := uf.Find(v)
@@ -127,6 +131,7 @@ func PHCDBaseline(g *graph.Graph, core []int32, threads int) *hierarchy.HCD {
 			h.Vertices[firstNode+j] = make([]int32, sizes[j].Load())
 		}
 		cursors := make([]atomic.Int64, numNew)
+		//hcdlint:allow panic-safety PHCDBaseline is the frozen seed implementation regression tests diff the rewrite against; it must stay byte-for-byte the seed's algorithm, pre-dating the Err variants
 		par.ForEach(ns, p, func(i int) {
 			v := shell[i]
 			j := int(h.TID[v]) - firstNode
@@ -134,6 +139,7 @@ func PHCDBaseline(g *graph.Graph, core []int32, threads int) *hierarchy.HCD {
 		})
 
 		// Step 4: link deeper pivots under the new nodes.
+		//hcdlint:allow panic-safety PHCDBaseline is the frozen seed implementation regression tests diff the rewrite against; it must stay byte-for-byte the seed's algorithm, pre-dating the Err variants
 		par.For(p, p, func(tlo, thi int) {
 			for t := tlo; t < thi; t++ {
 				links := linkLocal[t][:0]

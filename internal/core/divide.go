@@ -43,6 +43,7 @@ func DivideConquer(g *graph.Graph, core []int32, threads int) *hierarchy.HCD {
 	// Steps 2-3: per-partition partial nodes. seedsByLevel[k] collects one
 	// seed vertex per partial node at level k (its partition-local pivot).
 	seedLocal := make([][][]int32, p) // [thread][level][]seed
+	//hcdlint:allow panic-safety DivideConquer is the Table III divide-and-conquer ablation baseline, timed against PHCD as-is; containment plumbing would distort the comparison
 	par.For(p, p, func(tlo, thi int) {
 		for t := tlo; t < thi; t++ {
 			lo, hi := t*n/p, (t+1)*n/p

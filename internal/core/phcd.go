@@ -273,7 +273,7 @@ func PHCDCtx(ctx context.Context, g *graph.Graph, core []int32, lay *shellidx.La
 		// (no atomic sizes/cursors): GroupBy keeps each group in ascending
 		// shell position = ascending id, so every node's vertex list is
 		// filled exactly as the serial path appends it.
-		par.ForEach(ns, p, func(i int) {
+		err = par.ForEachErr(ctx, ns, p, func(i int) error {
 			v := shell[i]
 			pvt := uf.Find(v)
 			id := h.TID[pvt]
@@ -281,10 +281,17 @@ func PHCDCtx(ctx context.Context, g *graph.Graph, core []int32, lay *shellidx.La
 				h.TID[v] = id
 			}
 			nodeIdx[i] = int32(int(id) - firstNode)
+			return nil
 		})
+		if err != nil {
+			return nil, err
+		}
 		starts, order := par.GroupBy(ns, numNew, p, func(i int) int32 { return nodeIdx[i] })
 		slab := make([]int32, ns)
-		par.ForEach(ns, p, func(i int) { slab[i] = shell[order[i]] })
+		err = par.ForEachErr(ctx, ns, p, func(i int) error { slab[i] = shell[order[i]]; return nil })
+		if err != nil {
+			return nil, err
+		}
 		for j := 0; j < numNew; j++ {
 			// Full slice expressions keep later appends to one node's list
 			// from clobbering its slab neighbor.
@@ -379,6 +386,7 @@ func LB(g *graph.Graph, core []int32, threads int) int {
 		return count
 	}
 	uf := unionfind.NewConcurrent(n, rank.Rank)
+	//hcdlint:allow panic-safety LB is Table III's lower-bound baseline; wrapping it in the Err machinery would add the very bookkeeping the bound exists to exclude
 	par.ForEach(n, p, func(i int) {
 		v := int32(i)
 		for _, u := range g.Neighbors(v) {

@@ -131,7 +131,7 @@ func ParallelCtx(ctx context.Context, g *graph.Graph, threads int) ([]int32, err
 	// shrinking list of vertices still above the current level, so the
 	// total scan work is O(n + Σ_v c(v)) rather than O(n · kmax).
 	actives := make([][]int32, p)
-	par.For(p, p, func(tlo, thi int) {
+	err := par.ForErr(ctx, p, p, func(tlo, thi int) error {
 		for t := tlo; t < thi; t++ {
 			lo, hi := t*n/p, (t+1)*n/p
 			buf := make([]int32, 0, hi-lo)
@@ -140,7 +140,11 @@ func ParallelCtx(ctx context.Context, g *graph.Graph, threads int) ([]int32, err
 			}
 			actives[t] = buf
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	for level := int32(0); visited.Load() < int64(n); level++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -271,6 +275,7 @@ func RankVertices(core []int32, threads int) *Ranking {
 	}
 	r.ShellStart, r.Order = par.GroupBy(n, int(kmax)+1, threads,
 		func(i int) int32 { return core[i] })
+	//hcdlint:allow panic-safety pure index scatter inverting a permutation just built above; no ctx in the infallible Ranking API and nothing here can panic short of memory corruption
 	par.ForEach(n, threads, func(i int) {
 		r.Rank[r.Order[i]] = int32(i)
 	})

@@ -155,6 +155,7 @@ func fromCheckedEdges(n int, edges []Edge) *Graph {
 	}
 	// Sort each list and deduplicate in place.
 	newDeg := make([]int64, n)
+	//hcdlint:allow panic-safety pure in-place sort/dedup of disjoint adjacency slices inside the infallible constructor; no ctx to thread and no panic source beyond the slices just allocated above
 	par.ForEach(n, 0, func(v int) {
 		lo, hi := offsets[v], offsets[v+1]
 		list := adj[lo:hi]

@@ -161,7 +161,7 @@ func (g *Graph) WriteBinaryFile(path string) error {
 		return err
 	}
 	if err := g.WriteBinary(f); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth reporting
 		return err
 	}
 	return f.Close()

@@ -1,0 +1,191 @@
+// determinism: the paper's equivalence theorems promise that the
+// parallel kernels produce byte-identical results to the serial
+// baselines. Inside kernel packages this check forbids the three ways
+// that promise quietly rots: wall-clock reads (time.Now), the globally
+// seeded math/rand source, and ranging over a map while writing into an
+// ordered output slice (map iteration order is randomised per run).
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// kernelPackages are the directory base names of the packages whose
+// outputs the determinism guarantee covers. Matching by base name keeps
+// the rule honest for testdata fixtures too: any loaded package whose
+// directory is named e.g. "core" is held to kernel standards.
+var kernelPackages = map[string]bool{
+	"core":       true,
+	"coredecomp": true,
+	"search":     true,
+	"treeaccum":  true,
+	"shellidx":   true,
+	"unionfind":  true,
+	"hierarchy":  true,
+}
+
+// IsKernelPackage reports whether an import path is held to the
+// determinism rules.
+func IsKernelPackage(path string) bool { return kernelPackages[pkgBase(path)] }
+
+// globalRandExempt lists math/rand functions that do not touch the
+// shared global source (constructing an explicitly seeded generator is
+// the deterministic idiom the check steers toward).
+var globalRandExempt = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func determinismCheck() *Check {
+	return &Check{
+		Name: "determinism",
+		Doc:  "kernel packages must avoid time.Now, global math/rand, and map-iteration writes into ordered slices",
+		Run: func(ctx *Context) ([]Diagnostic, error) {
+			var diags []Diagnostic
+			walkFiles(ctx, func(pkg *Package, f *ast.File) {
+				if !IsKernelPackage(pkg.Path) {
+					return
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.CallExpr:
+						if fn := calleeFunc(pkg, n); fn != nil && fn.Pkg() != nil {
+							switch fn.Pkg().Path() {
+							case "time":
+								if fn.Name() == "Now" {
+									diags = append(diags, ctx.diag("determinism", n.Pos(),
+										"time.Now in kernel package %s: kernel results must not depend on (or carry) wall-clock reads; measure in the caller or via obs spans", pkg.Path))
+								}
+							case "math/rand", "math/rand/v2":
+								// Methods (on *rand.Rand etc.) draw from their
+								// own explicitly seeded source; only the
+								// package-level functions touch the global one.
+								sig, _ := fn.Type().(*types.Signature)
+								if sig != nil && sig.Recv() != nil {
+									break
+								}
+								if !globalRandExempt[fn.Name()] {
+									diags = append(diags, ctx.diag("determinism", n.Pos(),
+										"%s.%s uses the shared global random source; construct an explicitly seeded *rand.Rand instead", fn.Pkg().Name(), fn.Name()))
+								}
+							}
+						}
+					case *ast.RangeStmt:
+						diags = append(diags, mapRangeWrites(ctx, pkg, n)...)
+					}
+					return true
+				})
+			})
+			return diags, nil
+		},
+	}
+}
+
+// calleeFunc resolves a call's callee to its types.Func when the callee
+// is a (possibly package-qualified) selector or plain identifier.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, _ := pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// mapRangeWrites flags statements inside a range-over-map body that
+// write into a slice declared outside the body: the write order then
+// follows the randomised map iteration order.
+func mapRangeWrites(ctx *Context, pkg *Package, rs *ast.RangeStmt) []Diagnostic {
+	tv, ok := pkg.Info.Types[rs.X]
+	if !ok {
+		return nil
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return nil
+	}
+	var diags []Diagnostic
+	body := rs.Body
+	declaredOutside := func(e ast.Expr) (string, bool) {
+		id := rootIdent(e)
+		if id == nil {
+			return "", false
+		}
+		obj := pkg.Info.ObjectOf(id)
+		if obj == nil || obj.Pos() == 0 {
+			return "", false
+		}
+		if obj.Pos() < body.Pos() || obj.Pos() > body.End() {
+			return id.Name, true
+		}
+		return "", false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// s = append(s, ...) — appending inside a map range emits in
+			// iteration order.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin && len(n.Args) > 0 {
+					if name, out := declaredOutside(n.Args[0]); out {
+						diags = append(diags, ctx.diag("determinism", n.Pos(),
+							"append to %q inside range over map: map iteration order is non-deterministic, so the slice's element order varies per run; sort the keys first or restructure", name))
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				xt, ok := pkg.Info.Types[ix.X]
+				if !ok {
+					continue
+				}
+				if _, isSlice := xt.Type.Underlying().(*types.Slice); !isSlice {
+					continue
+				}
+				if name, out := declaredOutside(ix.X); out {
+					// Writing s[i] = v is order-independent only when i is
+					// itself derived deterministically; a write under map
+					// iteration usually pairs with a moving cursor, so flag
+					// it and let provably-safe sites carry an allow.
+					diags = append(diags, ctx.diag("determinism", n.Pos(),
+						"indexed write into slice %q inside range over map: element placement follows the non-deterministic iteration order unless the index is iteration-order-independent", name))
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// rootIdent unwraps selectors, indexes and parens down to the base
+// identifier of an expression (nil when the base is not an identifier).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// errcheck-lite: a call whose error result is silently dropped in
+// library code is a containment leak — exactly the failure mode the
+// BuildCtx/SearchCtx plumbing exists to prevent. The check flags
+// expression-statement calls whose final result is the built-in error
+// type inside non-test library packages (cmd/ and examples/ are
+// operator- and documentation-facing and exempt). Deferred and go'd
+// calls are not flagged (idiomatic defer f.Close() would drown the
+// signal); explicit discards (`_ = f()`) are visible to reviewers and
+// count as checked.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errcheckExempt maps "pkgpath.Func" callees whose error results are
+// conventionally ignored.
+var errcheckExempt = map[string]bool{
+	"fmt.Print":   true,
+	"fmt.Printf":  true,
+	"fmt.Println": true,
+}
+
+// errcheckExemptRecv lists receiver/writer types whose Write-family
+// errors are documented to always be nil (in-memory buffers) or sticky
+// until Flush (bufio, tabwriter) — for the sticky writers the unchecked
+// call that matters is Flush, which this check still flags.
+var errcheckExemptRecv = map[string]bool{
+	"*bytes.Buffer":          true,
+	"*strings.Builder":       true,
+	"*bufio.Writer":          true,
+	"*text/tabwriter.Writer": true,
+}
+
+// stickyFlush names the methods that surface a sticky writer's deferred
+// error; they are never exempt.
+var stickyFlush = map[string]bool{"Flush": true}
+
+func errcheckCheck() *Check {
+	return &Check{
+		Name: "errcheck",
+		Doc:  "unchecked error returns in non-test library code",
+		Run: func(ctx *Context) ([]Diagnostic, error) {
+			errType := types.Universe.Lookup("error").Type()
+			var diags []Diagnostic
+			walkFiles(ctx, func(pkg *Package, f *ast.File) {
+				// cmd/, examples/ and the benchmark report printers in
+				// internal/bench are operator-facing terminal output, the
+				// conventional scope errcheck tools leave alone.
+				if hasPathSegment(pkg.Path, "cmd") || hasPathSegment(pkg.Path, "examples") ||
+					hasPathSegment(pkg.Path, "bench") {
+					return
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					stmt, ok := n.(*ast.ExprStmt)
+					if !ok {
+						return true
+					}
+					call, ok := stmt.X.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if !returnsError(pkg, call, errType) || exempt(pkg, call) {
+						return true
+					}
+					diags = append(diags, ctx.diag("errcheck", call.Pos(),
+						"%s's error result is dropped; handle it or discard explicitly with `_ =`", calleeName(pkg, call)))
+					return true
+				})
+			})
+			return diags, nil
+		},
+	}
+}
+
+// returnsError reports whether the call's final result is exactly the
+// built-in error type.
+func returnsError(pkg *Package, call *ast.CallExpr, errType types.Type) bool {
+	tv, ok := pkg.Info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && types.Identical(t.At(t.Len()-1).Type(), errType)
+	default:
+		return types.Identical(t, errType)
+	}
+}
+
+// exempt applies the conventional-ignore lists.
+func exempt(pkg *Package, call *ast.CallExpr) bool {
+	fn := calleeFunc(pkg, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && errcheckExempt[fn.Pkg().Path()+"."+fn.Name()] {
+		return true
+	}
+	// Fprint-family writing to stderr/stdout, an in-memory buffer, or a
+	// sticky-error writer whose Flush carries the failure.
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && len(call.Args) > 0 {
+		switch fn.Name() {
+		case "Fprint", "Fprintf", "Fprintln":
+			if writerExempt(pkg, call.Args[0]) {
+				return true
+			}
+		}
+	}
+	// Methods on in-memory / sticky-error writers — except the Flush
+	// that reports the deferred error.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if errcheckExemptRecv[sig.Recv().Type().String()] && !stickyFlush[fn.Name()] {
+			return true
+		}
+	}
+	return false
+}
+
+// writerExempt reports whether a writer argument is os.Stdout/os.Stderr
+// or an in-memory buffer type.
+func writerExempt(pkg *Package, w ast.Expr) bool {
+	if sel, ok := ast.Unparen(w).(*ast.SelectorExpr); ok {
+		if obj, ok := pkg.Info.Uses[sel.Sel].(*types.Var); ok && obj.Pkg() != nil &&
+			obj.Pkg().Path() == "os" && (obj.Name() == "Stdout" || obj.Name() == "Stderr") {
+			return true
+		}
+	}
+	if tv, ok := pkg.Info.Types[w]; ok && errcheckExemptRecv[tv.Type.String()] {
+		return true
+	}
+	return false
+}
+
+// calleeName renders the callee for messages.
+func calleeName(pkg *Package, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	case *ast.Ident:
+		return fun.Name
+	default:
+		return "call"
+	}
+}

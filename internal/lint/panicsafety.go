@@ -1,0 +1,50 @@
+// panic-safety: par.For / ForEach / ForChunked / Run are thin wrappers
+// that re-raise contained worker panics on the calling goroutine — fine
+// at a leaf that cannot fail, fatal anywhere a *par.PanicError should
+// have been an error return. New code must use the ctx-aware *Err
+// variants; surviving legacy call sites carry an //hcdlint:allow with
+// the safety argument.
+package lint
+
+import "go/ast"
+
+// repanickingPar lists the wrapper entry points the check steers away
+// from, mapped to their containment-preserving replacements.
+var repanickingPar = map[string]string{
+	"For":        "ForErr",
+	"ForEach":    "ForEachErr",
+	"ForChunked": "ForChunkedErr",
+	"Run":        "RunErr",
+}
+
+func panicSafetyCheck() *Check {
+	return &Check{
+		Name: "panic-safety",
+		Doc:  "library code must use the ctx-aware par.*Err variants, not the re-panicking wrappers",
+		Run: func(ctx *Context) ([]Diagnostic, error) {
+			parPath := ctx.Loader.Module + "/internal/par"
+			var diags []Diagnostic
+			walkFiles(ctx, func(pkg *Package, f *ast.File) {
+				if pkg.Path == parPath {
+					return // the wrappers' own definitions live here
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := calleeFunc(pkg, call)
+					if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != parPath {
+						return true
+					}
+					if repl, bad := repanickingPar[fn.Name()]; bad {
+						diags = append(diags, ctx.diag("panic-safety", call.Pos(),
+							"par.%s re-raises worker panics on the caller; use par.%s (ctx-aware, returns *par.PanicError) so failures stay contained", fn.Name(), repl))
+					}
+					return true
+				})
+			})
+			return diags, nil
+		},
+	}
+}

@@ -1,0 +1,89 @@
+// tag-parity: the noop stub builds selected by the `noobs` and
+// `nofaults` tags must expose exactly the exported API of the live
+// builds. A symbol added to the live side without its noop mirror (or
+// vice versa) breaks one of the two build flavours CI ships — this check
+// makes the drift a finding at the offending declaration instead of a
+// build break discovered later.
+package lint
+
+import "go/token"
+
+// ParityPair is one (package, tag) pairing whose two build variants must
+// agree on their exported surface.
+type ParityPair struct {
+	// Path is the package's module-internal import path.
+	Path string
+	// Tag is the build tag selecting the noop variant.
+	Tag string
+}
+
+// DefaultParityPairs returns the repository's mirrored packages.
+func DefaultParityPairs(module string) []ParityPair {
+	return []ParityPair{
+		{Path: module + "/internal/obs", Tag: "noobs"},
+		{Path: module + "/internal/faultinject", Tag: "nofaults"},
+	}
+}
+
+func tagParityCheck() *Check {
+	return &Check{
+		Name: "tag-parity",
+		Doc:  "noobs/nofaults noop mirrors must expose the live build's exported API surface",
+		Run: func(ctx *Context) ([]Diagnostic, error) {
+			var diags []Diagnostic
+			inScope := map[string]bool{}
+			for _, pkg := range ctx.Pkgs {
+				inScope[pkg.Path] = true
+			}
+			for _, pair := range DefaultParityPairs(ctx.Loader.Module) {
+				if !inScope[pair.Path] {
+					continue
+				}
+				ds, err := checkParityPair(ctx, pair)
+				if err != nil {
+					return nil, err
+				}
+				diags = append(diags, ds...)
+			}
+			return diags, nil
+		},
+	}
+}
+
+// checkParityPair loads the two variants of one package in fresh
+// loaders (each tag set is its own type universe) and diffs them.
+func checkParityPair(ctx *Context, pair ParityPair) ([]Diagnostic, error) {
+	live := ctx.Loader.Variant(nil)
+	noop := ctx.Loader.Variant([]string{pair.Tag})
+	livePkg, err := live.Load(pair.Path)
+	if err != nil {
+		return nil, err
+	}
+	noopPkg, err := noop.Load(pair.Path)
+	if err != nil {
+		return nil, err
+	}
+	diffs := DiffSurfaces(Surface(livePkg.Types), Surface(noopPkg.Types))
+	diags := make([]Diagnostic, 0, len(diffs))
+	for _, d := range diffs {
+		// Point at the declaration in whichever build has the symbol,
+		// preferring the noop side — that is the mirror being maintained
+		// by hand.
+		pos := symbolPos(noopPkg.Types, d.Symbol)
+		fset := noop.Fset
+		if pos == token.NoPos {
+			pos = symbolPos(livePkg.Types, d.Symbol)
+			fset = live.Fset
+		}
+		p := fset.Position(pos)
+		diags = append(diags, Diagnostic{
+			Check: "tag-parity",
+			File:  p.Filename,
+			Line:  p.Line,
+			Col:   p.Column,
+			Message: pair.Path + ": " +
+				describeDiff(d, "default", pair.Tag),
+		})
+	}
+	return diags, nil
+}

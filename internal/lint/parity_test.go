@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestNoopMirrorsStayInParity is the drift regression test: the noobs
+// and nofaults noop builds must expose exactly the exported API of the
+// live builds. Renaming, adding or removing one exported symbol on
+// either side fails this test (and `go run ./cmd/hcdlint ./...`).
+func TestNoopMirrorsStayInParity(t *testing.T) {
+	base := newTestLoader(t)
+	for _, pair := range DefaultParityPairs(base.Module) {
+		t.Run(pair.Tag, func(t *testing.T) {
+			live, err := base.Variant(nil).Load(pair.Path)
+			if err != nil {
+				t.Fatalf("loading live %s: %v", pair.Path, err)
+			}
+			noop, err := base.Variant([]string{pair.Tag}).Load(pair.Path)
+			if err != nil {
+				t.Fatalf("loading %s %s: %v", pair.Tag, pair.Path, err)
+			}
+			for _, d := range DiffSurfaces(Surface(live.Types), Surface(noop.Types)) {
+				t.Errorf("%s: %s", pair.Path, describeDiff(d, "default", pair.Tag))
+			}
+		})
+	}
+}
+
+// TestSurfaceDiffDetectsDrift proves the differ is not vacuously green:
+// a renamed symbol, a changed signature and a changed field type must
+// each surface as exactly the expected disagreement.
+func TestSurfaceDiffDetectsDrift(t *testing.T) {
+	a := map[string]string{
+		"Enable":     "func(string)",
+		"Maybe":      "func(string)",
+		"Fault.Site": "field string",
+	}
+	b := map[string]string{
+		"Enable":     "func(string)",
+		"MaybeFault": "func(string)", // renamed
+		"Fault.Site": "field []byte", // retyped
+	}
+	diffs := DiffSurfaces(a, b)
+	want := map[string]bool{"Maybe": true, "MaybeFault": true, "Fault.Site": true}
+	if len(diffs) != len(want) {
+		t.Fatalf("want %d diffs, got %+v", len(want), diffs)
+	}
+	for _, d := range diffs {
+		if !want[d.Symbol] {
+			t.Errorf("unexpected diff symbol %q", d.Symbol)
+		}
+	}
+	if DiffSurfaces(a, a) != nil {
+		t.Error("identical surfaces must produce no diffs")
+	}
+}
+
+// TestSurfaceIgnoresParameterNames pins the rule that renaming a
+// parameter is not API drift: the live and noop builds routinely differ
+// in parameter names ("name string" vs "string").
+func TestSurfaceIgnoresParameterNames(t *testing.T) {
+	loader := newTestLoader(t)
+	pkg, err := loader.Load(loader.Module + "/internal/faultinject")
+	if err != nil {
+		t.Fatal(err)
+	}
+	surf := Surface(pkg.Types)
+	sig, ok := surf["Maybe"]
+	if !ok {
+		t.Fatalf("Maybe missing from faultinject surface: %v", surf)
+	}
+	if sig != "func(string)" {
+		t.Errorf("Maybe rendered as %q; parameter names must not appear", sig)
+	}
+}

@@ -1,0 +1,226 @@
+// API-surface extraction for the tag-parity check: a package's exported
+// surface is flattened into a map of stable strings so two build-tag
+// variants of the same package can be diffed symbol by symbol.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Surface flattens a package's exported API into name -> description
+// strings. Entries exist for every exported package-level function,
+// variable, constant and type; types additionally contribute one entry
+// per exported method ("Type.Method") and per exported struct field
+// ("Type.Field"). Descriptions qualify referenced packages by name only,
+// so surfaces from independently loaded type universes compare equal
+// when (and only when) the declarations match.
+func Surface(pkg *types.Package) map[string]string {
+	qual := func(p *types.Package) string {
+		if p == pkg {
+			return ""
+		}
+		return p.Name()
+	}
+	out := map[string]string{}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		switch obj := obj.(type) {
+		case *types.Func:
+			// sigString already renders the leading "func(".
+			out[name] = sigString(obj.Type().(*types.Signature), qual)
+		case *types.Var:
+			out[name] = "var " + types.TypeString(obj.Type(), qual)
+		case *types.Const:
+			out[name] = "const " + types.TypeString(obj.Type(), qual)
+		case *types.TypeName:
+			if obj.IsAlias() {
+				out[name] = "alias " + types.TypeString(obj.Type(), qual)
+				continue
+			}
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			under := named.Underlying()
+			out[name] = "type " + typeKind(under)
+			if st, ok := under.(*types.Struct); ok {
+				for i := 0; i < st.NumFields(); i++ {
+					f := st.Field(i)
+					if f.Exported() {
+						out[name+"."+f.Name()] = "field " + types.TypeString(f.Type(), qual)
+					}
+				}
+			}
+			// The pointer method set covers both value and pointer
+			// receivers, which is what callers of the package can reach.
+			ms := types.NewMethodSet(types.NewPointer(named))
+			for i := 0; i < ms.Len(); i++ {
+				m := ms.At(i).Obj()
+				if m.Exported() {
+					out[name+"."+m.Name()] = "method " + sigString(m.Type().(*types.Signature), qual)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// sigString renders a signature by parameter and result types only:
+// parameter names are not API, so "func(name string)" and
+// "func(string)" must compare equal across build variants.
+func sigString(sig *types.Signature, qual types.Qualifier) string {
+	var b strings.Builder
+	b.WriteString("func(")
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		t := types.TypeString(params.At(i).Type(), qual)
+		if sig.Variadic() && i == params.Len()-1 {
+			b.WriteString("..." + strings.TrimPrefix(t, "[]"))
+		} else {
+			b.WriteString(t)
+		}
+	}
+	b.WriteString(")")
+	results := sig.Results()
+	switch results.Len() {
+	case 0:
+	case 1:
+		b.WriteString(" " + types.TypeString(results.At(0).Type(), qual))
+	default:
+		b.WriteString(" (")
+		for i := 0; i < results.Len(); i++ {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(types.TypeString(results.At(i).Type(), qual))
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// typeKind names a type's structural kind for surface entries: two
+// variants must agree on whether an exported type is a struct, an
+// interface, a function type, etc. (field and method entries carry the
+// rest of the detail).
+func typeKind(t types.Type) string {
+	switch t := t.(type) {
+	case *types.Struct:
+		return "struct"
+	case *types.Interface:
+		return "interface"
+	case *types.Signature:
+		return "func"
+	case *types.Map:
+		return "map"
+	case *types.Slice:
+		return "slice"
+	case *types.Array:
+		return "array"
+	case *types.Chan:
+		return "chan"
+	case *types.Pointer:
+		return "pointer"
+	case *types.Basic:
+		return t.Name()
+	default:
+		return t.String()
+	}
+}
+
+// SurfaceDiff is one disagreement between two build variants of a
+// package's exported surface.
+type SurfaceDiff struct {
+	// Symbol is the flattened surface key ("Name" or "Type.Member").
+	Symbol string
+	// A and B describe the symbol in each variant; empty means absent.
+	A, B string
+}
+
+// DiffSurfaces compares two surfaces and returns the disagreements in
+// symbol order. Empty means the variants are API-identical.
+func DiffSurfaces(a, b map[string]string) []SurfaceDiff {
+	keys := map[string]bool{}
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	var diffs []SurfaceDiff
+	for _, k := range sorted {
+		if a[k] != b[k] {
+			diffs = append(diffs, SurfaceDiff{Symbol: k, A: a[k], B: b[k]})
+		}
+	}
+	return diffs
+}
+
+// symbolPos locates the declaration position of a flattened surface key
+// inside pkg, for pointing diagnostics at real file:line coordinates.
+// Returns token.NoPos for symbols the package does not declare.
+func symbolPos(pkg *types.Package, symbol string) token.Pos {
+	scope := pkg.Scope()
+	name, member := symbol, ""
+	for i := 0; i < len(symbol); i++ {
+		if symbol[i] == '.' {
+			name, member = symbol[:i], symbol[i+1:]
+			break
+		}
+	}
+	obj := scope.Lookup(name)
+	if obj == nil {
+		return token.NoPos
+	}
+	if member == "" {
+		return obj.Pos()
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return obj.Pos()
+	}
+	if named, ok := tn.Type().(*types.Named); ok {
+		if st, ok := named.Underlying().(*types.Struct); ok {
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i).Name() == member {
+					return st.Field(i).Pos()
+				}
+			}
+		}
+		ms := types.NewMethodSet(types.NewPointer(named))
+		for i := 0; i < ms.Len(); i++ {
+			if m := ms.At(i).Obj(); m.Name() == member {
+				return m.Pos()
+			}
+		}
+	}
+	return obj.Pos()
+}
+
+// describeDiff renders one SurfaceDiff as a human-readable clause.
+func describeDiff(d SurfaceDiff, aName, bName string) string {
+	switch {
+	case d.A == "":
+		return fmt.Sprintf("%s: missing from the %s build (the %s build has %q)", d.Symbol, aName, bName, d.B)
+	case d.B == "":
+		return fmt.Sprintf("%s: missing from the %s build (the %s build has %q)", d.Symbol, bName, aName, d.A)
+	default:
+		return fmt.Sprintf("%s: %s build has %q, %s build has %q", d.Symbol, aName, d.A, bName, d.B)
+	}
+}

@@ -1,0 +1,20 @@
+// Package allowdir is a hcdlint testdata fixture for the allow
+// directive itself: malformed directives are findings, well-formed ones
+// waive exactly one check on the next line.
+package allowdir
+
+import "errors"
+
+func fail() error { return errors.New("no") }
+
+// Use pairs directives with the calls they (try to) waive.
+func Use() {
+	//hcdlint:allow
+	fail()
+	//hcdlint:allow errcheck
+	fail()
+	//hcdlint:allow errcheck fixture: a justified waiver suppresses the finding
+	fail()
+	//hcdlint:allow determinism fixture: wrong check name, so the errcheck finding survives
+	fail()
+}

@@ -1,0 +1,41 @@
+// Package core is a hcdlint testdata fixture. Its directory base name
+// matches a kernel package, so the determinism check applies to it —
+// exactly how a real package named core would be policed.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Decompose walks into every determinism trap the check knows.
+func Decompose(weights map[int]int) []int {
+	seed := time.Now().UnixNano()
+	rng := rand.New(rand.NewSource(seed))
+	_ = rng.Int() // explicit source: not flagged
+	_ = rand.Intn(10)
+
+	out := make([]int, len(weights))
+	var order []int
+	i := 0
+	for k := range weights {
+		order = append(order, k)
+		out[i] = k
+		i++
+	}
+
+	// The deterministic idiom: collect, sort, then emit — the emission
+	// loop below ranges over a slice, not the map, so it is clean.
+	keys := make([]int, 0, len(weights))
+	for k := range weights {
+		//hcdlint:allow determinism fixture: the keys are sorted immediately below, so emission order is independent of map iteration
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		out = append(out, weights[k])
+	}
+	_ = order
+	return out
+}

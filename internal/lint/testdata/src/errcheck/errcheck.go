@@ -1,0 +1,35 @@
+// Package errcheck is a hcdlint testdata fixture: dropped and properly
+// handled error returns side by side.
+package errcheck
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+)
+
+func fail() error { return errors.New("nope") }
+
+// Use drops some errors and handles others.
+func Use() {
+	fail()
+	_ = fail() // explicit discard: checked
+
+	fmt.Println("conventionally ignored")
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "in-memory writer: exempt")
+	b.WriteString("exempt method")
+	fmt.Fprintln(os.Stderr, "stderr: exempt")
+
+	bw := bufio.NewWriter(os.Stdout)
+	fmt.Fprint(bw, "sticky writer: exempt until Flush")
+	bw.Flush() // the sticky error surfaces here: flagged
+
+	defer fail() // deferred: not flagged by design
+
+	if f, err := os.Open(os.DevNull); err == nil {
+		f.Close()
+	}
+}

@@ -1,0 +1,22 @@
+// Package panicsafety is a hcdlint testdata fixture: every re-panicking
+// par wrapper, one waived call, and one clean *Err call.
+package panicsafety
+
+import (
+	"context"
+
+	"hcd/internal/par"
+)
+
+// Exercise calls each wrapper the panic-safety check steers away from.
+func Exercise(n int) {
+	par.For(n, 0, func(lo, hi int) {})
+	par.ForEach(n, 0, func(i int) {})
+	par.ForChunked(n, 0, 64, func(lo, hi int) {})
+	par.Run(func() {})
+
+	//hcdlint:allow panic-safety fixture: demonstrates a waived legacy site
+	par.ForEach(n, 0, func(i int) {})
+
+	_ = par.ForEachErr(context.Background(), n, 0, func(i int) error { return nil })
+}

@@ -1,0 +1,25 @@
+// Package sitehygiene is a hcdlint testdata fixture: fault sites and
+// span/metric names that are dynamic, ungrammatical, or duplicated.
+package sitehygiene
+
+import (
+	"hcd/internal/faultinject"
+	"hcd/internal/obs"
+)
+
+// Touch exercises every site-hygiene failure mode.
+func Touch(name string) {
+	faultinject.Maybe(name)           // dynamic site name
+	faultinject.Maybe("Bad_Site")     // grammar violation
+	faultinject.Maybe("fixture.site") // clean
+	faultinject.Maybe("fixture.site") // duplicate
+
+	obs.StartSpan("fixture.span").End()
+	obs.StartSpan("fixture.span").End() // duplicate span
+	obs.StartSpanArg("fixture.span.arg.deep", 1).End()
+
+	c := obs.NewCounter("Bad-Metric", "fixture")
+	c.Inc()
+	g := obs.NewGauge(obs.Name("fixture_gauge", "thread", name), "fixture")
+	g.Set(1)
+}

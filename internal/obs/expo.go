@@ -163,15 +163,16 @@ func Handler() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "hcd debug endpoints:\n  /metrics\n  /trace\n  /debug/vars\n  /debug/pprof/\n")
+		// A failed write to a departed HTTP client has no recovery.
+		_, _ = fmt.Fprint(w, "hcd debug endpoints:\n  /metrics\n  /trace\n  /debug/vars\n  /debug/pprof/\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		WritePrometheus(w)
+		_ = WritePrometheus(w) // write errors mean the client went away
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		WriteTrace(w)
+		_ = WriteTrace(w) // write errors mean the client went away
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

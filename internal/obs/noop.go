@@ -177,7 +177,8 @@ func PublishExpvar() {}
 func Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprint(w, "observability compiled out (noobs build tag)\n")
+		// A failed write to a departed HTTP client has no recovery.
+		_, _ = fmt.Fprint(w, "observability compiled out (noobs build tag)\n")
 	})
 	return mux
 }

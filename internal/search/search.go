@@ -63,6 +63,22 @@ func NewIndex(g *graph.Graph, core []int32, h *hierarchy.HCD, threads int) *Inde
 // PrimaryB's triplet binning walks the layout's shallower segment instead
 // of re-bucketing neighbors by coreness.
 func NewIndexWithLayout(g *graph.Graph, core []int32, h *hierarchy.HCD, lay *shellidx.Layout, threads int) *Index {
+	ix, err := NewIndexCtx(context.Background(), g, core, h, lay, threads)
+	if err != nil {
+		panic(err)
+	}
+	return ix
+}
+
+// NewIndexCtx is NewIndexWithLayout with failure containment and
+// cooperative cancellation: a worker panic in the preprocessing scan
+// surfaces as a *par.PanicError instead of crashing the process, and a
+// cancelled ctx (nil means background) aborts the scan at its internal
+// chunk boundaries.
+func NewIndexCtx(ctx context.Context, g *graph.Graph, core []int32, h *hierarchy.HCD, lay *shellidx.Layout, threads int) (*Index, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	defer obs.StartSpan("search.newindex").End()
 	n := g.NumVertices()
 	ix := &Index{
@@ -79,11 +95,11 @@ func NewIndexWithLayout(g *graph.Graph, core []int32, h *hierarchy.HCD, lay *she
 	if lay != nil {
 		ix.gtK = lay.GtCounts()
 		ix.eqK = lay.EqCounts()
-		return ix
+		return ix, ctx.Err()
 	}
 	ix.gtK = make([]int32, n)
 	ix.eqK = make([]int32, n)
-	par.ForEach(n, threads, func(i int) {
+	err := par.ForEachErr(ctx, n, threads, func(i int) error {
 		v := int32(i)
 		var gt, eq int32
 		for _, u := range g.Neighbors(v) {
@@ -96,8 +112,12 @@ func NewIndexWithLayout(g *graph.Graph, core []int32, h *hierarchy.HCD, lay *she
 		}
 		ix.gtK[v] = gt
 		ix.eqK[v] = eq
+		return nil
 	})
-	return ix
+	if err != nil {
+		return nil, err
+	}
+	return ix, nil
 }
 
 // Hierarchy returns the HCD the index searches over.
@@ -174,6 +194,7 @@ func (ix *Index) SearchReportCtx(ctx context.Context, m metrics.Metric, threads 
 		ctx = context.Background()
 	}
 	rep := &Report{Threads: par.Threads(threads)}
+	//hcdlint:allow determinism wall-clock reads here feed only Report.Elapsed/Phases, never the Result; the winner and scores are clock-independent
 	start := time.Now()
 	defer obs.StartSpan("search").End()
 	nn := ix.h.NumNodes()
@@ -184,6 +205,7 @@ func (ix *Index) SearchReportCtx(ctx context.Context, m metrics.Metric, threads 
 	// Phase durations use a local clock so they stay populated under the
 	// noobs build tag; only the worker statistics come from obs.
 	sp := obs.StartPhase("search.primary")
+	//hcdlint:allow determinism phase timing for Report.Phases only; no influence on the Result
 	ps := time.Now()
 	var vals []metrics.PrimaryValues
 	var err error
@@ -199,18 +221,23 @@ func (ix *Index) SearchReportCtx(ctx context.Context, m metrics.Metric, threads 
 		return Result{Node: hierarchy.Nil}, nil, err
 	}
 	sp = obs.StartPhase("search.score")
+	//hcdlint:allow determinism phase timing for Report.Phases only; no influence on the Result
 	ps = time.Now()
-	r := ix.pick(m, vals, threads)
+	r, err := ix.pickCtx(ctx, m, vals, threads)
 	pd = time.Since(ps)
 	sp.End()
+	if err != nil {
+		return Result{Node: hierarchy.Nil}, nil, err
+	}
 	rep.Phases = append(rep.Phases, obs.NewPhaseStat("search.score", pd, sp.WorkerStats()))
 	rep.Elapsed = time.Since(start)
 	return r, rep, nil
 }
 
-// pick evaluates the metric on every node's primary values and returns the
-// argmax (Algorithm 3 lines 9-11).
-func (ix *Index) pick(m metrics.Metric, vals []metrics.PrimaryValues, threads int) Result {
+// pickCtx evaluates the metric on every node's primary values and returns
+// the argmax (Algorithm 3 lines 9-11); a scoring panic surfaces as a
+// *par.PanicError and a cancelled ctx aborts between per-thread chunks.
+func (ix *Index) pickCtx(ctx context.Context, m metrics.Metric, vals []metrics.PrimaryValues, threads int) (Result, error) {
 	nn := ix.h.NumNodes()
 	stats := ix.Stats()
 	scores := make([]float64, nn)
@@ -220,7 +247,7 @@ func (ix *Index) pick(m metrics.Metric, vals []metrics.PrimaryValues, threads in
 		score float64
 	}
 	bests := make([]best, p)
-	par.For(p, p, func(tlo, thi int) {
+	err := par.ForErr(ctx, p, p, func(tlo, thi int) error {
 		for t := tlo; t < thi; t++ {
 			b := best{node: hierarchy.Nil}
 			for i := t * nn / p; i < (t+1)*nn/p; i++ {
@@ -232,7 +259,11 @@ func (ix *Index) pick(m metrics.Metric, vals []metrics.PrimaryValues, threads in
 			}
 			bests[t] = b
 		}
+		return nil
 	})
+	if err != nil {
+		return Result{Node: hierarchy.Nil}, err
+	}
 	win := best{node: hierarchy.Nil}
 	for _, b := range bests {
 		if b.node == hierarchy.Nil {
@@ -248,7 +279,7 @@ func (ix *Index) pick(m metrics.Metric, vals []metrics.PrimaryValues, threads in
 		Score:  win.score,
 		Values: vals[win.node],
 		Scores: scores,
-	}
+	}, nil
 }
 
 // SearchConstrained is Search restricted to k-cores whose vertex count

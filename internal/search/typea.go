@@ -90,14 +90,29 @@ func (ix *Index) PrimaryACtx(ctx context.Context, threads int) ([]metrics.Primar
 // stay contention-free) and suffix-summed, so the whole computation is
 // O(n) after preprocessing.
 func (ix *Index) BestKSet(m metrics.Metric, threads int) (bestK int32, bestScore float64, scores []float64) {
+	bestK, bestScore, scores, err := ix.BestKSetCtx(context.Background(), m, threads)
+	if err != nil {
+		panic(err)
+	}
+	return bestK, bestScore, scores
+}
+
+// BestKSetCtx is BestKSet with failure containment and cooperative
+// cancellation: a worker panic in either charging pass surfaces as a
+// *par.PanicError instead of crashing, and a cancelled ctx (nil means
+// background) aborts the passes at their chunk boundaries.
+func (ix *Index) BestKSetCtx(ctx context.Context, m metrics.Metric, threads int) (bestK int32, bestScore float64, scores []float64, err error) {
 	if m.Kind() != metrics.TypeA {
 		panic("search: BestKSet supports Type A metrics only")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	n := ix.g.NumVertices()
 	levels := int(ix.kmax) + 1
 	p := par.Threads(threads)
 	locals := make([][]int64, p)
-	par.For(p, p, func(tlo, thi int) {
+	err = par.ForErr(ctx, p, p, func(tlo, thi int) error {
 		for t := tlo; t < thi; t++ {
 			buf := make([]int64, levels*3)
 			for i := t * n / p; i < (t+1)*n/p; i++ {
@@ -112,15 +127,23 @@ func (ix *Index) BestKSet(m metrics.Metric, threads int) (bestK int32, bestScore
 			}
 			locals[t] = buf
 		}
+		return nil
 	})
+	if err != nil {
+		return 0, 0, nil, err
+	}
 	vals := make([]int64, levels*3)
-	par.ForEach(levels*3, p, func(j int) {
+	err = par.ForEachErr(ctx, levels*3, p, func(j int) error {
 		var s int64
 		for t := 0; t < p; t++ {
 			s += locals[t][j]
 		}
 		vals[j] = s
+		return nil
 	})
+	if err != nil {
+		return 0, 0, nil, err
+	}
 	// Suffix sums: Kk contains every shell with c >= k.
 	for k := levels - 2; k >= 0; k-- {
 		for f := 0; f < 3; f++ {
@@ -144,5 +167,5 @@ func (ix *Index) BestKSet(m metrics.Metric, threads int) (bestK int32, bestScore
 			bestK, bestScore, first = int32(k), scores[k], false
 		}
 	}
-	return bestK, bestScore, scores
+	return bestK, bestScore, scores, nil
 }

@@ -24,6 +24,8 @@
 package shellidx
 
 import (
+	"context"
+
 	"hcd/internal/coredecomp"
 	"hcd/internal/graph"
 	"hcd/internal/obs"
@@ -98,6 +100,21 @@ func (l *Layout) EqCounts() []int32 { return l.eq }
 // ranking (coredecomp.RankVertices(core, ...)); the ranking is reused for
 // the degeneracy bound and for the serial fast path. O(n + m) work.
 func Build(g *graph.Graph, core []int32, r *coredecomp.Ranking, threads int) *Layout {
+	l, err := BuildCtx(context.Background(), g, core, r, threads)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// BuildCtx is Build with failure containment and cooperative cancellation:
+// a worker panic in the parallel scatter surfaces as a *par.PanicError
+// instead of crashing the process, and a cancelled ctx (nil means
+// background) aborts the scatter at its internal chunk boundaries.
+func BuildCtx(ctx context.Context, g *graph.Graph, core []int32, r *coredecomp.Ranking, threads int) (*Layout, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	defer obs.StartSpan("shellidx.build").End()
 	n := g.NumVertices()
 	l := &Layout{
@@ -107,14 +124,16 @@ func Build(g *graph.Graph, core []int32, r *coredecomp.Ranking, threads int) *La
 		eq:      make([]int32, n),
 	}
 	if n == 0 {
-		return l
+		return l, ctx.Err()
 	}
 	if par.Threads(threads) == 1 {
 		l.buildSerial(g, core, r)
-		return l
+		return l, ctx.Err()
 	}
-	l.buildParallel(g, core, r, threads)
-	return l
+	if err := l.buildParallel(ctx, g, core, r, threads); err != nil {
+		return nil, err
+	}
+	return l, nil
 }
 
 // buildSerial fills the layout with a single cache-friendly scatter over
@@ -145,9 +164,9 @@ func (l *Layout) buildSerial(g *graph.Graph, core []int32, r *coredecomp.Ranking
 // counting-sorted by neighbor coreness with per-chunk scratch (reset via a
 // touched-coreness list, so cost is O(d(v) + distinct corenesses), not
 // O(kmax)). Chunked dynamically because per-vertex work follows degree.
-func (l *Layout) buildParallel(g *graph.Graph, core []int32, r *coredecomp.Ranking, threads int) {
+func (l *Layout) buildParallel(ctx context.Context, g *graph.Graph, core []int32, r *coredecomp.Ranking, threads int) error {
 	n := g.NumVertices()
-	par.ForChunked(n, threads, 512, func(lo, hi int) {
+	return par.ForChunkedErr(ctx, n, threads, 512, func(lo, hi int) error {
 		cnt := make([]int32, r.KMax+1)
 		cur := make([]int32, r.KMax+1)
 		var touched []int32
@@ -198,5 +217,6 @@ func (l *Layout) buildParallel(g *graph.Graph, core []int32, r *coredecomp.Ranki
 			l.gt[v] = gtc
 			l.eq[v] = eqc
 		}
+		return nil
 	})
 }
