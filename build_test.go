@@ -314,8 +314,11 @@ func TestBuildAndIndexReportPhases(t *testing.T) {
 		if p.Name != "peel" && p.Name != "phcd" {
 			continue
 		}
-		if p.Workers <= 0 || p.Busy <= 0 {
+		if p.Stints <= 0 || p.Busy <= 0 {
 			t.Skipf("no worker stats for %s (noobs build?): %+v", p.Name, p)
+		}
+		if p.MaxWorkers < 1 || p.MaxWorkers > p.Stints {
+			t.Errorf("%s max workers = %d, want in [1, %d]", p.Name, p.MaxWorkers, p.Stints)
 		}
 		if p.Skew < 1 {
 			t.Errorf("%s skew = %f, want >= 1", p.Name, p.Skew)

@@ -435,8 +435,9 @@ func printPhases(w io.Writer, what string, phases []hcd.PhaseStat, total time.Du
 		if total > 0 {
 			fmt.Fprintf(w, " (%5.1f%%)", 100*float64(p.Duration)/float64(total))
 		}
-		if p.Workers > 0 {
-			fmt.Fprintf(w, "  workers=%d chunks=%d skew=%.2f", p.Workers, p.Chunks, p.Skew)
+		if p.Stints > 0 {
+			fmt.Fprintf(w, "  stints=%d workers<=%d chunks=%d skew=%.2f",
+				p.Stints, p.MaxWorkers, p.Chunks, p.Skew)
 		}
 		fmt.Fprintln(w)
 	}

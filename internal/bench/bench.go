@@ -38,8 +38,9 @@ type Config struct {
 	// Threads is the thread count for the "(P)" parallel columns.
 	// 0 = GOMAXPROCS.
 	Threads int
-	// Sweep is the thread-count sweep used by the figures; defaults to
-	// {1, 2, 4, ..., GOMAXPROCS} when nil.
+	// Sweep is the thread-count sweep used by the figures and the journal
+	// experiments (phcd, search); defaults to {1, 2, 4, ..., GOMAXPROCS}
+	// when nil.
 	Sweep []int
 	// Reps is the number of timing repetitions; the minimum is reported.
 	Reps int
@@ -47,8 +48,9 @@ type Config struct {
 	Datasets []string
 	// Out receives the formatted rows (required).
 	Out io.Writer
-	// JSONPath, when non-empty, makes experiments that support it (phcd)
-	// also write a machine-readable JSON report to this file.
+	// JSONPath, when non-empty, makes experiments that support it (phcd,
+	// search) also write a machine-readable experiment journal to this
+	// file.
 	JSONPath string
 }
 
@@ -391,10 +393,14 @@ func Ablation(cfg Config) {
 }
 
 // Run dispatches an experiment by name: "table2".."table5", "fig4".."fig10",
-// or "ablation".
+// "ablation", "maintenance", or the journal experiments "phcd" and
+// "search".
 func Run(name string, cfg Config) error {
-	if name == "phcd" {
+	switch name {
+	case "phcd":
 		return PHCDBench(cfg)
+	case "search":
+		return SearchBench(cfg)
 	}
 	fns := map[string]func(Config){
 		"table2": Table2, "table3": Table3, "table4": Table4, "table5": Table5,
@@ -414,7 +420,7 @@ func Run(name string, cfg Config) error {
 func Names() []string {
 	return []string{"table2", "table3", "table4", "table5",
 		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation",
-		"maintenance", "phcd"}
+		"maintenance", "phcd", "search"}
 }
 
 // Maintenance prints the dynamic-maintenance ablation: per dataset, the

@@ -2,23 +2,25 @@ package bench
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
-	"os"
-	"runtime"
 	"text/tabwriter"
+	"time"
 
 	"hcd"
 	core2 "hcd/internal/core"
 	"hcd/internal/coredecomp"
 	"hcd/internal/gen"
 	"hcd/internal/graph"
+	"hcd/internal/lcps"
 	"hcd/internal/obs"
-	"hcd/internal/search"
 	"hcd/internal/shellidx"
 )
 
-// phcdDataset is one input of the PHCD regression experiment: larger than
+// benchCells counts every measured (dataset, kernel, threads) cell
+// across all journal experiments.
+var benchCells = obs.NewCounter("hcd_bench_cells_total", "experiment-journal cells measured")
+
+// phcdDataset is one input of the PHCD scaling experiment: larger than
 // the Table/Fig suite (the issue floor is 2^17 vertices for the RMAT rows)
 // so the layout's edge-scan savings dominate noise.
 type phcdDataset struct {
@@ -41,127 +43,177 @@ func phcdSuite(small bool) []phcdDataset {
 	}
 }
 
-// phcdRow is one dataset's measurements, serialised to BENCH_phcd.json.
-// All times are minimum-of-reps nanoseconds at the configured thread count.
-type phcdRow struct {
-	Name string `json:"name"`
-	N    int    `json:"n"`
-	M    int64  `json:"m"`
-	KMax int32  `json:"kmax"`
-	// SeedNS is the frozen pre-layout implementation (core.PHCDBaseline).
-	SeedNS int64 `json:"seed_ns"`
-	// NewNS is core.PHCDWithLayout over a prebuilt layout.
-	NewNS int64 `json:"new_ns"`
-	// LayoutNS is the one-shot preprocessing (ranking + shellidx.Build).
-	LayoutNS int64 `json:"layout_ns"`
-	// OneshotNS is layout build + PHCDWithLayout, for callers with no
-	// layout to amortise.
-	OneshotNS int64 `json:"oneshot_ns"`
-	// PipelineSeedNS / PipelineNewNS are PHCD + search-index construction
-	// without and with a shared layout — the amortisation case.
-	PipelineSeedNS int64 `json:"pipeline_seed_ns"`
-	PipelineNewNS  int64 `json:"pipeline_new_ns"`
-	// SpeedupPrebuilt = seed_ns / new_ns; SpeedupPipeline =
-	// pipeline_seed_ns / pipeline_new_ns.
-	SpeedupPrebuilt float64 `json:"speedup_prebuilt"`
-	SpeedupPipeline float64 `json:"speedup_pipeline"`
-	// Phases is the per-phase breakdown of one instrumented
-	// BuildAndIndexCtx run (peel, rank+layout, phcd, index) — a single
-	// run, not min-of-reps, so phase shares are representative rather
-	// than best-case.
-	Phases []obs.PhaseStat `json:"phases"`
+// phcdSuiteFingerprint names the generator-parameter set so a baseline
+// recorded against different graphs is provably incomparable.
+func phcdSuiteFingerprint(small bool) string {
+	if small {
+		return "phcd-smoke-v1"
+	}
+	return "phcd-full-v1"
 }
 
-type phcdReport struct {
-	Experiment string    `json:"experiment"`
-	Threads    int       `json:"threads"`
-	GoMaxProcs int       `json:"gomaxprocs"`
-	Reps       int       `json:"reps"`
-	Rows       []phcdRow `json:"rows"`
+// measureSweep runs one kernel across the thread sweep, producing one
+// cell per thread count.
+func measureSweep(rep *Report, dataset, kernel string, f func(p int)) {
+	for _, p := range rep.Threads {
+		p := p
+		rep.Cells = append(rep.Cells, measureCellSpan(dataset, kernel, p, rep.Reps, func() { f(p) }))
+	}
 }
 
-// PHCDBench runs the seed-vs-rewrite PHCD regression experiment: for each
-// dataset it times the frozen baseline (PHCDBaseline), the rewrite over a
-// prebuilt coreness-ordered layout (PHCDWithLayout), the layout build
-// itself, the one-shot combination, and the construction+search pipeline
-// with and without layout sharing. Results are printed as a table and,
-// when cfg.JSONPath is set, written there as machine-readable JSON.
-// A failure to write the JSON report is returned as an error.
+// measureBaseline records one serial (p=1) reference cell.
+func measureBaseline(rep *Report, dataset, kernel string, f func()) {
+	rep.Cells = append(rep.Cells, measureCellSpan(dataset, kernel, 1, rep.Reps, f))
+}
+
+// PHCDBench runs the paper-style PHCD construction sweep and writes the
+// experiment journal. For every dataset it measures, at each thread
+// count of cfg.Sweep:
+//
+//   - phcd.seed — the frozen pre-layout constructor (core.PHCDBaseline);
+//   - phcd — the one-shot layout path (vertex ranking, then shellidx
+//     layout, then core.PHCDWithLayout), the production constructor;
+//   - phcd.layout — core.PHCDWithLayout over a prebuilt layout, and
+//     layout — the layout build alone: together they keep the
+//     layout-amortisation trade-off (DESIGN.md "When to pay for the
+//     layout") tracked release over release;
+//   - build.index — the instrumented end-to-end pipeline
+//     (hcd.BuildAndIndexCtx), whose per-phase worker statistics feed the
+//     phase-level scaling analysis;
+//
+// plus a serial lcps reference cell as the vs-baseline anchor. The
+// derived scaling rows carry self-relative speedup, parallel
+// efficiency, an Amdahl serial-fraction fit, and — for the instrumented
+// pipeline — the per-phase breakdown naming the phase that bounds
+// scalability. When cfg.JSONPath is set the journal is also written
+// there as machine-readable JSON.
 //
 // Scale 1 substitutes a tiny smoke-test suite so the experiment stays
 // usable in tests; any larger scale runs the full-size inputs.
 func PHCDBench(cfg Config) error {
 	cfg = cfg.withDefaults()
-	p := cfg.Threads
-	report := phcdReport{
+	small := cfg.Scale <= 1
+	rep := Report{
 		Experiment: "phcd",
-		Threads:    p,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Manifest:   NewManifest(cfg.Scale, phcdSuiteFingerprint(small)),
+		Threads:    cfg.Sweep,
 		Reps:       cfg.Reps,
 	}
-	tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "PHCD seed vs layout rewrite at p=%d (min of %d reps)\n", p, cfg.Reps)
-	fmt.Fprintln(tw, "Dataset\tn\tm\tseed s\tnew s\tlayout s\toneshot s\tpipe-seed s\tpipe-new s\tnew x\tpipe x")
-	for _, d := range phcdSuite(cfg.Scale <= 1) {
+	for _, d := range phcdSuite(small) {
 		g := d.build()
 		core := coredecomp.Serial(g)
-		rank := coredecomp.RankVertices(core, p)
-		lay := shellidx.Build(g, core, rank, p)
+		rank := coredecomp.RankVertices(core, 1)
+		lay := shellidx.Build(g, core, rank, 1)
 
-		tSeed := timeIt(cfg.Reps, func() { core2.PHCDBaseline(g, core, p) })
-		tNew := timeIt(cfg.Reps, func() { core2.PHCDWithLayout(g, core, lay, p) })
-		tLayout := timeIt(cfg.Reps, func() {
-			r := coredecomp.RankVertices(core, p)
-			shellidx.Build(g, core, r, p)
-		})
-		tOneshot := timeIt(cfg.Reps, func() {
+		measureBaseline(&rep, d.name, "lcps", func() { lcps.Build(g, core) })
+		measureSweep(&rep, d.name, "phcd.seed", func(p int) { core2.PHCDBaseline(g, core, p) })
+		measureSweep(&rep, d.name, "phcd", func(p int) {
 			r := coredecomp.RankVertices(core, p)
 			l := shellidx.Build(g, core, r, p)
 			core2.PHCDWithLayout(g, core, l, p)
 		})
-		tPipeSeed := timeIt(cfg.Reps, func() {
-			h := core2.PHCDBaseline(g, core, p)
-			search.NewIndex(g, core, h, p)
-		})
-		tPipeNew := timeIt(cfg.Reps, func() {
+		measureSweep(&rep, d.name, "phcd.layout", func(p int) { core2.PHCDWithLayout(g, core, lay, p) })
+		measureSweep(&rep, d.name, "layout", func(p int) {
 			r := coredecomp.RankVertices(core, p)
-			l := shellidx.Build(g, core, r, p)
-			h := core2.PHCDWithLayout(g, core, l, p)
-			search.NewIndexWithLayout(g, core, h, l, p)
+			shellidx.Build(g, core, r, p)
 		})
 
-		row := phcdRow{
-			Name: d.name, N: g.NumVertices(), M: g.NumEdges(),
-			KMax:   coredecomp.KMax(core),
-			SeedNS: tSeed.Nanoseconds(), NewNS: tNew.Nanoseconds(),
-			LayoutNS: tLayout.Nanoseconds(), OneshotNS: tOneshot.Nanoseconds(),
-			PipelineSeedNS:  tPipeSeed.Nanoseconds(),
-			PipelineNewNS:   tPipeNew.Nanoseconds(),
-			SpeedupPrebuilt: ratio(tSeed, tNew),
-			SpeedupPipeline: ratio(tPipeSeed, tPipeNew),
+		// The instrumented pipeline cell keeps per-phase stats: one
+		// BuildAndIndexCtx per rep, folded to the per-phase minimum so the
+		// phase curve is as noise-resistant as the wall-clock one.
+		var buildErr error
+		for _, p := range rep.Threads {
+			p := p
+			var runs [][]obs.PhaseStat
+			cell := measureCellSpan(d.name, "build.index", p, rep.Reps, func() {
+				_, _, _, brep, err := hcd.BuildAndIndexCtx(context.Background(), g, hcd.Options{Threads: p})
+				if err != nil {
+					buildErr = err
+					return
+				}
+				runs = append(runs, brep.Phases)
+			})
+			if buildErr != nil {
+				return fmt.Errorf("phcd: instrumented pipeline run: %w", buildErr)
+			}
+			cell.Phases = obs.MinPhases(runs)
+			rep.Cells = append(rep.Cells, cell)
 		}
-		_, _, _, brep, err := hcd.BuildAndIndexCtx(context.Background(), g, hcd.Options{Threads: p})
-		if err != nil {
-			return fmt.Errorf("phcd: instrumented pipeline run: %w", err)
-		}
-		row.Phases = brep.Phases
-		report.Rows = append(report.Rows, row)
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t%.2fx\t%.2fx\n",
-			d.name, row.N, row.M,
-			secs(tSeed), secs(tNew), secs(tLayout), secs(tOneshot),
-			secs(tPipeSeed), secs(tPipeNew),
-			row.SpeedupPrebuilt, row.SpeedupPipeline)
+
+		rep.Scaling = append(rep.Scaling,
+			rep.buildScaling(d.name, "phcd", "lcps"),
+			rep.buildScaling(d.name, "phcd.seed", "lcps"),
+			rep.buildScaling(d.name, "phcd.layout", "phcd.seed"),
+			rep.buildScaling(d.name, "build.index", ""))
+	}
+	printReport(cfg, rep)
+	return writeJournal(cfg, rep)
+}
+
+// printReport renders the journal for humans: the manifest header, the
+// raw cell table, and the derived scaling analysis.
+func printReport(cfg Config, rep Report) {
+	fmt.Fprintf(cfg.Out, "%s sweep, threads %v, min/median of %d reps\n", rep.Experiment, rep.Threads, rep.Reps)
+	fmt.Fprintf(cfg.Out, "%s\n", rep.Manifest.Describe())
+	tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Dataset\tKernel\tp\tmin s\tmedian s\tmad s")
+	for _, c := range rep.Cells {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\t%s\n",
+			c.Dataset, c.Kernel, c.Threads,
+			secs(time.Duration(c.MinNS)), secs(time.Duration(c.MedianNS)), secs(time.Duration(c.MADNS)))
 	}
 	tw.Flush()
-	if cfg.JSONPath != "" {
-		buf, err := json.MarshalIndent(report, "", "  ")
-		if err == nil {
-			err = os.WriteFile(cfg.JSONPath, append(buf, '\n'), 0o644)
-		}
-		if err != nil {
-			return fmt.Errorf("phcd: writing %s: %w", cfg.JSONPath, err)
-		}
-		fmt.Fprintf(cfg.Out, "wrote %s\n", cfg.JSONPath)
+	if len(rep.Scaling) == 0 {
+		return
 	}
+	fmt.Fprintln(cfg.Out)
+	tw = tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "Dataset\tKernel")
+	for _, p := range rep.Threads {
+		fmt.Fprintf(tw, "\tS(p=%d)", p)
+	}
+	fmt.Fprintln(tw, "\tvs-base\tserial frac\tbottleneck")
+	for _, row := range rep.Scaling {
+		fmt.Fprintf(tw, "%s\t%s", row.Dataset, row.Kernel)
+		for _, s := range row.Speedup {
+			fmt.Fprintf(tw, "\t%.2fx", s)
+		}
+		vsBase := "-"
+		if n := len(row.SpeedupVsBaseline); n > 0 {
+			vsBase = fmt.Sprintf("%.2fx %s", row.SpeedupVsBaseline[n-1], row.Baseline)
+		}
+		sf := "-"
+		if row.SerialFraction >= 0 {
+			sf = fmt.Sprintf("%.3f", row.SerialFraction)
+		}
+		bn := row.Bottleneck
+		if bn == "" {
+			bn = "-"
+		}
+		fmt.Fprintf(tw, "\t%s\t%s\t%s\n", vsBase, sf, bn)
+		for _, ph := range row.Phases {
+			fmt.Fprintf(tw, "\t· %s", ph.Name)
+			for _, s := range ph.Speedup {
+				fmt.Fprintf(tw, "\t%.2fx", s)
+			}
+			psf := "-"
+			if ph.SerialFraction >= 0 {
+				psf = fmt.Sprintf("%.3f", ph.SerialFraction)
+			}
+			fmt.Fprintf(tw, "\t%.0f%% share\t%s\t\n", 100*ph.Share, psf)
+		}
+	}
+	tw.Flush()
+}
+
+// writeJournal persists the report when the run asked for JSON output.
+func writeJournal(cfg Config, rep Report) error {
+	if cfg.JSONPath == "" {
+		return nil
+	}
+	if err := rep.WriteFile(cfg.JSONPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "wrote %s\n", cfg.JSONPath)
 	return nil
 }

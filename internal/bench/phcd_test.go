@@ -2,60 +2,146 @@ package bench
 
 import (
 	"bytes"
-	"encoding/json"
-	"os"
 	"path/filepath"
 	"testing"
 )
 
-func TestPHCDBenchWritesJSON(t *testing.T) {
+// TestPHCDBenchWritesJournal smoke-runs the phcd sweep at smoke scale
+// and checks the journal shape: manifest, one cell per
+// (dataset, kernel, threads), phase breakdowns on the instrumented
+// pipeline cells, and derived scaling rows.
+func TestPHCDBenchWritesJournal(t *testing.T) {
 	if testing.Short() {
 		t.Skip("harness smoke test is slow")
 	}
 	path := filepath.Join(t.TempDir(), "phcd.json")
 	var buf bytes.Buffer
-	if err := PHCDBench(Config{Scale: 1, Reps: 1, Out: &buf, JSONPath: path}); err != nil {
+	cfg := Config{Scale: 1, Reps: 2, Sweep: []int{1, 2}, Out: &buf, JSONPath: path}
+	if err := PHCDBench(cfg); err != nil {
 		t.Fatalf("PHCDBench: %v", err)
 	}
-	raw, err := os.ReadFile(path)
+	rep, err := ReadReport(path)
 	if err != nil {
-		t.Fatalf("report not written: %v", err)
+		t.Fatalf("journal not readable: %v", err)
 	}
-	var rep phcdReport
-	if err := json.Unmarshal(raw, &rep); err != nil {
-		t.Fatalf("report is not valid JSON: %v", err)
+	if rep.Experiment != "phcd" || rep.Reps != 2 {
+		t.Errorf("report header wrong: exp=%q reps=%d", rep.Experiment, rep.Reps)
 	}
-	if rep.Experiment != "phcd" || rep.Threads < 1 || rep.Reps != 1 {
-		t.Errorf("report header wrong: %+v", rep)
+	if rep.Manifest.Schema != SchemaVersion || rep.Manifest.GoVersion == "" || rep.Manifest.NumCPU < 1 {
+		t.Errorf("manifest incomplete: %+v", rep.Manifest)
 	}
-	if len(rep.Rows) != 2 {
-		t.Fatalf("smoke suite should have 2 rows, got %d", len(rep.Rows))
+	if rep.Manifest.Suite != "phcd-smoke-v1" {
+		t.Errorf("suite fingerprint = %q, want phcd-smoke-v1", rep.Manifest.Suite)
 	}
-	for _, r := range rep.Rows {
-		if r.N == 0 || r.M == 0 {
-			t.Errorf("%s: empty graph measured", r.Name)
+	for _, dataset := range []string{"rmat12", "onion12"} {
+		if c := rep.cell(dataset, "lcps", 1); c == nil || c.MinNS <= 0 {
+			t.Errorf("%s: missing lcps baseline cell", dataset)
 		}
-		if r.SeedNS <= 0 || r.NewNS <= 0 || r.LayoutNS <= 0 ||
-			r.OneshotNS <= 0 || r.PipelineSeedNS <= 0 || r.PipelineNewNS <= 0 {
-			t.Errorf("%s: non-positive timing: %+v", r.Name, r)
+		for _, kernel := range []string{"phcd", "phcd.seed", "phcd.layout", "layout", "build.index"} {
+			for _, p := range []int{1, 2} {
+				c := rep.cell(dataset, kernel, p)
+				if c == nil {
+					t.Errorf("%s/%s p=%d: cell missing", dataset, kernel, p)
+					continue
+				}
+				if c.MinNS <= 0 || c.MedianNS <= 0 || len(c.SamplesNS) != 2 {
+					t.Errorf("%s/%s p=%d: bad stats %+v", dataset, kernel, p, c)
+				}
+			}
 		}
-		if r.SpeedupPrebuilt <= 0 || r.SpeedupPipeline <= 0 {
-			t.Errorf("%s: non-positive speedup: %+v", r.Name, r)
-		}
-		if len(r.Phases) == 0 {
-			t.Errorf("%s: no phase breakdown in the JSON row", r.Name)
-		}
+		c := rep.cell(dataset, "build.index", 1)
 		seen := map[string]bool{}
-		for _, p := range r.Phases {
-			seen[p.Name] = true
-			if p.Duration <= 0 {
-				t.Errorf("%s: phase %s has non-positive duration", r.Name, p.Name)
+		for _, ph := range c.Phases {
+			seen[ph.Name] = true
+			if ph.Duration <= 0 {
+				t.Errorf("%s: phase %s has non-positive duration", dataset, ph.Name)
 			}
 		}
 		for _, want := range []string{"peel", "rank+layout", "phcd", "index"} {
 			if !seen[want] {
-				t.Errorf("%s: phases missing %q (have %v)", r.Name, want, seen)
+				t.Errorf("%s: build.index phases missing %q (have %v)", dataset, want, seen)
 			}
+		}
+	}
+	// 4 scaling rows per dataset: phcd, phcd.seed, phcd.layout, build.index.
+	if len(rep.Scaling) != 8 {
+		t.Fatalf("scaling rows = %d, want 8", len(rep.Scaling))
+	}
+	for _, row := range rep.Scaling {
+		if len(row.Speedup) != 2 || len(row.Efficiency) != 2 {
+			t.Errorf("%s/%s: sweep slices misaligned: %+v", row.Dataset, row.Kernel, row)
+		}
+		if row.Speedup[0] <= 0 {
+			t.Errorf("%s/%s: p=1 self-speedup = %f, want > 0", row.Dataset, row.Kernel, row.Speedup[0])
+		}
+		if row.SerialFraction < 0 || row.SerialFraction > 1 {
+			t.Errorf("%s/%s: serial fraction %f outside [0,1]", row.Dataset, row.Kernel, row.SerialFraction)
+		}
+		switch row.Kernel {
+		case "phcd", "phcd.seed":
+			if row.Baseline != "lcps" || len(row.SpeedupVsBaseline) != 2 {
+				t.Errorf("%s/%s: baseline wiring wrong: %+v", row.Dataset, row.Kernel, row)
+			}
+		case "phcd.layout":
+			if row.Baseline != "phcd.seed" || len(row.SpeedupVsBaseline) != 2 {
+				t.Errorf("%s/%s: baseline wiring wrong: %+v", row.Dataset, row.Kernel, row)
+			}
+		case "build.index":
+			if len(row.Phases) == 0 {
+				t.Errorf("%s: build.index row has no phase scaling", row.Dataset)
+			}
+			if row.Bottleneck == "" {
+				t.Errorf("%s: build.index row names no bottleneck", row.Dataset)
+			}
+		}
+	}
+}
+
+// TestSearchBenchWritesJournal smoke-runs the search sweep and checks
+// the PBKS cells carry the search phase breakdown plus a BKS baseline.
+func TestSearchBenchWritesJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test is slow")
+	}
+	path := filepath.Join(t.TempDir(), "search.json")
+	var buf bytes.Buffer
+	cfg := Config{Scale: 1, Reps: 1, Sweep: []int{1, 2}, Out: &buf, JSONPath: path}
+	if err := SearchBench(cfg); err != nil {
+		t.Fatalf("SearchBench: %v", err)
+	}
+	rep, err := ReadReport(path)
+	if err != nil {
+		t.Fatalf("journal not readable: %v", err)
+	}
+	if rep.Experiment != "search" || rep.Manifest.Suite != "search-smoke-v1" {
+		t.Errorf("report header wrong: exp=%q suite=%q", rep.Experiment, rep.Manifest.Suite)
+	}
+	for _, dataset := range []string{"rmat12", "onion12"} {
+		for _, suffix := range []string{"typea", "typeb"} {
+			if c := rep.cell(dataset, "bks."+suffix, 1); c == nil || c.MinNS <= 0 {
+				t.Errorf("%s: missing bks.%s baseline", dataset, suffix)
+			}
+			c := rep.cell(dataset, "pbks."+suffix, 2)
+			if c == nil {
+				t.Errorf("%s: missing pbks.%s p=2 cell", dataset, suffix)
+				continue
+			}
+			seen := map[string]bool{}
+			for _, ph := range c.Phases {
+				seen[ph.Name] = true
+			}
+			if !seen["search.primary"] || !seen["search.score"] {
+				t.Errorf("%s/pbks.%s: phases = %v, want search.primary+search.score", dataset, suffix, seen)
+			}
+		}
+	}
+	// 2 scaling rows per dataset (pbks.typea, pbks.typeb).
+	if len(rep.Scaling) != 4 {
+		t.Fatalf("scaling rows = %d, want 4", len(rep.Scaling))
+	}
+	for _, row := range rep.Scaling {
+		if row.Baseline == "" || len(row.SpeedupVsBaseline) != 2 {
+			t.Errorf("%s/%s: missing BKS baseline curve: %+v", row.Dataset, row.Kernel, row)
 		}
 	}
 }

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	core2 "hcd/internal/core"
+	"hcd/internal/coredecomp"
+	"hcd/internal/metrics"
+	"hcd/internal/obs"
+	"hcd/internal/search"
+)
+
+// searchSuiteFingerprint names the generator-parameter set of the
+// search experiment (same graphs as the phcd sweep, searched rather
+// than rebuilt).
+func searchSuiteFingerprint(small bool) string {
+	if small {
+		return "search-smoke-v1"
+	}
+	return "search-full-v1"
+}
+
+// SearchBench runs the paper-style subgraph-search sweep (PBKS vs BKS,
+// Figures 6 and 8) and writes the experiment journal. Per dataset it
+// prebuilds the hierarchy and search index once (preprocessing is
+// excluded, as in the paper), then measures:
+//
+//   - bks.typea / bks.typeb — serial BKS score computation at p=1, the
+//     vs-baseline anchors;
+//   - pbks.typea / pbks.typeb — PBKS score computation across the
+//     thread sweep, instrumented via SearchReportCtx so every cell
+//     carries the search.primary / search.score phase breakdown.
+//
+// The derived scaling rows carry PBKS-over-BKS speedup, self-relative
+// speedup, parallel efficiency, the Amdahl serial-fraction fit, and the
+// per-phase analysis naming the phase that bounds scalability. When
+// cfg.JSONPath is set the journal is also written there.
+//
+// Scale 1 substitutes the tiny smoke-test inputs; any larger scale runs
+// the full-size graphs.
+func SearchBench(cfg Config) error {
+	cfg = cfg.withDefaults()
+	small := cfg.Scale <= 1
+	rep := Report{
+		Experiment: "search",
+		Manifest:   NewManifest(cfg.Scale, searchSuiteFingerprint(small)),
+		Threads:    cfg.Sweep,
+		Reps:       cfg.Reps,
+	}
+	maxP := 1
+	for _, p := range rep.Threads {
+		if p > maxP {
+			maxP = p
+		}
+	}
+	kinds := []struct {
+		suffix string
+		m      metrics.Metric
+	}{
+		{"typea", metrics.AverageDegree{}},
+		{"typeb", metrics.ClusteringCoefficient{}},
+	}
+	for _, d := range phcdSuite(small) {
+		g := d.build()
+		core := coredecomp.Serial(g)
+		h := core2.PHCD(g, core, maxP)
+		bks := search.NewBKS(g, core, h)
+		ix := search.NewIndex(g, core, h, maxP)
+
+		for _, kind := range kinds {
+			kind := kind
+			measureBaseline(&rep, d.name, "bks."+kind.suffix, func() { bks.Search(kind.m) })
+
+			kernel := "pbks." + kind.suffix
+			var searchErr error
+			for _, p := range rep.Threads {
+				p := p
+				var runs [][]obs.PhaseStat
+				cell := measureCellSpan(d.name, kernel, p, rep.Reps, func() {
+					_, srep, err := ix.SearchReportCtx(context.Background(), kind.m, p)
+					if err != nil {
+						searchErr = err
+						return
+					}
+					runs = append(runs, srep.Phases)
+				})
+				if searchErr != nil {
+					return fmt.Errorf("search: instrumented %s run: %w", kernel, searchErr)
+				}
+				cell.Phases = obs.MinPhases(runs)
+				rep.Cells = append(rep.Cells, cell)
+			}
+			rep.Scaling = append(rep.Scaling, rep.buildScaling(d.name, kernel, "bks."+kind.suffix))
+		}
+	}
+	printReport(cfg, rep)
+	return writeJournal(cfg, rep)
+}

@@ -112,6 +112,10 @@ func Disable() {
 // Enabled reports whether any rules are armed.
 func Enabled() bool { return armed.Load() }
 
+// Compiled reports whether fault injection is compiled in (false under
+// the nofaults build tag) — the build-flavour bit run manifests record.
+func Compiled() bool { return true }
+
 // EnableFromEnv arms the injector from the HCD_FAULTS environment
 // variable, if set. Intended for command-line tools; returns the parse
 // error, if any, so callers can surface a bad spec.

@@ -33,6 +33,9 @@ func Disable() {}
 // Enabled always reports false.
 func Enabled() bool { return false }
 
+// Compiled reports that fault injection is compiled out.
+func Compiled() bool { return false }
+
 // EnableFromEnv fails like Enable when HCD_FAULTS is set, and is a no-op
 // otherwise.
 func EnableFromEnv() error {

@@ -8,6 +8,9 @@
 //	                      segments: [a-z][a-z0-9]*, 1-3 of them, dot-separated
 //	metrics               prometheus style   e.g. "hcd_fault_fired_total"
 //	                      [a-z][a-z0-9_]*
+//	phase stats           span grammar plus '+' fused-stage separators
+//	                      e.g. "rank+layout"; names legitimately repeat
+//	                      their StartPhase span, so no duplicate check
 package lint
 
 import (
@@ -23,6 +26,7 @@ import (
 var (
 	siteNameRe   = regexp.MustCompile(`^[a-z][a-z0-9]*(\.[a-z][a-z0-9]*){0,2}$`)
 	metricNameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+	phaseNameRe  = regexp.MustCompile(`^[a-z][a-z0-9]*([.+][a-z][a-z0-9]*){0,2}$`)
 )
 
 // nameUse is one collected (name, position) occurrence.
@@ -34,7 +38,7 @@ type nameUse struct {
 func siteHygieneCheck() *Check {
 	return &Check{
 		Name: "site-hygiene",
-		Doc:  "faultinject sites and obs span/metric names must be unique literals matching the name grammar",
+		Doc:  "faultinject sites and obs span/metric/phase names must be literals matching the name grammars (spans/sites/metrics also unique)",
 		Run: func(ctx *Context) ([]Diagnostic, error) {
 			module := ctx.Loader.Module
 			faultPath := module + "/internal/faultinject"
@@ -77,6 +81,15 @@ func siteHygieneCheck() *Check {
 							} else {
 								diags = append(diags, ctx.diag("site-hygiene", call.Args[0].Pos(),
 									"obs.%s span name must be a string literal so traces stay greppable", fn.Name()))
+							}
+						case "NewPhaseStat":
+							// Phase stats share a name with their StartPhase
+							// span on purpose — grammar only, no dup check.
+							if lit, ok := stringLit(call.Args[0]); ok {
+								diags = append(diags, checkGrammar(ctx, "phase", lit, phaseNameRe, call.Args[0].Pos())...)
+							} else {
+								diags = append(diags, ctx.diag("site-hygiene", call.Args[0].Pos(),
+									"obs.NewPhaseStat phase name must be a string literal so journal rows stay greppable"))
 							}
 						case "NewCounter", "NewGauge", "NewHistogram":
 							name, pos, ok := metricBase(pkg, call.Args[0])

@@ -22,4 +22,9 @@ func Touch(name string) {
 	c.Inc()
 	g := obs.NewGauge(obs.Name("fixture_gauge", "thread", name), "fixture")
 	g.Set(1)
+
+	_ = obs.NewPhaseStat("rank+layout", 0, obs.WorkerStats{})  // clean: '+' joins fused stages
+	_ = obs.NewPhaseStat("fixture.span", 0, obs.WorkerStats{}) // clean: repeating a span name is the point of a phase stat
+	_ = obs.NewPhaseStat("Bad+Phase", 0, obs.WorkerStats{})    // grammar violation
+	_ = obs.NewPhaseStat(name, 0, obs.WorkerStats{})           // dynamic phase name
 }

@@ -82,6 +82,71 @@ func (h *Histogram) Count() int64 { return h.n.Load() }
 // Sum returns the summed observed duration.
 func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
 
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts
+// by linear interpolation inside the bucket the rank falls into —
+// accurate to bucket resolution (bounds double, so the estimate is
+// within 2x of the true value). Observations in the +Inf overflow
+// bucket clamp to the largest finite bound. Returns 0 when nothing has
+// been observed.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n)
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c > 0 && float64(cum+c) >= rank {
+			if i >= len(histBuckets) {
+				// +Inf overflow: clamp to the largest finite bound.
+				return time.Duration(histBuckets[len(histBuckets)-1])
+			}
+			lo := int64(0)
+			if i > 0 {
+				lo = histBuckets[i-1]
+			}
+			hi := histBuckets[i]
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return time.Duration(float64(lo) + frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	return time.Duration(histBuckets[len(histBuckets)-1])
+}
+
+// Merge folds other's observations into h (bucket-wise addition; both
+// histograms share the package's fixed bucket bounds). other is read
+// atomically bucket by bucket, so merging a live histogram is safe but
+// yields a possibly-torn point-in-time view — merge quiesced histograms
+// when exactness matters.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other == h {
+		return
+	}
+	for i := range h.counts {
+		if c := other.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.sum.Add(other.sum.Load())
+	h.n.Add(other.n.Load())
+}
+
+// Enabled reports whether observability is compiled in (false under the
+// noobs build tag) — the build-flavour bit run manifests record so two
+// benchmark reports are comparable or provably not.
+func Enabled() bool { return true }
+
 // registry holds every registered metric by full name. Registration
 // takes a lock; hot-path updates never touch it.
 var registry struct {

@@ -33,6 +33,9 @@ func (*Tracer) Reset() {}
 // SpanCount always reports zero.
 func (*Tracer) SpanCount() uint64 { return 0 }
 
+// Dropped always reports zero.
+func (*Tracer) Dropped() uint64 { return 0 }
+
 // WriteTrace emits a valid, empty Chrome trace.
 func (*Tracer) WriteTrace(w io.Writer) error {
 	_, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n")
@@ -137,6 +140,15 @@ func (*Histogram) Count() int64 { return 0 }
 
 // Sum always reports zero.
 func (*Histogram) Sum() time.Duration { return 0 }
+
+// Quantile always reports zero.
+func (*Histogram) Quantile(float64) time.Duration { return 0 }
+
+// Merge is a no-op.
+func (*Histogram) Merge(*Histogram) {}
+
+// Enabled reports that observability is compiled out.
+func Enabled() bool { return false }
 
 // HistogramSnapshot mirrors the live build's type; always empty here.
 type HistogramSnapshot struct {

@@ -48,6 +48,16 @@ func TestStubsAreInert(t *testing.T) {
 	if h.Count() != 0 || h.Sum() != 0 {
 		t.Errorf("histogram = %d/%v, want 0/0", h.Count(), h.Sum())
 	}
+	h.Merge(obs.NewHistogram("test_other_seconds", "test"))
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("stub quantile = %v, want 0", q)
+	}
+	if d := obs.DefaultTracer().Dropped(); d != 0 {
+		t.Errorf("stub Dropped = %d, want 0", d)
+	}
+	if obs.Enabled() {
+		t.Error("Enabled must report false under noobs")
+	}
 
 	snap := obs.Snapshot()
 	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 || snap.Spans != 0 {

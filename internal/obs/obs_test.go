@@ -74,6 +74,75 @@ func TestHistogramConcurrent(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantile checks the interpolated quantile estimator:
+// ordering, bucket-resolution accuracy, and the edge cases (empty
+// histogram, q clamping, +Inf overflow clamping).
+func TestHistogramQuantile(t *testing.T) {
+	h := obs.NewHistogram("test_quantile_seconds", "test")
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	// 1000 observations spread uniformly over [1ms, 2ms): the median
+	// must land inside a bucket containing 1.5ms, i.e. within the 2x
+	// bucket-resolution bound of the truth.
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Millisecond + time.Duration(i)*time.Microsecond)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 750*time.Microsecond || p50 > 3*time.Millisecond {
+		t.Errorf("p50 = %v, want within bucket resolution of 1.5ms", p50)
+	}
+	for _, qs := range [][2]float64{{0.1, 0.5}, {0.5, 0.9}, {0.9, 1.0}} {
+		if a, b := h.Quantile(qs[0]), h.Quantile(qs[1]); a > b {
+			t.Errorf("quantiles not monotone: q%.1f=%v > q%.1f=%v", qs[0], a, qs[1], b)
+		}
+	}
+	if lo, hi := h.Quantile(-1), h.Quantile(2); lo > hi {
+		t.Errorf("clamped quantiles inverted: %v > %v", lo, hi)
+	}
+	// An observation beyond the largest finite bound (~17.2s) lands in
+	// the +Inf bucket and must clamp, not explode.
+	h2 := obs.NewHistogram("test_quantile_overflow_seconds", "test")
+	h2.Observe(time.Hour)
+	if got := h2.Quantile(0.99); got <= 0 || got > 20*time.Second {
+		t.Errorf("overflow quantile = %v, want clamped to the largest finite bound", got)
+	}
+}
+
+// TestHistogramMerge checks Merge is bucket-wise addition and that
+// merged quantiles see both inputs.
+func TestHistogramMerge(t *testing.T) {
+	a := obs.NewHistogram("test_merge_a_seconds", "test")
+	b := obs.NewHistogram("test_merge_b_seconds", "test")
+	for i := 0; i < 100; i++ {
+		a.Observe(time.Millisecond)
+		b.Observe(time.Second)
+	}
+	a.Merge(nil) // must be a no-op
+	a.Merge(a)   // self-merge must be a no-op, not a double-count
+	if a.Count() != 100 {
+		t.Fatalf("self-merge changed count: %d", a.Count())
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Errorf("merged count = %d, want 200", a.Count())
+	}
+	wantSum := 100*time.Millisecond + 100*time.Second
+	if a.Sum() != wantSum {
+		t.Errorf("merged sum = %v, want %v", a.Sum(), wantSum)
+	}
+	if b.Count() != 100 {
+		t.Errorf("merge mutated its argument: count = %d", b.Count())
+	}
+	// Quantiles straddle the two populations: p25 near 1ms, p75 near 1s.
+	if p := a.Quantile(0.25); p > 10*time.Millisecond {
+		t.Errorf("merged p25 = %v, want near 1ms", p)
+	}
+	if p := a.Quantile(0.75); p < 100*time.Millisecond {
+		t.Errorf("merged p75 = %v, want near 1s", p)
+	}
+}
+
 // TestSpansConcurrent opens and closes spans from many par workers at
 // once: the recorder must stay race-clean and count every span.
 func TestSpansConcurrent(t *testing.T) {
@@ -156,11 +225,14 @@ func TestPhaseWorkerStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := sp.WorkerStats()
-	if w.Workers <= 0 {
-		t.Fatalf("workers = %d, want > 0", w.Workers)
+	if w.Stints <= 0 {
+		t.Fatalf("stints = %d, want > 0", w.Stints)
 	}
-	if w.Chunks < w.Workers {
-		t.Errorf("chunks = %d < workers = %d", w.Chunks, w.Workers)
+	if w.Chunks < w.Stints {
+		t.Errorf("chunks = %d < stints = %d", w.Chunks, w.Stints)
+	}
+	if w.MaxWorkers < 1 || w.MaxWorkers > w.Stints {
+		t.Errorf("max workers = %d, want in [1, %d]", w.MaxWorkers, w.Stints)
 	}
 	if w.Busy <= 0 || w.MaxBusy <= 0 || w.MaxBusy > w.Busy {
 		t.Errorf("busy = %v, maxBusy = %v", w.Busy, w.MaxBusy)
@@ -183,11 +255,11 @@ func TestPhaseStacking(t *testing.T) {
 	par.ForEach(64, 4, func(int) {})
 	outer.End()
 	iw, ow := inner.WorkerStats(), outer.WorkerStats()
-	if iw.Workers <= 0 {
-		t.Errorf("inner workers = %d, want > 0", iw.Workers)
+	if iw.Stints <= 0 {
+		t.Errorf("inner stints = %d, want > 0", iw.Stints)
 	}
-	if ow.Workers <= 0 {
-		t.Errorf("outer workers = %d, want > 0 (post-inner work)", ow.Workers)
+	if ow.Stints <= 0 {
+		t.Errorf("outer stints = %d, want > 0 (post-inner work)", ow.Stints)
 	}
 }
 

@@ -45,13 +45,18 @@ import "time"
 
 // WorkerStats aggregates the execution of every par worker that ran
 // while one phase was armed: how many worker stints there were, how many
-// dynamic chunks they processed, their summed busy time, and the longest
-// single stint. A "worker" here is one worker-goroutine activation of a
-// par.For*/Run* call; a phase spanning several parallel calls counts
-// each call's workers separately.
+// ran concurrently at the peak, how many dynamic chunks they processed,
+// their summed busy time, and the longest single stint. A "stint" is one
+// worker-goroutine activation of a par.For*/Run* call; a phase spanning
+// several parallel calls counts each call's workers separately, so the
+// stint count is a volume number, not a concurrency number — MaxWorkers
+// is the concurrency number.
 type WorkerStats struct {
-	// Workers is the number of worker stints recorded.
-	Workers int64
+	// Stints is the number of worker stints recorded.
+	Stints int64
+	// MaxWorkers is the high-water mark of concurrently active worker
+	// stints — the true "how parallel did this phase actually run".
+	MaxWorkers int64
 	// Chunks is the total number of chunks the workers processed (one
 	// per worker for the static primitives; the grabbed chunk count for
 	// ForChunked).
@@ -66,47 +71,54 @@ type WorkerStats struct {
 // stint divided by the mean stint. 1.0 is perfectly balanced; large
 // values mean one worker carried the phase. 0 when nothing was recorded.
 func (w WorkerStats) Skew() float64 {
-	if w.Workers == 0 || w.Busy <= 0 {
+	if w.Stints == 0 || w.Busy <= 0 {
 		return 0
 	}
-	mean := float64(w.Busy) / float64(w.Workers)
+	mean := float64(w.Busy) / float64(w.Stints)
 	return float64(w.MaxBusy) / mean
 }
 
 // PhaseStat is one pipeline phase's contribution to a BuildReport or
 // SearchReport: its wall-clock duration plus the worker statistics
 // gathered while the phase was armed. Durations marshal as nanoseconds.
+//
+// The JSON field `stints` counts worker stints (earlier schema versions
+// called this `workers`, which misread as a concurrency number);
+// `max_workers` is the concurrent-worker high-water mark.
 type PhaseStat struct {
 	// Name identifies the phase (see the span taxonomy in the package
 	// comment).
 	Name string `json:"name"`
 	// Duration is the phase's wall-clock time.
 	Duration time.Duration `json:"duration_ns"`
-	// Workers, Chunks, Busy and MaxBusy mirror WorkerStats; zero when
-	// the phase ran no parallel primitives (or under the noobs tag).
-	Workers int64         `json:"workers,omitempty"`
-	Chunks  int64         `json:"chunks,omitempty"`
-	Busy    time.Duration `json:"busy_ns,omitempty"`
-	MaxBusy time.Duration `json:"max_busy_ns,omitempty"`
+	// Stints, MaxWorkers, Chunks, Busy and MaxBusy mirror WorkerStats;
+	// zero when the phase ran no parallel primitives (or under the noobs
+	// tag).
+	Stints     int64         `json:"stints,omitempty"`
+	MaxWorkers int64         `json:"max_workers,omitempty"`
+	Chunks     int64         `json:"chunks,omitempty"`
+	Busy       time.Duration `json:"busy_ns,omitempty"`
+	MaxBusy    time.Duration `json:"max_busy_ns,omitempty"`
 	// Skew is WorkerStats.Skew at phase end (max/mean worker busy time).
 	Skew float64 `json:"skew,omitempty"`
 }
 
 // WorkerStats reconstructs the embedded worker statistics.
 func (p PhaseStat) WorkerStats() WorkerStats {
-	return WorkerStats{Workers: p.Workers, Chunks: p.Chunks, Busy: p.Busy, MaxBusy: p.MaxBusy}
+	return WorkerStats{Stints: p.Stints, MaxWorkers: p.MaxWorkers, Chunks: p.Chunks, Busy: p.Busy, MaxBusy: p.MaxBusy}
 }
 
 // NewPhaseStat assembles a PhaseStat from a measured duration and the
 // worker statistics of the phase.
 func NewPhaseStat(name string, d time.Duration, w WorkerStats) PhaseStat {
 	return PhaseStat{
-		Name:     name,
-		Duration: d,
-		Workers:  w.Workers,
-		Chunks:   w.Chunks,
-		Busy:     w.Busy,
-		MaxBusy:  w.MaxBusy,
-		Skew:     w.Skew(),
+		Name:       name,
+		Duration:   d,
+		Stints:     w.Stints,
+		MaxWorkers: w.MaxWorkers,
+		Chunks:     w.Chunks,
+		Busy:       w.Busy,
+		MaxBusy:    w.MaxBusy,
+		Skew:       w.Skew(),
 	}
 }

@@ -1,0 +1,101 @@
+package obs_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"hcd/internal/obs"
+)
+
+func TestSpeedupAndEfficiency(t *testing.T) {
+	if got := obs.Speedup(4*time.Second, time.Second); got != 4 {
+		t.Errorf("Speedup(4s, 1s) = %f, want 4", got)
+	}
+	if got := obs.Speedup(0, time.Second); got != 0 {
+		t.Errorf("Speedup with zero base = %f, want 0", got)
+	}
+	if got := obs.Speedup(time.Second, 0); got != 0 {
+		t.Errorf("Speedup with zero denominator = %f, want 0", got)
+	}
+	if got := obs.Efficiency(4, 8); got != 0.5 {
+		t.Errorf("Efficiency(4, 8) = %f, want 0.5", got)
+	}
+	if got := obs.Efficiency(4, 0); got != 0 {
+		t.Errorf("Efficiency with 0 threads = %f, want 0", got)
+	}
+}
+
+// amdahl produces a synthetic sweep from a known serial fraction.
+func amdahl(t1 time.Duration, s float64, threads []int) []obs.ScalingPoint {
+	pts := make([]obs.ScalingPoint, 0, len(threads))
+	for _, p := range threads {
+		d := time.Duration(float64(t1) * (s + (1-s)/float64(p)))
+		pts = append(pts, obs.ScalingPoint{Threads: p, Duration: d})
+	}
+	return pts
+}
+
+func TestFitSerialFractionRecoversKnownCurve(t *testing.T) {
+	threads := []int{1, 2, 4, 8, 16}
+	for _, want := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		got := obs.FitSerialFraction(amdahl(time.Second, want, threads))
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("FitSerialFraction(s=%.2f curve) = %f", want, got)
+		}
+	}
+}
+
+func TestFitSerialFractionDegenerateSweeps(t *testing.T) {
+	// No p=1 point.
+	if got := obs.FitSerialFraction(amdahl(time.Second, 0.5, []int{2, 4})); got != -1 {
+		t.Errorf("fit without p=1 = %f, want -1", got)
+	}
+	// Only the p=1 point.
+	if got := obs.FitSerialFraction(amdahl(time.Second, 0.5, []int{1})); got != -1 {
+		t.Errorf("fit without p>1 = %f, want -1", got)
+	}
+	// Empty sweep.
+	if got := obs.FitSerialFraction(nil); got != -1 {
+		t.Errorf("fit of nil = %f, want -1", got)
+	}
+	// Superlinear measurements clamp to 0, anti-scaling clamps to 1.
+	super := []obs.ScalingPoint{{Threads: 1, Duration: time.Second}, {Threads: 4, Duration: 100 * time.Millisecond}}
+	if got := obs.FitSerialFraction(super); got != 0 {
+		t.Errorf("superlinear fit = %f, want clamped 0", got)
+	}
+	anti := []obs.ScalingPoint{{Threads: 1, Duration: time.Second}, {Threads: 4, Duration: 3 * time.Second}}
+	if got := obs.FitSerialFraction(anti); got != 1 {
+		t.Errorf("anti-scaling fit = %f, want clamped 1", got)
+	}
+}
+
+func TestMinPhases(t *testing.T) {
+	runs := [][]obs.PhaseStat{
+		{
+			{Name: "peel", Duration: 30, Stints: 3},
+			{Name: "phcd", Duration: 50, Stints: 5},
+		},
+		{
+			{Name: "peel", Duration: 20, Stints: 2},
+			{Name: "phcd", Duration: 60, Stints: 6},
+			{Name: "fallback", Duration: 10},
+		},
+	}
+	got := obs.MinPhases(runs)
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3 (union of phases): %+v", len(got), got)
+	}
+	if got[0].Name != "peel" || got[1].Name != "phcd" || got[2].Name != "fallback" {
+		t.Fatalf("order = %v, want first-run order then additions", got)
+	}
+	if got[0].Duration != 20 || got[0].Stints != 2 {
+		t.Errorf("peel kept %+v, want the faster rep's stats", got[0])
+	}
+	if got[1].Duration != 50 || got[1].Stints != 5 {
+		t.Errorf("phcd kept %+v, want the faster rep's stats", got[1])
+	}
+	if obs.MinPhases(nil) != nil {
+		t.Error("MinPhases(nil) should be nil")
+	}
+}

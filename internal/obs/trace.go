@@ -29,11 +29,19 @@ const argNone = int64(-1 << 62)
 type Tracer struct {
 	epoch time.Time
 
-	mu    sync.Mutex
-	buf   []spanRecord
-	next  int
-	count uint64 // total spans ever recorded (wrapped ones included)
+	mu      sync.Mutex
+	buf     []spanRecord
+	next    int
+	count   uint64 // total spans ever recorded (wrapped ones included)
+	dropped uint64 // spans overwritten before they could be exported
 }
+
+// traceDropped makes ring-buffer truncation observable: every span
+// overwritten before export increments it (across all tracers in the
+// process), so a truncated -trace export is visible in /metrics instead
+// of silently missing history.
+var traceDropped = NewCounter("hcd_trace_dropped_total",
+	"spans overwritten in a trace ring buffer before they could be exported")
 
 // NewTracer returns a tracer holding up to capacity completed spans
 // (minimum 16).
@@ -62,19 +70,32 @@ func (t *Tracer) record(r spanRecord) {
 		if t.next == len(t.buf) {
 			t.next = 0
 		}
+		t.dropped++
+		traceDropped.Inc()
 	}
 	t.count++
 	t.mu.Unlock()
 }
 
 // Reset drops every recorded span (the capacity is kept). For tests and
-// for tools that want a trace scoped to one command.
+// for tools that want a trace scoped to one command. The dropped count
+// resets with the buffer; the hcd_trace_dropped_total counter does not.
 func (t *Tracer) Reset() {
 	t.mu.Lock()
 	t.buf = t.buf[:0]
 	t.next = 0
 	t.count = 0
+	t.dropped = 0
 	t.mu.Unlock()
+}
+
+// Dropped returns how many recorded spans have been overwritten in the
+// ring before export — nonzero means WriteTrace's output is truncated
+// history, not the whole run.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
 }
 
 // SpanCount returns the number of spans ever recorded, including any
@@ -124,18 +145,21 @@ func ResetTrace() { defaultTracer.Reset() }
 
 // workerAgg accumulates WorkerStats for the currently armed phase.
 type workerAgg struct {
-	busy    atomic.Int64
-	maxBusy atomic.Int64
-	workers atomic.Int64
-	chunks  atomic.Int64
+	busy      atomic.Int64
+	maxBusy   atomic.Int64
+	stints    atomic.Int64
+	chunks    atomic.Int64
+	active    atomic.Int64 // stints currently running
+	maxActive atomic.Int64 // high-water mark of active
 }
 
 func (a *workerAgg) stats() WorkerStats {
 	return WorkerStats{
-		Workers: a.workers.Load(),
-		Chunks:  a.chunks.Load(),
-		Busy:    time.Duration(a.busy.Load()),
-		MaxBusy: time.Duration(a.maxBusy.Load()),
+		Stints:     a.stints.Load(),
+		MaxWorkers: a.maxActive.Load(),
+		Chunks:     a.chunks.Load(),
+		Busy:       time.Duration(a.busy.Load()),
+		MaxBusy:    time.Duration(a.maxBusy.Load()),
 	}
 }
 
@@ -208,17 +232,25 @@ func (s *Span) WorkerStats() WorkerStats {
 
 // WorkerStart opens one worker stint: par's primitives call it at worker
 // entry and pass the returned mark to WorkerEnd. When no phase is armed
-// it returns the zero time and costs one atomic load.
+// it returns the zero time and costs one atomic load. An armed phase
+// additionally tracks the stint in its concurrent-worker high-water
+// mark.
 func WorkerStart() time.Time {
-	if curAgg.Load() == nil {
+	a := curAgg.Load()
+	if a == nil {
 		return time.Time{}
 	}
+	act := a.active.Add(1)
+	raiseMax(&a.maxActive, act)
 	return time.Now()
 }
 
 // WorkerEnd closes a worker stint opened by WorkerStart, folding its
 // busy time and processed chunk count into the armed phase. A zero mark
-// (no phase armed at stint start) is ignored.
+// (no phase armed at stint start) is ignored. A phase swap between
+// WorkerStart and WorkerEnd attributes the stint to the phase armed at
+// its end — the same attribution blur the package comment documents for
+// concurrent pipelines; counts never corrupt.
 func WorkerEnd(mark time.Time, chunks int64) {
 	if mark.IsZero() {
 		return
@@ -227,17 +259,23 @@ func WorkerEnd(mark time.Time, chunks int64) {
 	if a == nil {
 		return
 	}
+	a.active.Add(-1)
 	busy := time.Since(mark).Nanoseconds()
 	a.busy.Add(busy)
-	a.workers.Add(1)
+	a.stints.Add(1)
 	a.chunks.Add(chunks)
+	raiseMax(&a.maxBusy, busy)
+}
+
+// raiseMax lifts *m to at least v (CAS loop; monotone).
+func raiseMax(m *atomic.Int64, v int64) {
 	for {
-		cur := a.maxBusy.Load()
-		if cur >= busy {
-			break
+		cur := m.Load()
+		if cur >= v {
+			return
 		}
-		if a.maxBusy.CompareAndSwap(cur, busy) {
-			break
+		if m.CompareAndSwap(cur, v) {
+			return
 		}
 	}
 }

@@ -30,6 +30,31 @@ func TestRingOverwrite(t *testing.T) {
 	}
 }
 
+// TestTracerDropped checks ring-buffer truncation is counted: a tracer
+// over capacity reports every overwritten span, the package counter
+// mirrors it, and Reset clears the per-tracer count but not the
+// process-lifetime counter.
+func TestTracerDropped(t *testing.T) {
+	tr := NewTracer(16)
+	before := traceDropped.Value()
+	for i := 0; i < 20; i++ {
+		tr.record(spanRecord{name: "s", arg: argNone, start: int64(i), dur: 1})
+	}
+	if got := tr.Dropped(); got != 4 {
+		t.Errorf("Dropped = %d, want 4", got)
+	}
+	if delta := traceDropped.Value() - before; delta != 4 {
+		t.Errorf("hcd_trace_dropped_total delta = %d, want 4", delta)
+	}
+	tr.Reset()
+	if tr.Dropped() != 0 {
+		t.Errorf("Dropped after Reset = %d, want 0", tr.Dropped())
+	}
+	if delta := traceDropped.Value() - before; delta != 4 {
+		t.Errorf("counter must survive Reset: delta = %d, want 4", delta)
+	}
+}
+
 // TestMinimumCapacity checks the 16-span floor.
 func TestMinimumCapacity(t *testing.T) {
 	tr := NewTracer(1)
