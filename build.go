@@ -146,14 +146,14 @@ func BuildCtx(ctx context.Context, g *Graph, opt Options) (*HCD, []int32, *Build
 	return h, core, rep, nil
 }
 
-// buildParallel runs the parallel pipeline (ParallelCtx peeling, PHCDCtx)
-// under ctx as instrumented phases on rep, returning the first contained
-// failure.
+// buildParallel runs the parallel pipeline (PeelCtx with the selected
+// kernel, PHCDCtx) under ctx as instrumented phases on rep, returning
+// the first contained failure.
 func buildParallel(ctx context.Context, g *Graph, opt Options, rep *BuildReport) (*HCD, []int32, error) {
 	var core []int32
 	err := rep.runPhase("peel", func() error {
 		var err error
-		core, err = coredecomp.ParallelCtx(ctx, g, opt.Threads)
+		core, err = coredecomp.PeelCtx(ctx, g, opt.Threads, opt.Kernel)
 		return err
 	})
 	if err != nil {
@@ -233,7 +233,7 @@ func buildAndIndexParallel(ctx context.Context, g *Graph, opt Options, rep *Buil
 	var core []int32
 	err := rep.runPhase("peel", func() error {
 		var err error
-		core, err = coredecomp.ParallelCtx(ctx, g, opt.Threads)
+		core, err = coredecomp.PeelCtx(ctx, g, opt.Threads, opt.Kernel)
 		return err
 	})
 	if err != nil {

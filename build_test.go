@@ -43,8 +43,10 @@ func TestBuildCtxFallsBackOnInjectedPanic(t *testing.T) {
 	defer faultinject.Disable()
 	g := gen.ErdosRenyi(500, 2000, 4)
 	want, wantCore := hcd.BuildHCDSerial(g, hcd.CoreDecompositionSerial(g)), hcd.CoreDecompositionSerial(g)
+	// The peeling sites belong to the default kernel (the buffered one,
+	// hcd.DefaultPeelKernel) — the build pipeline only runs that kernel.
 	sites := []string{
-		"coredecomp.collect", "coredecomp.peel",
+		"coredecomp.buffered.collect", "coredecomp.buffered.peel",
 		"phcd.step1", "phcd.step2", "phcd.step3", "phcd.step4",
 	}
 	for _, site := range sites {

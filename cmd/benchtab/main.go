@@ -8,6 +8,7 @@
 //	benchtab -exp all -scale 4 -reps 3   # the full evaluation
 //	benchtab -exp fig4 -sweep 1,2,4,8 -datasets AS,LJ,H
 //	benchtab -exp phcd -threads 1,2,4,8 -json BENCH_phcd.json
+//	benchtab -exp phcd -kernels buffered,hindex -threads 1,2,4,8
 //	benchtab -exp search -threads 1,2,4 -json BENCH_search.json
 //	benchtab -compare old.json new.json -report report.md -gate
 //
@@ -33,6 +34,7 @@ import (
 	"strings"
 
 	"hcd/internal/bench"
+	"hcd/internal/coredecomp"
 )
 
 func main() {
@@ -51,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	reps := flag.Int("reps", 3, "timing repetitions (minimum reported)")
 	sweep := flag.String("sweep", "", "comma-separated thread sweep for figures (default 1,2,4,..,GOMAXPROCS)")
 	datasets := flag.String("datasets", "", "comma-separated dataset abbreviations (default all ten)")
+	kernels := flag.String("kernels", "", "comma-separated peeling kernels for the phcd sweep: levelsync,buffered,hindex (default all)")
 	jsonPath := flag.String("json", "", "write a machine-readable journal here (experiments that support it: phcd, search)")
 	compare := flag.String("compare", "", "baseline journal: compare the candidate journal (positional argument) against it")
 	reportPath := flag.String("report", "", "with -compare: also write the markdown report to this file")
@@ -112,6 +115,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *datasets != "" {
 		for _, part := range strings.Split(*datasets, ",") {
 			cfg.Datasets = append(cfg.Datasets, strings.TrimSpace(part))
+		}
+	}
+	if *kernels != "" {
+		for _, part := range strings.Split(*kernels, ",") {
+			name := strings.TrimSpace(part)
+			if _, err := coredecomp.ParseKernel(name); err != nil || name == "" {
+				fmt.Fprintf(stderr, "benchtab: bad -kernels entry %q (have levelsync, buffered, hindex)\n", name)
+				return 2
+			}
+			cfg.Kernels = append(cfg.Kernels, name)
 		}
 	}
 

@@ -18,6 +18,12 @@
 //
 // Input formats: "bin" (gengraph/WriteBinary) or "text" (SNAP edge list).
 //
+// -kernel selects the core-decomposition peeling kernel (levelsync,
+// buffered, or hindex); unset, the journal-selected default is used.
+// All kernels produce identical coreness arrays — the switch exists for
+// performance comparison (benchtab -exp phcd records the journal that
+// picks the default).
+//
 // Builds are interruptible: Ctrl-C (or SIGTERM) cancels the pipeline and
 // the tool exits 130. -deadline bounds a build, -verify validates the
 // hierarchy before use (a validation failure exits 3), and -faults arms
@@ -72,6 +78,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	format := flag.String("format", "bin", "input format: bin or text")
 	metric := flag.String("metric", "average-degree", "metric for search/bestk")
 	threads := flag.Int("threads", 0, "threads (0 = GOMAXPROCS)")
+	kernel := flag.String("kernel", "", "peeling kernel: levelsync | buffered | hindex (default: journal-selected)")
 	dot := flag.String("dot", "", "write the hierarchy in DOT format to this path (build)")
 	svg := flag.String("svg", "", "write the hierarchy as an SVG icicle diagram to this path (build)")
 	index := flag.String("index", "", "write the binary HCD index to this path (build)")
@@ -153,7 +160,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
-	opt := hcd.Options{Threads: *threads, Deadline: *deadline, SelfVerify: *verify}
+	peelKernel, err := hcd.ParsePeelKernel(*kernel)
+	if err != nil {
+		fmt.Fprintf(stderr, "hcdtool: %v\n", err)
+		return 2
+	}
+	opt := hcd.Options{Threads: *threads, Deadline: *deadline, SelfVerify: *verify, Kernel: peelKernel}
 	// build runs the containment-aware pipeline: Ctrl-C cancels it, -deadline
 	// bounds it, a parallel-path failure degrades to the serial baseline
 	// (reported on stderr), and -verify validates the result before use.

@@ -314,7 +314,9 @@ func TestRunTraceExport(t *testing.T) {
 	if build == nil {
 		t.Fatalf("no root build span in trace: %v", seen)
 	}
-	for _, want := range []string{"peel", "phcd", "coredecomp.parallel"} {
+	// coredecomp.buffered is the journal-selected default peeling
+	// kernel's root span (hcd.DefaultPeelKernel).
+	for _, want := range []string{"peel", "phcd", "coredecomp.buffered"} {
 		if !seen[want] {
 			t.Errorf("trace missing span %q (have %v)", want, seen)
 		}

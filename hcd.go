@@ -40,11 +40,45 @@ import (
 	"hcd/internal/shellidx"
 )
 
+// PeelKernel selects one of the pluggable core-decomposition peeling
+// kernels. The zero value selects the journal-chosen default
+// (DefaultPeelKernel); the losing kernels stay selectable so new
+// hardware can re-run the selection experiment (see EXPERIMENTS.md
+// "Peeling kernels").
+type PeelKernel = coredecomp.Kernel
+
+const (
+	// PeelLevelSync is PKC-style level-synchronous peeling with
+	// per-element CAS-clamped decrements.
+	PeelLevelSync PeelKernel = coredecomp.KernelLevelSync
+	// PeelBuffered stages cascaded frontier vertices in per-worker
+	// buffers published by one fetch-and-add reservation per flush.
+	PeelBuffered PeelKernel = coredecomp.KernelBuffered
+	// PeelHIndex iterates local h-index updates over a worklist to
+	// fixpoint, with no level barriers.
+	PeelHIndex PeelKernel = coredecomp.KernelHIndex
+	// DefaultPeelKernel is the kernel an unset Options.Kernel resolves
+	// to, selected by the perf journal (BENCH_phcd.json).
+	DefaultPeelKernel = coredecomp.DefaultKernel
+)
+
+// PeelKernels lists every selectable peeling kernel.
+func PeelKernels() []PeelKernel { return coredecomp.Kernels() }
+
+// ParsePeelKernel resolves a kernel name from flag/config input; the
+// empty string resolves to DefaultPeelKernel.
+func ParsePeelKernel(s string) (PeelKernel, error) { return coredecomp.ParseKernel(s) }
+
 // Options tunes the parallel algorithms.
 type Options struct {
 	// Threads is the number of goroutines used by parallel phases.
 	// 0 means runtime.GOMAXPROCS(0); 1 runs inline with no scheduling.
 	Threads int
+	// Kernel selects the core-decomposition peeling kernel used by
+	// CoreDecomposition, Build, BuildAndIndex and the Ctx pipelines.
+	// The zero value selects DefaultPeelKernel. All kernels produce
+	// byte-identical coreness arrays; this is a performance choice only.
+	Kernel PeelKernel
 	// Deadline, when positive, bounds a BuildCtx call: the build's context
 	// is wrapped with this timeout and a build that overruns returns
 	// context.DeadlineExceeded. Ignored by the non-context entry points.
@@ -100,10 +134,11 @@ func ReadEdgeListFile(path string) (*Graph, error) { return graph.ReadEdgeListFi
 // ReadBinaryFile reloads a graph written with WriteBinaryFile.
 func ReadBinaryFile(path string) (*Graph, error) { return graph.ReadBinaryFile(path) }
 
-// CoreDecomposition computes every vertex's coreness with PKC-style
-// parallel peeling (O(n·kmax + m) work).
+// CoreDecomposition computes every vertex's coreness with the selected
+// parallel peeling kernel (Options.Kernel; the default is the
+// journal-chosen DefaultPeelKernel).
 func CoreDecomposition(g *Graph, opt Options) []int32 {
-	return coredecomp.Parallel(g, opt.Threads)
+	return coredecomp.Peel(g, opt.Threads, opt.Kernel)
 }
 
 // CoreDecompositionSerial computes coreness with the Batagelj-Zaversnik

@@ -46,6 +46,9 @@ type Config struct {
 	Reps int
 	// Datasets filters the suite by abbreviation; nil = all ten.
 	Datasets []string
+	// Kernels filters the phcd experiment's peeling-kernel sweep by
+	// kernel name (levelsync, buffered, hindex); nil = all kernels.
+	Kernels []string
 	// Out receives the formatted rows (required).
 	Out io.Writer
 	// JSONPath, when non-empty, makes experiments that support it (phcd,
@@ -73,6 +76,20 @@ func (c Config) withDefaults() Config {
 		}
 	}
 	return c
+}
+
+// wantKernel reports whether the kernel filter admits name (an empty
+// filter admits everything).
+func (c Config) wantKernel(name string) bool {
+	if len(c.Kernels) == 0 {
+		return true
+	}
+	for _, k := range c.Kernels {
+		if k == name {
+			return true
+		}
+	}
+	return false
 }
 
 func (c Config) suite() []gen.Dataset {

@@ -70,6 +70,11 @@ func measureBaseline(rep *Report, dataset, kernel string, f func()) {
 // experiment journal. For every dataset it measures, at each thread
 // count of cfg.Sweep:
 //
+//   - peel.levelsync / peel.buffered / peel.hindex — every selectable
+//     core-decomposition peeling kernel (filterable with cfg.Kernels),
+//     against a serial Batagelj–Zaversnik anchor cell (peel.serial):
+//     the kernel-selection experiment that picks
+//     coredecomp.DefaultKernel;
 //   - phcd.seed — the frozen pre-layout constructor (core.PHCDBaseline);
 //   - phcd — the one-shot layout path (vertex ranking, then shellidx
 //     layout, then core.PHCDWithLayout), the production constructor;
@@ -104,6 +109,22 @@ func PHCDBench(cfg Config) error {
 		core := coredecomp.Serial(g)
 		rank := coredecomp.RankVertices(core, 1)
 		lay := shellidx.Build(g, core, rank, 1)
+
+		// Peeling-kernel selection sweep: one cell row per kernel per
+		// thread count against the Batagelj–Zaversnik serial anchor. The
+		// kernel whose p=max cell wins beyond the noise band is promoted
+		// to coredecomp.DefaultKernel (see EXPERIMENTS.md); the losers
+		// stay recorded so regressions in *any* kernel are caught.
+		measureBaseline(&rep, d.name, "peel.serial", func() { coredecomp.Serial(g) })
+		for _, k := range coredecomp.Kernels() {
+			if !cfg.wantKernel(string(k)) {
+				continue
+			}
+			k := k
+			measureSweep(&rep, d.name, "peel."+string(k), func(p int) { coredecomp.Peel(g, p, k) })
+			rep.Scaling = append(rep.Scaling,
+				rep.buildScaling(d.name, "peel."+string(k), "peel.serial"))
+		}
 
 		measureBaseline(&rep, d.name, "lcps", func() { lcps.Build(g, core) })
 		measureSweep(&rep, d.name, "phcd.seed", func(p int) { core2.PHCDBaseline(g, core, p) })

@@ -63,9 +63,10 @@ func TestPHCDBenchWritesJournal(t *testing.T) {
 			}
 		}
 	}
-	// 4 scaling rows per dataset: phcd, phcd.seed, phcd.layout, build.index.
-	if len(rep.Scaling) != 8 {
-		t.Fatalf("scaling rows = %d, want 8", len(rep.Scaling))
+	// 7 scaling rows per dataset: one peel.<kernel> row per peeling
+	// kernel, then phcd, phcd.seed, phcd.layout, build.index.
+	if len(rep.Scaling) != 14 {
+		t.Fatalf("scaling rows = %d, want 14", len(rep.Scaling))
 	}
 	for _, row := range rep.Scaling {
 		if len(row.Speedup) != 2 || len(row.Efficiency) != 2 {
@@ -78,6 +79,10 @@ func TestPHCDBenchWritesJournal(t *testing.T) {
 			t.Errorf("%s/%s: serial fraction %f outside [0,1]", row.Dataset, row.Kernel, row.SerialFraction)
 		}
 		switch row.Kernel {
+		case "peel.levelsync", "peel.buffered", "peel.hindex":
+			if row.Baseline != "peel.serial" || len(row.SpeedupVsBaseline) != 2 {
+				t.Errorf("%s/%s: baseline wiring wrong: %+v", row.Dataset, row.Kernel, row)
+			}
 		case "phcd", "phcd.seed":
 			if row.Baseline != "lcps" || len(row.SpeedupVsBaseline) != 2 {
 				t.Errorf("%s/%s: baseline wiring wrong: %+v", row.Dataset, row.Kernel, row)

@@ -1,14 +1,23 @@
 // Package coredecomp computes k-core decompositions: the coreness c(v) of
 // every vertex (the largest k such that v belongs to a k-core).
 //
-// Two algorithms are provided, matching the paper's experimental setup:
+// A serial baseline and three parallel kernels are provided:
 //
 //   - Serial: the Batagelj–Zaversnik bin-sort peeling algorithm [19],
 //     O(m) time, used as the input stage of the serial LCPS pipeline.
-//   - Parallel: a PKC/ParK-style level-synchronous peeling [20, 24]:
-//     level k processes (in parallel) every remaining vertex whose degree
-//     has fallen to k, cascading atomic degree decrements. O(n·kmax + m)
-//     work, the same bound as PKC.
+//   - KernelLevelSync (ParallelCtx): a PKC/ParK-style level-synchronous
+//     peeling [20, 24]: level k processes (in parallel) every remaining
+//     vertex whose degree has fallen to k, cascading atomic degree
+//     decrements. O(n·kmax + m) work, the same bound as PKC.
+//   - KernelBuffered (BufferedCtx): the level structure above, with
+//     cascaded adoptions staged in per-worker buffers and published by
+//     one fetch-and-add reservation per flush (MaxTruss Scan/SubLevel).
+//   - KernelHIndex (HIndexCtx): barrier-free asynchronous local h-index
+//     iteration to fixpoint (Sariyüce–Seshadhri–Pinar).
+//
+// Kernel selection goes through PeelCtx / Peel; every kernel returns
+// core arrays byte-identical to Serial's for every thread count. See
+// DESIGN.md "Peeling kernels" for the protocols and proofs.
 //
 // The package also implements the paper's Algorithm 1: the parallel
 // computation of the vertex-rank permutation (Definition 4: order by
@@ -96,11 +105,14 @@ func SerialOrder(g *graph.Graph) (core []int32, order []int32) {
 // Parallel computes coreness with PKC-style level-synchronous peeling
 // using the given number of threads (0 = GOMAXPROCS). Thin wrapper over
 // ParallelCtx; a contained worker panic re-raises on the calling
-// goroutine.
+// goroutine as a *par.PanicError (pass-through when the kernel already
+// produced one, so the worker's stack and cause chain survive the
+// re-panic and errors.Is/As on a recovered value still reach e.g. an
+// injected *faultinject.Fault).
 func Parallel(g *graph.Graph, threads int) []int32 {
 	core, err := ParallelCtx(context.Background(), g, threads)
 	if err != nil {
-		panic(err)
+		panic(par.AsPanicError(err))
 	}
 	return core
 }
@@ -181,6 +193,12 @@ func ParallelCtx(ctx context.Context, g *graph.Graph, threads int) ([]int32, err
 		if err != nil {
 			return nil, err
 		}
+		size := int64(0)
+		for t := range frontiers {
+			size += int64(len(frontiers[t]))
+		}
+		levelsyncStats.rounds.Inc()
+		levelsyncStats.frontier.ObserveN(size)
 		// Phase 2: process the frontier, cascading atomic decrements. A
 		// vertex can now reach `level` only through a decrement, and only
 		// the thread whose decrement lands exactly on `level` adopts it.

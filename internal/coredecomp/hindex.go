@@ -1,0 +1,193 @@
+package coredecomp
+
+import (
+	"context"
+	"sync/atomic"
+
+	"hcd/internal/faultinject"
+	"hcd/internal/graph"
+	"hcd/internal/obs"
+	"hcd/internal/par"
+)
+
+// hindexGrain is the dynamic-scheduling chunk size (worklist vertices)
+// of the h-index rounds; recomputing a vertex costs two passes over its
+// neighbours, so chunks are degree-skewed like the buffered kernel's.
+const hindexGrain = 256
+
+// HIndexCtx computes coreness by asynchronous local h-index iteration
+// (Sariyüce–Seshadhri–Pinar, "Local Algorithms for Hierarchical Dense
+// Subgraph Discovery"): start every estimate at the degree, repeatedly
+// replace h(v) with the H-index of its neighbours' current estimates
+// (the largest j such that at least j neighbours have estimate >= j),
+// and stop at the fixpoint — which is exactly the coreness. There is
+// no level barrier at all: a worklist carries only the vertices whose
+// estimate may still drop, and workers chew through it in
+// degree-balanced chunks.
+//
+// Why the asynchronous interleaving stays correct:
+//
+//   - Estimates only decrease (a recomputation is stored only when
+//     strictly smaller) and never drop below the coreness: if every
+//     neighbour estimate is >= its coreness, the recomputed H-index is
+//     >= the H-index of the neighbours' corenesses >= c(v), inductively
+//     from h0 = deg >= c.
+//   - Whatever mix of old and new neighbour values a recomputation
+//     reads, all of them are >= the corenesses, so the result is a
+//     valid (over-)estimate; a drop the recomputation missed re-adds
+//     the vertex to the worklist (see the ordering argument at the
+//     membership clear below), so quiescence implies h(v) equals the
+//     H-index of the *current* neighbour values for every v.
+//   - Any such fixpoint f >= c with f = H(f) is c itself: take the
+//     largest value k attained by a vertex with f(v) > c(v); every
+//     vertex of the set S = {v : f(v) >= k} has >= k neighbours with
+//     estimate >= k, i.e. >= k neighbours in S, so S is a k-core and
+//     c >= k on S — contradiction.
+//
+// The final pass copying the fixpoint into core[] is a deterministic
+// parallel copy, so core[] is byte-identical to Serial's output for
+// every thread count and schedule (the fixpoint is unique).
+//
+// Containment contract of ParallelCtx: worker panics surface as a
+// *par.PanicError, a cancelled ctx aborts between rounds.
+func HIndexCtx(ctx context.Context, g *graph.Graph, threads int) ([]int32, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sp := obs.StartSpan("coredecomp.hindex")
+	defer sp.End()
+	n := g.NumVertices()
+	core := make([]int32, n)
+	if n == 0 {
+		return core, ctx.Err()
+	}
+	p := par.Threads(threads)
+	h := make([]atomic.Int32, n)
+	// inNext[v] dedupes worklist membership: a vertex is appended to the
+	// next worklist only by the worker whose CAS flips it false->true,
+	// so each worklist holds every vertex at most once and the shared
+	// arrays of capacity n never overrun. The invariant "v is on an
+	// unprocessed worklist slot => inNext[v] is true" starts true (all
+	// vertices seed the first worklist) and is preserved: processing v
+	// clears the bit, and every append sets it.
+	inNext := make([]atomic.Bool, n)
+	curr := make([]int32, n)
+	next := make([]int32, n)
+	err := par.ForErr(ctx, p, p, func(tlo, thi int) error {
+		faultinject.Maybe("coredecomp.hindex.init")
+		for t := tlo; t < thi; t++ {
+			lo, hi := t*n/p, (t+1)*n/p
+			for v := lo; v < hi; v++ {
+				h[v].Store(int32(g.Degree(int32(v))))
+				inNext[v].Store(true)
+				curr[v] = int32(v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tail := int64(n)
+	var nextTail atomic.Int64
+	for round := int64(0); tail > 0; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rsp := obs.StartSpanArg("hindex.round", round)
+		hindexStats.rounds.Inc()
+		hindexStats.frontier.ObserveN(tail)
+		nextTail.Store(0)
+		cl, nx := curr, next
+		err := par.ForChunkedErr(ctx, int(tail), peelWorkers(p, tail), hindexGrain, func(lo, hi int) error {
+			faultinject.Maybe("coredecomp.hindex.step")
+			var stage [peelBufCap]int32
+			sn := 0
+			// cnt is the counting scratch of the O(d) H-index: cnt[j]
+			// counts neighbours with estimate (clamped to the current
+			// value) exactly j. Grown lazily to the largest estimate seen
+			// in this chunk; local to the chunk invocation, so concurrent
+			// chunk calls never share it.
+			var cnt []int32
+			for i := lo; i < hi; i++ {
+				v := cl[i]
+				// Clear membership BEFORE reading neighbour estimates:
+				// atomics are sequentially consistent, so a neighbour's
+				// "store new estimate, then CAS v onto the worklist"
+				// either lands its CAS before this clear (we erase the
+				// re-add, but then our reads below are ordered after its
+				// store and see the new estimate) or after it (the re-add
+				// sticks and v is recomputed next round). Either way no
+				// drop is ever missed.
+				inNext[v].Store(false)
+				old := h[v].Load()
+				if old == 0 {
+					continue // cannot decrease further
+				}
+				b := int(old)
+				if b >= len(cnt) {
+					cnt = make([]int32, b+1)
+				} else {
+					for j := 0; j <= b; j++ {
+						cnt[j] = 0
+					}
+				}
+				for _, u := range g.Neighbors(v) {
+					x := h[u].Load()
+					if x > old {
+						x = old
+					}
+					cnt[x]++
+				}
+				nh := int32(0)
+				sum := int32(0)
+				for j := b; j >= 1; j-- {
+					sum += cnt[j]
+					if sum >= int32(j) {
+						nh = int32(j)
+						break
+					}
+				}
+				if nh >= old {
+					continue
+				}
+				h[v].Store(nh)
+				// Only neighbours whose estimate exceeds the new value can
+				// be affected by this drop: u's H-index counts neighbours
+				// with estimate >= h(u), and v still counts there when
+				// h(u) <= nh.
+				for _, u := range g.Neighbors(v) {
+					if h[u].Load() > nh && inNext[u].CompareAndSwap(false, true) {
+						stage[sn] = u
+						sn++
+						if sn == len(stage) {
+							flushFrontier(nx, &nextTail, stage[:sn])
+							sn = 0
+						}
+					}
+				}
+			}
+			if sn > 0 {
+				flushFrontier(nx, &nextTail, stage[:sn])
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		curr, next = next, curr
+		tail = nextTail.Load()
+		rsp.End()
+	}
+	// Deterministic final pass: copy the (unique) fixpoint into core.
+	err = par.ForErr(ctx, n, p, func(lo, hi int) error {
+		for v := lo; v < hi; v++ {
+			core[v] = h[v].Load()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return core, nil
+}

@@ -18,6 +18,7 @@ import (
 var kernelPackages = map[string]bool{
 	"core":       true,
 	"coredecomp": true,
+	"hindex":     true,
 	"search":     true,
 	"treeaccum":  true,
 	"shellidx":   true,

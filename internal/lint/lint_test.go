@@ -89,7 +89,7 @@ func TestFixtures(t *testing.T) {
 // file still matches.
 func TestFixturesFindEveryCheck(t *testing.T) {
 	fired := map[string]bool{}
-	for _, name := range []string{"core", "panicsafety", "sitehygiene", "errcheck", "allowdir"} {
+	for _, name := range []string{"core", "hindex", "panicsafety", "sitehygiene", "errcheck", "allowdir"} {
 		for _, d := range runFixture(t, name) {
 			fired[d.Check] = true
 		}
@@ -178,6 +178,8 @@ func TestKernelPackageMatching(t *testing.T) {
 	for path, want := range map[string]bool{
 		"hcd/internal/core":                       true,
 		"hcd/internal/lint/testdata/src/core":     true,
+		"hcd/internal/lint/testdata/src/hindex":   true,
+		"hcd/internal/coredecomp":                 true,
 		"hcd/internal/search":                     true,
 		"hcd/internal/obs":                        false,
 		"hcd/internal/lint/testdata/src/errcheck": false,

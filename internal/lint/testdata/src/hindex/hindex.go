@@ -1,0 +1,59 @@
+// Package hindex is a hcdlint testdata fixture: an asynchronous local
+// h-index convergence loop, the shape of coredecomp's hindex kernel.
+// Its directory base name is on the determinism check's kernel-package
+// list, so the seeded-rand trap below must be flagged — randomised
+// worklist scheduling would make round counts (and any telemetry
+// derived from them) vary per run even though the fixpoint is unique.
+package hindex
+
+import "math/rand"
+
+// Converge iterates local h-index updates over a worklist until
+// fixpoint. The shuffle draws from the global math/rand source: a
+// determinism finding. The explicitly seeded generator below it is the
+// sanctioned idiom and stays clean.
+func Converge(adj [][]int32, h []int32) []int32 {
+	work := make([]int32, len(h))
+	for v := range work {
+		work[v] = int32(v)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for len(work) > 0 {
+		// "Randomising the scan order reduces contention" — but the
+		// global source makes every run's round structure different.
+		rand.Shuffle(len(work), func(i, j int) { work[i], work[j] = work[j], work[i] })
+		_ = rng.Intn(len(work)) // seeded source: not flagged
+		var next []int32
+		for _, v := range work {
+			old := h[v]
+			nh := hIndex(adj[v], h, old)
+			if nh < old {
+				h[v] = nh
+				next = append(next, adj[v]...)
+			}
+		}
+		work = next
+	}
+	return h
+}
+
+// hIndex computes the largest j such that at least j values of hs
+// (clamped to bound) reach j, by counting.
+func hIndex(neigh []int32, hs []int32, bound int32) int32 {
+	cnt := make([]int32, bound+1)
+	for _, u := range neigh {
+		x := hs[u]
+		if x > bound {
+			x = bound
+		}
+		cnt[x]++
+	}
+	var sum int32
+	for j := bound; j >= 1; j-- {
+		sum += cnt[j]
+		if sum >= j {
+			return j
+		}
+	}
+	return 0
+}

@@ -68,11 +68,16 @@ type Histogram struct {
 }
 
 // Observe records one duration.
-func (h *Histogram) Observe(d time.Duration) {
-	ns := d.Nanoseconds()
-	i := sort.Search(len(histBuckets), func(i int) bool { return histBuckets[i] >= ns })
+func (h *Histogram) Observe(d time.Duration) { h.ObserveN(d.Nanoseconds()) }
+
+// ObserveN records one raw integer observation — e.g. a frontier size —
+// binned against the same exponential bounds as durations (everything
+// below the first bound shares one bucket, so Count and Sum are the
+// precise statistics for small values; the buckets resolve the tail).
+func (h *Histogram) ObserveN(v int64) {
+	i := sort.Search(len(histBuckets), func(i int) bool { return histBuckets[i] >= v })
 	h.counts[i].Add(1)
-	h.sum.Add(ns)
+	h.sum.Add(v)
 	h.n.Add(1)
 }
 

@@ -135,6 +135,9 @@ func (*Gauge) Value() int64 { return 0 }
 // Observe is a no-op.
 func (*Histogram) Observe(time.Duration) {}
 
+// ObserveN is a no-op.
+func (*Histogram) ObserveN(int64) {}
+
 // Count always reports zero.
 func (*Histogram) Count() int64 { return 0 }
 
