@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	core2 "hcd/internal/core"
@@ -281,4 +282,33 @@ func buildAndIndexParallel(ctx context.Context, g *Graph, opt Options, rep *Buil
 // nil) breaks the query down into its primary-value and scoring phases.
 func (s *Searcher) BestCtx(ctx context.Context, m Metric, opt Options) (SearchResult, *SearchReport, error) {
 	return s.ix.SearchReportCtx(ctx, m, opt.Threads)
+}
+
+// BestConstrainedCtx is BestConstrained with the same containment and
+// cancellation contract as BestCtx — the entry point a resident query
+// server plumbs per-request deadlines into.
+func (s *Searcher) BestConstrainedCtx(ctx context.Context, m Metric, minSize, maxSize int64, opt Options) (SearchResult, error) {
+	return s.ix.SearchConstrainedCtx(ctx, m, minSize, maxSize, opt.Threads)
+}
+
+// Summary renders the report as one compact human-readable line —
+// how the build ran (parallel or fallback), whether it verified, and
+// where the time went — for operator logs (hcdserve rebuild reports,
+// hcdtool stderr).
+func (rep *BuildReport) Summary() string {
+	if rep == nil {
+		return "no report"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "threads=%d elapsed=%v", rep.Threads, rep.Elapsed.Round(time.Millisecond))
+	if rep.Fallback {
+		fmt.Fprintf(&sb, " fallback(cause: %v)", rep.Cause)
+	}
+	if rep.Verified {
+		sb.WriteString(" verified")
+	}
+	for _, p := range rep.Phases {
+		fmt.Fprintf(&sb, " %s=%v", p.Name, p.Duration.Round(time.Millisecond))
+	}
+	return sb.String()
 }

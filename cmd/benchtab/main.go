@@ -10,10 +10,11 @@
 //	benchtab -exp phcd -threads 1,2,4,8 -json BENCH_phcd.json
 //	benchtab -exp phcd -kernels buffered,hindex -threads 1,2,4,8
 //	benchtab -exp search -threads 1,2,4 -json BENCH_search.json
+//	benchtab -exp serve -threads 1,2,4 -json BENCH_serve.json
 //	benchtab -compare old.json new.json -report report.md -gate
 //
 // Experiments: table2 table3 table4 table5 fig4 fig5 fig6 fig7 fig8 fig9
-// fig10 ablation maintenance phcd search. See DESIGN.md for what each
+// fig10 ablation maintenance phcd search serve. See DESIGN.md for what each
 // reproduces and EXPERIMENTS.md for recorded results and the per-figure
 // command table.
 //
@@ -49,12 +50,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flag.SetOutput(stderr)
 	exp := flag.String("exp", "all", "experiment name or 'all'")
 	scale := flag.Int("scale", 4, "dataset scale multiplier")
-	threads := flag.String("threads", "", "thread count, or a comma-separated sweep for phcd/search (default GOMAXPROCS)")
+	threads := flag.String("threads", "", "thread count, or a comma-separated sweep (threads, or clients for serve) for the journal experiments (default GOMAXPROCS)")
 	reps := flag.Int("reps", 3, "timing repetitions (minimum reported)")
 	sweep := flag.String("sweep", "", "comma-separated thread sweep for figures (default 1,2,4,..,GOMAXPROCS)")
 	datasets := flag.String("datasets", "", "comma-separated dataset abbreviations (default all ten)")
 	kernels := flag.String("kernels", "", "comma-separated peeling kernels for the phcd sweep: levelsync,buffered,hindex (default all)")
-	jsonPath := flag.String("json", "", "write a machine-readable journal here (experiments that support it: phcd, search)")
+	jsonPath := flag.String("json", "", "write a machine-readable journal here (experiments that support it: phcd, search, serve)")
 	compare := flag.String("compare", "", "baseline journal: compare the candidate journal (positional argument) against it")
 	reportPath := flag.String("report", "", "with -compare: also write the markdown report to this file")
 	gate := flag.Bool("gate", false, "with -compare: exit 3 on a confirmed regression between comparable runs")

@@ -1,0 +1,130 @@
+// Command hcdserve runs the resident HCD query service: it loads (or
+// watches) a graph, builds the hierarchy + search index as an atomic
+// snapshot, and serves search/reconstruct/stats queries over HTTP+JSON
+// with admission control, load shedding and graceful drain (see
+// internal/serve and DESIGN.md "Service robustness").
+//
+//	hcdserve -in g.bin -addr 127.0.0.1:8080
+//	hcdserve -in g.txt -format text -watch -threads 4
+//	curl 'http://127.0.0.1:8080/search?metric=average-degree&min_size=10'
+//	curl 'http://127.0.0.1:8080/reconstruct?v=17&k=5'
+//	curl -X POST http://127.0.0.1:8080/reload
+//
+// SIGINT/SIGTERM starts a graceful drain: admission stops, in-flight
+// queries finish against -drain-timeout, and the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"hcd"
+	"hcd/internal/faultinject"
+	"hcd/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the server with explicit streams and returns an exit
+// code; main is a thin wrapper so tests can drive it in-process. Exit
+// codes: 0 clean drain, 1 runtime failure, 2 usage.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hcdserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	in := fs.String("in", "", "input graph path (required)")
+	format := fs.String("format", "bin", "input format: bin (WriteBinaryFile) or text (edge list)")
+	threads := fs.Int("threads", 0, "build/query worker count (0 = GOMAXPROCS)")
+	kernel := fs.String("kernel", "", "peeling kernel: levelsync, buffered, hindex (default journal-selected)")
+	verify := fs.Bool("verify", false, "self-verify every rebuilt hierarchy before publishing it")
+	maxInflight := fs.Int("max-inflight", 0, "max concurrently executing queries (0 = 2×GOMAXPROCS)")
+	queueDepth := fs.Int("queue-depth", 0, "admission wait-queue bound (0 = 4×max-inflight)")
+	queueWait := fs.Duration("queue-wait", 0, "max time a query waits for an execution slot (0 = 250ms)")
+	reqTimeout := fs.Duration("request-timeout", 0, "per-query deadline cap (0 = 30s)")
+	drainTimeout := fs.Duration("drain-timeout", 0, "graceful-drain bound on SIGTERM/SIGINT (0 = 10s)")
+	watch := fs.Bool("watch", false, "poll -in and rebuild the snapshot when it changes")
+	watchInterval := fs.Duration("watch-interval", 0, "poll interval for -watch (0 = 2s)")
+	faults := fs.String("faults", "", "fault-injection spec, e.g. serve.query:panic:3 (HCD_FAULTS env also honoured)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "hcdserve: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	if *in == "" {
+		fmt.Fprintln(stderr, "hcdserve: -in is required")
+		return 2
+	}
+	if *format != "bin" && *format != "text" {
+		fmt.Fprintf(stderr, "hcdserve: bad -format %q (bin or text)\n", *format)
+		return 2
+	}
+	k, err := hcd.ParsePeelKernel(*kernel)
+	if err != nil {
+		fmt.Fprintf(stderr, "hcdserve: %v\n", err)
+		return 2
+	}
+	if *faults != "" {
+		if err := faultinject.Enable(*faults); err != nil {
+			if faultinject.Compiled() {
+				fmt.Fprintf(stderr, "hcdserve: %v\n", err)
+				return 2
+			}
+			fmt.Fprintf(stderr, "hcdserve: warning: %v\n", err)
+		}
+		defer faultinject.Disable()
+	} else if err := faultinject.EnableFromEnv(); err != nil {
+		if faultinject.Compiled() {
+			fmt.Fprintf(stderr, "hcdserve: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "hcdserve: warning: %v\n", err)
+	}
+
+	cfg := serve.Config{
+		Load: func() (*hcd.Graph, error) {
+			if *format == "text" {
+				return hcd.ReadEdgeListFile(*in)
+			}
+			return hcd.ReadBinaryFile(*in)
+		},
+		Build:          hcd.Options{Threads: *threads, Kernel: k, SelfVerify: *verify},
+		MaxInflight:    *maxInflight,
+		QueueDepth:     *queueDepth,
+		QueueWait:      *queueWait,
+		RequestTimeout: *reqTimeout,
+		DrainTimeout:   *drainTimeout,
+		WatchInterval:  *watchInterval,
+		Log:            stderr,
+	}
+	if *watch {
+		cfg.WatchPath = *in
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "hcdserve: %v\n", err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "hcdserve: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "hcdserve: listening on http://%s/ (readiness at /readyz)\n", ln.Addr())
+	if err := srv.Run(ctx, ln); err != nil {
+		fmt.Fprintf(stderr, "hcdserve: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -142,7 +142,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		obs.PublishExpvar()
 		srv := &http.Server{Handler: obs.Handler()}
 		go srv.Serve(ln)
-		defer srv.Close()
+		// Drain rather than abort on the way out: an in-flight /metrics
+		// scrape gets a short grace period to complete instead of being
+		// torn mid-response by an abrupt Close.
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				_ = srv.Close() // scrape overran the grace period
+			}
+		}()
 		fmt.Fprintf(stderr, "hcdtool: debug server on http://%s/\n", ln.Addr())
 	}
 

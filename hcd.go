@@ -222,6 +222,16 @@ func (s *Searcher) BestK(m Metric, opt Options) (k int32, score float64, all []f
 // vertices plus all descendants').
 func (s *Searcher) CoreVertices(id NodeID) []int32 { return s.h.CoreVertices(id) }
 
+// Hierarchy returns the HCD forest the searcher answers queries over —
+// the accessor a snapshot-serving tier uses to expose hierarchy
+// statistics and reconstruct cores without carrying the HCD alongside
+// the Searcher separately.
+func (s *Searcher) Hierarchy() *HCD { return s.h }
+
+// NumNodes reports the number of k-core tree nodes in the underlying
+// hierarchy.
+func (s *Searcher) NumNodes() int { return s.h.NumNodes() }
+
 // Built-in community scoring metrics (§II-D), all normalised so higher is
 // better.
 func AverageDegree() Metric         { return metrics.AverageDegree{} }

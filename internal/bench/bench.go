@@ -52,8 +52,8 @@ type Config struct {
 	// Out receives the formatted rows (required).
 	Out io.Writer
 	// JSONPath, when non-empty, makes experiments that support it (phcd,
-	// search) also write a machine-readable experiment journal to this
-	// file.
+	// search, serve) also write a machine-readable experiment journal to
+	// this file.
 	JSONPath string
 }
 
@@ -410,14 +410,16 @@ func Ablation(cfg Config) {
 }
 
 // Run dispatches an experiment by name: "table2".."table5", "fig4".."fig10",
-// "ablation", "maintenance", or the journal experiments "phcd" and
-// "search".
+// "ablation", "maintenance", or the journal experiments "phcd", "search"
+// and "serve".
 func Run(name string, cfg Config) error {
 	switch name {
 	case "phcd":
 		return PHCDBench(cfg)
 	case "search":
 		return SearchBench(cfg)
+	case "serve":
+		return ServeBench(cfg)
 	}
 	fns := map[string]func(Config){
 		"table2": Table2, "table3": Table3, "table4": Table4, "table5": Table5,
@@ -437,7 +439,7 @@ func Run(name string, cfg Config) error {
 func Names() []string {
 	return []string{"table2", "table3", "table4", "table5",
 		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation",
-		"maintenance", "phcd", "search"}
+		"maintenance", "phcd", "search", "serve"}
 }
 
 // Maintenance prints the dynamic-maintenance ablation: per dataset, the

@@ -28,6 +28,11 @@ func TestRunAllExperimentsProduceOutput(t *testing.T) {
 			if !strings.Contains(out, "rmat12") || !strings.Contains(out, "onion12") {
 				t.Errorf("%s: output missing dataset rows:\n%s", name, out)
 			}
+		} else if name == "serve" {
+			// The serve latency journal serves the first sweep graph only.
+			if !strings.Contains(out, "rmat12") || !strings.Contains(out, "serve.search.p99") {
+				t.Errorf("%s: output missing latency rows:\n%s", name, out)
+			}
 		} else if !strings.Contains(out, "AS") || !strings.Contains(out, "H") {
 			t.Errorf("%s: output missing dataset rows:\n%s", name, out)
 		}

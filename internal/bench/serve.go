@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hcd"
+	"hcd/internal/obs"
+	"hcd/internal/serve"
+)
+
+// serveSuiteFingerprint names the generator-parameter set of the serve
+// experiment (the first phcd sweep graph, served rather than rebuilt).
+func serveSuiteFingerprint(small bool) string {
+	if small {
+		return "serve-smoke-v1"
+	}
+	return "serve-full-v1"
+}
+
+// serveEndpoints is the request mix the latency journal tracks: the
+// full-index metric search (the expensive query) and a root-core
+// reconstruction (the cheap one, dominated by serving overhead).
+var serveEndpoints = []struct {
+	kernel string
+	path   string
+}{
+	{"serve.search", "/search?metric=average-degree"},
+	{"serve.reconstruct", "/reconstruct?node=0"},
+}
+
+// quantileNS reads the q-quantile from an ascending sample slice
+// (nearest-rank with rounding; 0 for an empty slice).
+func quantileNS(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted)-1) + 0.5)
+	return sorted[i]
+}
+
+// quantCell folds one latency distribution per rep into a journal cell:
+// SamplesNS holds the chosen quantile of each rep's distribution, so
+// MedianNS/MADNS give the compare gate a noise band over reps exactly
+// as they do for wall-clock cells.
+func quantCell(dataset, kernel string, clients int, perRep [][]int64, q float64) Cell {
+	benchCells.Inc()
+	samples := make([]int64, 0, len(perRep))
+	for _, lats := range perRep {
+		samples = append(samples, quantileNS(lats, q))
+	}
+	c := Cell{Dataset: dataset, Kernel: kernel, Threads: clients, SamplesNS: samples}
+	c.MinNS = minInt64(samples)
+	c.MedianNS, c.MADNS = medianMAD(samples)
+	return c
+}
+
+// ServeBench measures hcdserve's request latency under concurrent load
+// and writes the experiment journal. The server is driven in process
+// (handler tree, admission path and JSON encoding included; no TCP) so
+// the numbers isolate the service stack from the network. Per dataset
+// it publishes one snapshot, then for every client count p of cfg.Sweep
+// runs p concurrent closed-loop clients against each endpoint of the
+// request mix and records the p50 and p99 per-request latency:
+//
+//   - serve.search.p50 / serve.search.p99 — full-index metric search;
+//   - serve.reconstruct.p50 / serve.reconstruct.p99 — core
+//     reconstruction, dominated by admission + encoding overhead.
+//
+// Cell.Threads carries the client count; each rep contributes one
+// quantile sample, so the compare gate's MAD band works unchanged. The
+// derived scaling rows are latency-degradation curves: Speedup[i] =
+// p50(1 client)/p50(p clients), expected at or below 1 as contention
+// grows. Admission is sized to the sweep (no shedding), so every
+// response must be a 200 — anything else fails the run.
+//
+// Scale 1 substitutes the tiny smoke-test input; any larger scale runs
+// the full-size graph.
+func ServeBench(cfg Config) error {
+	cfg = cfg.withDefaults()
+	small := cfg.Scale <= 1
+	rep := Report{
+		Experiment: "serve",
+		Manifest:   NewManifest(cfg.Scale, serveSuiteFingerprint(small)),
+		Threads:    cfg.Sweep,
+		Reps:       cfg.Reps,
+	}
+	maxClients := 1
+	for _, p := range rep.Threads {
+		if p > maxClients {
+			maxClients = p
+		}
+	}
+	perClient := 40
+	if !small {
+		perClient = 20
+	}
+	// One dataset: the first phcd sweep graph (rmat12 smoke / rmat17 full).
+	for _, d := range phcdSuite(small)[:1] {
+		g := d.build()
+		srv, err := serve.New(serve.Config{
+			Load:           func() (*hcd.Graph, error) { return g, nil },
+			Build:          hcd.Options{Threads: cfg.Threads},
+			MaxInflight:    maxClients,
+			QueueDepth:     maxClients,
+			RequestTimeout: time.Minute,
+		})
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		if err := srv.Rebuild(context.Background()); err != nil {
+			return fmt.Errorf("serve: publishing snapshot: %w", err)
+		}
+		h := srv.Handler()
+
+		// storm runs clients closed-loop workers against path and merges
+		// their per-request latencies, ascending.
+		storm := func(path string, clients int) ([]int64, error) {
+			perWorker := make([][]int64, clients)
+			var badStatus atomic.Int64
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					lats := make([]int64, 0, perClient)
+					for i := 0; i < perClient; i++ {
+						r := httptest.NewRequest(http.MethodGet, path, nil)
+						w := httptest.NewRecorder()
+						start := time.Now()
+						h.ServeHTTP(w, r)
+						lats = append(lats, time.Since(start).Nanoseconds())
+						if w.Code != http.StatusOK {
+							badStatus.Store(int64(w.Code))
+						}
+					}
+					perWorker[c] = lats
+				}(c)
+			}
+			wg.Wait()
+			if code := badStatus.Load(); code != 0 {
+				return nil, fmt.Errorf("serve: %s returned %d under sized admission (shedding must not happen in the latency run)", path, code)
+			}
+			var all []int64
+			for _, lats := range perWorker {
+				all = append(all, lats...)
+			}
+			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+			return all, nil
+		}
+
+		for _, ep := range serveEndpoints {
+			for _, p := range rep.Threads {
+				sp := obs.StartSpanArg("bench.serve", int64(p))
+				perRep := make([][]int64, 0, rep.Reps)
+				for i := 0; i < rep.Reps; i++ {
+					all, err := storm(ep.path, p)
+					if err != nil {
+						sp.End()
+						return err
+					}
+					perRep = append(perRep, all)
+				}
+				sp.End()
+				rep.Cells = append(rep.Cells,
+					quantCell(d.name, ep.kernel+".p50", p, perRep, 0.50),
+					quantCell(d.name, ep.kernel+".p99", p, perRep, 0.99))
+			}
+			rep.Scaling = append(rep.Scaling, rep.buildScaling(d.name, ep.kernel+".p50", ""))
+		}
+	}
+	printReport(cfg, rep)
+	return writeJournal(cfg, rep)
+}

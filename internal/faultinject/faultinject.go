@@ -11,6 +11,15 @@
 //	search.typeb:delay:1:50ms     sleep 50ms on the 1st hit of search.typeb
 //	treeaccum:panic:2,phcd.step1:panic:1   multiple rules, comma-separated
 //
+// The hcdserve query service exposes its own site family for chaos
+// testing the admission / query / rebuild / swap paths (the CI
+// chaos-smoke job arms all four against the drain-under-load test):
+//
+//	serve.admit:panic:11          panic inside admission control
+//	serve.query:panic:5           panic inside an admitted request
+//	serve.rebuild:panic:2         panic mid-rebuild (last-good keeps serving)
+//	serve.swap:panic:2            panic just before the snapshot swap
+//
 // Triggering is deterministic with respect to hit counts: every evaluation
 // of an armed site atomically claims the next hit number, and the rule
 // fires on exactly the configured hit — no randomness, so a failing run

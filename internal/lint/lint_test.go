@@ -89,7 +89,7 @@ func TestFixtures(t *testing.T) {
 // file still matches.
 func TestFixturesFindEveryCheck(t *testing.T) {
 	fired := map[string]bool{}
-	for _, name := range []string{"core", "hindex", "panicsafety", "sitehygiene", "errcheck", "allowdir"} {
+	for _, name := range []string{"core", "hindex", "panicsafety", "httpsafety", "sitehygiene", "errcheck", "allowdir"} {
 		for _, d := range runFixture(t, name) {
 			fired[d.Check] = true
 		}

@@ -4,6 +4,16 @@
 // have been an error return. New code must use the ctx-aware *Err
 // variants; surviving legacy call sites carry an //hcdlint:allow with
 // the safety argument.
+//
+// The same containment discipline applies one layer up: an HTTP handler
+// registered on a net/http mux runs query code that may re-panic, and
+// net/http's per-connection recover kills the response mid-write (a
+// torn body) instead of producing a diagnosable JSON 500. Every
+// Handle/HandleFunc registration in module packages must therefore pass
+// through serve.Protect, the recovery wrapper that converts a handler
+// panic into a complete JSON error document. internal/obs is exempt:
+// its debug mux predates serve and cannot import it (serve depends on
+// obs for its metrics), and its handlers only format internal state.
 package lint
 
 import "go/ast"
@@ -20,9 +30,11 @@ var repanickingPar = map[string]string{
 func panicSafetyCheck() *Check {
 	return &Check{
 		Name: "panic-safety",
-		Doc:  "library code must use the ctx-aware par.*Err variants, not the re-panicking wrappers",
+		Doc:  "library code must use the ctx-aware par.*Err variants, not the re-panicking wrappers; HTTP handlers must be registered through serve.Protect",
 		Run: func(ctx *Context) ([]Diagnostic, error) {
 			parPath := ctx.Loader.Module + "/internal/par"
+			servePath := ctx.Loader.Module + "/internal/serve"
+			obsPath := ctx.Loader.Module + "/internal/obs"
 			var diags []Diagnostic
 			walkFiles(ctx, func(pkg *Package, f *ast.File) {
 				if pkg.Path == parPath {
@@ -34,12 +46,31 @@ func panicSafetyCheck() *Check {
 						return true
 					}
 					fn := calleeFunc(pkg, call)
-					if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != parPath {
+					if fn == nil || fn.Pkg() == nil {
 						return true
 					}
-					if repl, bad := repanickingPar[fn.Name()]; bad {
-						diags = append(diags, ctx.diag("panic-safety", call.Pos(),
-							"par.%s re-raises worker panics on the caller; use par.%s (ctx-aware, returns *par.PanicError) so failures stay contained", fn.Name(), repl))
+					switch fn.Pkg().Path() {
+					case parPath:
+						if repl, bad := repanickingPar[fn.Name()]; bad {
+							diags = append(diags, ctx.diag("panic-safety", call.Pos(),
+								"par.%s re-raises worker panics on the caller; use par.%s (ctx-aware, returns *par.PanicError) so failures stay contained", fn.Name(), repl))
+						}
+					case "net/http":
+						// Covers both the package-level http.Handle /
+						// http.HandleFunc and the (*http.ServeMux) methods.
+						if pkg.Path == obsPath || len(call.Args) != 2 {
+							return true
+						}
+						switch fn.Name() {
+						case "HandleFunc":
+							diags = append(diags, ctx.diag("panic-safety", call.Pos(),
+								"http.HandlerFunc registered without the recovery wrapper; use Handle with serve.Protect(http.HandlerFunc(h)) so a handler panic becomes a JSON 500, not a torn response"))
+						case "Handle":
+							if !isProtectCall(pkg, servePath, call.Args[1]) {
+								diags = append(diags, ctx.diag("panic-safety", call.Pos(),
+									"handler registered without the recovery wrapper; wrap it as serve.Protect(h) so a handler panic becomes a JSON 500, not a torn response"))
+							}
+						}
 					}
 					return true
 				})
@@ -47,4 +78,15 @@ func panicSafetyCheck() *Check {
 			return diags, nil
 		},
 	}
+}
+
+// isProtectCall reports whether e is (possibly parenthesised) a direct
+// call to serve.Protect, the recovery wrapper handlers must go through.
+func isProtectCall(pkg *Package, servePath string, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(pkg, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == servePath && fn.Name() == "Protect"
 }

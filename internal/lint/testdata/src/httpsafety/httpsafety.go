@@ -1,0 +1,41 @@
+// Package httpsafety exercises the panic-safety check's HTTP arm:
+// Handle/HandleFunc registrations must route through serve.Protect so a
+// panicking handler produces a complete JSON 500 instead of a torn
+// response.
+package httpsafety
+
+import (
+	"net/http"
+
+	"hcd/internal/serve"
+)
+
+func index(w http.ResponseWriter, r *http.Request) {
+	_, _ = w.Write([]byte("ok"))
+}
+
+func routes() http.Handler {
+	mux := http.NewServeMux()
+
+	// Wrapped registrations are fine, with or without parentheses.
+	mux.Handle("/good", serve.Protect(http.HandlerFunc(index)))
+	mux.Handle("/paren", (serve.Protect(http.HandlerFunc(index))))
+
+	// A bare http.Handler misses the recovery wrapper.
+	mux.Handle("/bare", http.HandlerFunc(index))
+
+	// HandleFunc can never carry the wrapper: the func signature is fixed.
+	mux.HandleFunc("/func", index)
+
+	//hcdlint:allow panic-safety localhost-only debug mux, handler cannot panic
+	mux.HandleFunc("/waived", index)
+
+	return mux
+}
+
+func defaultMux() {
+	// The package-level registrations hit the same rule.
+	http.Handle("/pkg", http.HandlerFunc(index))
+	http.HandleFunc("/pkgfunc", index)
+	http.Handle("/pkggood", serve.Protect(http.HandlerFunc(index)))
+}

@@ -19,6 +19,12 @@ type HistogramSnapshot struct {
 	// Count is the number of observations, SumNS their summed duration.
 	Count int64 `json:"count"`
 	SumNS int64 `json:"sum_ns"`
+	// P50NS and P99NS are bucket-interpolated latency quantiles
+	// (Histogram.Quantile), precomputed so JSON consumers (/debug/vars,
+	// hcdserve /stats) get tail latency without re-deriving it from the
+	// cumulative buckets.
+	P50NS int64 `json:"p50_ns"`
+	P99NS int64 `json:"p99_ns"`
 	// BucketNS and BucketCounts are parallel: BucketCounts[i]
 	// observations fell at or under BucketNS[i] nanoseconds (the last
 	// entry is the +Inf overflow, BucketNS omits it). Cumulative.
@@ -56,6 +62,8 @@ func Snapshot() SnapshotData {
 		hs := HistogramSnapshot{
 			Count:        h.Count(),
 			SumNS:        h.Sum().Nanoseconds(),
+			P50NS:        h.Quantile(0.50).Nanoseconds(),
+			P99NS:        h.Quantile(0.99).Nanoseconds(),
 			BucketNS:     histBuckets,
 			BucketCounts: make([]int64, len(h.counts)),
 		}

@@ -157,6 +157,8 @@ func Enabled() bool { return false }
 type HistogramSnapshot struct {
 	Count        int64   `json:"count"`
 	SumNS        int64   `json:"sum_ns"`
+	P50NS        int64   `json:"p50_ns"`
+	P99NS        int64   `json:"p99_ns"`
 	BucketNS     []int64 `json:"bucket_ns"`
 	BucketCounts []int64 `json:"bucket_counts"`
 }

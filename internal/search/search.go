@@ -323,6 +323,61 @@ func (ix *Index) SearchConstrained(m metrics.Metric, minSize, maxSize int64, thr
 	}
 }
 
+// SearchConstrainedCtx is SearchConstrained with failure containment and
+// cooperative cancellation: a worker panic inside either primary-value
+// kernel surfaces as a *par.PanicError instead of crashing, and a
+// cancelled ctx (nil means background) aborts the kernels at their chunk
+// boundaries and the scoring scan between strides. This is the variant a
+// resident query server calls with a per-request deadline.
+func (ix *Index) SearchConstrainedCtx(ctx context.Context, m metrics.Metric, minSize, maxSize int64, threads int) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	nn := ix.h.NumNodes()
+	if nn == 0 {
+		return Result{Node: hierarchy.Nil}, ctx.Err()
+	}
+	var vals []metrics.PrimaryValues
+	var err error
+	if m.Kind() == metrics.TypeA {
+		vals, err = ix.PrimaryACtx(ctx, threads)
+	} else {
+		vals, err = ix.PrimaryBCtx(ctx, threads)
+	}
+	if err != nil {
+		return Result{Node: hierarchy.Nil}, err
+	}
+	stats := ix.Stats()
+	scores := make([]float64, nn)
+	best := hierarchy.Nil
+	const stride = 1 << 14 // ctx poll granularity of the scoring scan
+	for i := 0; i < nn; i++ {
+		if i%stride == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{Node: hierarchy.Nil}, err
+			}
+		}
+		if vals[i].N < minSize || (maxSize > 0 && vals[i].N > maxSize) {
+			scores[i] = math.Inf(-1)
+			continue
+		}
+		scores[i] = m.Score(vals[i], stats)
+		if best == hierarchy.Nil || scores[i] > scores[best] {
+			best = hierarchy.NodeID(i)
+		}
+	}
+	if best == hierarchy.Nil {
+		return Result{Node: hierarchy.Nil, Scores: scores}, nil
+	}
+	return Result{
+		Node:   best,
+		K:      ix.h.K[best],
+		Score:  scores[best],
+		Values: vals[best],
+		Scores: scores,
+	}, nil
+}
+
 // BestPerLevel returns, for every coreness level k with at least one tree
 // node, the best-scoring k-core at that level — the per-k view behind the
 // §VI "finding the best k" analyses. The slice is indexed by k; levels

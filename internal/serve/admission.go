@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"hcd/internal/faultinject"
+)
+
+// limiter is the admission controller: a semaphore of maxInflight
+// execution slots fronted by a bounded wait queue. The two-stage shape
+// gives load shedding a precise vocabulary — an arrival that cannot
+// even queue is refused immediately (429, the client should back off
+// hard), while a queued request that cannot reach a slot within
+// queueWait is refused late (503, the server is saturated but moving).
+type limiter struct {
+	slots     chan struct{}
+	queued    atomic.Int64
+	maxQueue  int64
+	queueWait time.Duration
+}
+
+// verdict is the outcome of one admission attempt.
+type verdict int
+
+const (
+	admitOK         verdict = iota // slot acquired; caller must release
+	shedQueueFull                  // wait queue full at arrival → 429
+	shedWaitExpired                // queued but no slot within queueWait → 503
+	shedCancelled                  // request context ended while queued → 503
+)
+
+func newLimiter(maxInflight, queueDepth int, queueWait time.Duration) *limiter {
+	return &limiter{
+		slots:     make(chan struct{}, maxInflight),
+		maxQueue:  int64(queueDepth),
+		queueWait: queueWait,
+	}
+}
+
+// admit tries to claim an execution slot, queueing for at most
+// queueWait. On admitOK the returned release func must be called
+// exactly once when the request finishes; on every other verdict
+// release is nil. The serve.admit fault site fires inside admit, so an
+// injected panic here surfaces through the handler's Protect wrapper
+// as a contained 500 — admission is part of the request's blast
+// radius, not the process's.
+func (l *limiter) admit(ctx context.Context) (release func(), v verdict) {
+	faultinject.Maybe("serve.admit")
+
+	claim := func() func() {
+		mInflight.Add(1)
+		mAdmitted.Inc()
+		return func() {
+			<-l.slots
+			mInflight.Add(-1)
+		}
+	}
+
+	// Fast path: a free slot with no queueing.
+	select {
+	case l.slots <- struct{}{}:
+		return claim(), admitOK
+	default:
+	}
+
+	if l.queued.Add(1) > l.maxQueue {
+		l.queued.Add(-1)
+		mShed.Inc()
+		return nil, shedQueueFull
+	}
+	mQueue.Set(l.queued.Load())
+	defer func() {
+		l.queued.Add(-1)
+		mQueue.Set(l.queued.Load())
+	}()
+
+	t := time.NewTimer(l.queueWait)
+	defer t.Stop()
+	select {
+	case l.slots <- struct{}{}:
+		return claim(), admitOK
+	case <-t.C:
+		mShed.Inc()
+		return nil, shedWaitExpired
+	case <-ctx.Done():
+		mShed.Inc()
+		return nil, shedCancelled
+	}
+}

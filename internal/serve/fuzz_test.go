@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// FuzzServeRequest fuzzes the /search and /reconstruct request decoders
+// across both encodings. The contract under fuzz: never panic, and
+// every rejection wraps errBadRequest (the handler's 400 path) — bad
+// k-ranges, overflowing ints and NaN metric coefficients must all be
+// 400s, never 500s and never crashes. Accepted requests must satisfy
+// the invariants the handlers rely on without re-checking.
+func FuzzServeRequest(f *testing.F) {
+	f.Add("metric=average-degree&min_size=10&max_size=50&timeout_ms=100", "", false)
+	f.Add("weighted=average-degree:1,cut-ratio:0.5", "", false)
+	f.Add("weighted=average-degree:NaN", "", false)
+	f.Add("weighted=conductance:+Inf", "", false)
+	f.Add("weighted=conductance:-Inf,average-degree:1e308", "", false)
+	f.Add("min_size=-1&max_size=-9223372036854775808", "", false)
+	f.Add("min_size=99999999999999999999999999", "", false)
+	f.Add("max_size=5&min_size=10", "", false)
+	f.Add("timeout_ms=9223372036854775807", "", false)
+	f.Add("node=0&v=1&k=2", "", false)
+	f.Add("v=4294967296&k=0&limit=-1", "", false)
+	f.Add("metric=%zz&weighted=:::", "", false)
+	f.Add("", `{"metric":"average-degree","min_size":3}`, true)
+	f.Add("", `{"weighted":[{"metric":"average-degree","coeff":1}]}`, true)
+	f.Add("", `{"metric":`, true)
+	f.Add("", `{"min_size":1e999}`, true)
+	f.Add("", `{"unknown_field":1}`, true)
+	f.Add("", strings.Repeat("[", 1000), true)
+
+	f.Fuzz(func(t *testing.T, raw string, body string, post bool) {
+		var r *http.Request
+		if post {
+			r = &http.Request{
+				Method: http.MethodPost,
+				URL:    &url.URL{Path: "/search"},
+				Body:   io.NopCloser(strings.NewReader(body)),
+			}
+		} else {
+			r = &http.Request{Method: http.MethodGet, URL: &url.URL{Path: "/search", RawQuery: raw}}
+		}
+		req, m, err := DecodeSearchRequest(r)
+		if err != nil {
+			if !errors.Is(err, errBadRequest) {
+				t.Fatalf("search rejection does not wrap errBadRequest: %v", err)
+			}
+		} else {
+			if m == nil {
+				t.Fatal("accepted search request with nil metric")
+			}
+			if req.MinSize < 0 || req.MaxSize < 0 || (req.MaxSize > 0 && req.MaxSize < req.MinSize) {
+				t.Fatalf("accepted invalid size range: %+v", req)
+			}
+			if req.TimeoutMS < 0 || req.TimeoutMS > maxTimeoutMS {
+				t.Fatalf("accepted invalid timeout: %+v", req)
+			}
+		}
+
+		rr := &http.Request{Method: http.MethodGet, URL: &url.URL{Path: "/reconstruct", RawQuery: raw}}
+		rreq, err := DecodeReconstructRequest(rr)
+		if err != nil {
+			if !errors.Is(err, errBadRequest) {
+				t.Fatalf("reconstruct rejection does not wrap errBadRequest: %v", err)
+			}
+		} else {
+			if rreq.byNode == rreq.byLocal {
+				t.Fatalf("accepted ambiguous reconstruct request: %+v", rreq)
+			}
+			if rreq.Node < 0 || rreq.V < 0 || rreq.Limit < 0 || (rreq.byLocal && rreq.K < 1) {
+				t.Fatalf("accepted invalid reconstruct request: %+v", rreq)
+			}
+		}
+	})
+}

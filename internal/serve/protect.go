@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"hcd/internal/faultinject"
+	"hcd/internal/par"
+)
+
+// errorResponse is the JSON body of every non-200 response. Chain is
+// the unwrap chain of the underlying error, outermost first — for a
+// contained panic that walks *par.PanicError down to the injected
+// *faultinject.Fault, so a chaos run can assert which site fired from
+// the response alone.
+type errorResponse struct {
+	Status int      `json:"status"`
+	Error  string   `json:"error"`
+	Chain  []string `json:"chain,omitempty"`
+	Site   string   `json:"fault_site,omitempty"`
+}
+
+// Protect wraps h so a panic anywhere below it — an injected fault, a
+// query-kernel *par.PanicError, a plain handler bug — is recovered into
+// a buffered JSON 500 carrying the fault chain. This is the serve
+// recovery wrapper the hcdlint http-safety check requires on every
+// handler registration in module packages: net/http's built-in
+// per-connection recover keeps the process alive but returns an empty
+// reply; a resident query service owes its clients a diagnosable
+// response instead.
+//
+// http.ErrAbortHandler re-panics: it is net/http's documented way to
+// abort a response and suppress stack logging, not a failure to
+// contain.
+func Protect(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			mPanics.Inc()
+			writeError(w, http.StatusInternalServerError, par.AsPanicError(rec))
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// writeJSON marshals v fully before writing a byte, so an encoding
+// failure or mid-marshal panic can never tear a partial JSON body onto
+// the wire; the fallback is a complete plain-text 500.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("response encoding failed: %v", err), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)+1))
+	w.WriteHeader(status)
+	// A failed write means the client went away; the response is
+	// already fully formed so there is nothing to recover.
+	_, _ = w.Write(body)
+	_, _ = w.Write([]byte("\n"))
+}
+
+// writeError renders err as a JSON errorResponse. 429 and 503 carry
+// Retry-After so well-behaved clients back off instead of hammering a
+// saturated or draining server.
+func writeError(w http.ResponseWriter, status int, err error) {
+	resp := errorResponse{Status: status, Error: err.Error()}
+	for e := errors.Unwrap(err); e != nil; e = errors.Unwrap(e) {
+		resp.Chain = append(resp.Chain, e.Error())
+	}
+	var f *faultinject.Fault
+	if errors.As(err, &f) {
+		resp.Site = f.Site
+	}
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, resp)
+}

@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"hcd"
+)
+
+// Sentinel errors the handlers map onto status codes. errBadRequest
+// wraps every client-input failure (400); the rest are server states.
+var (
+	errBadRequest    = errors.New("bad request")
+	errRebuildFailed = errors.New("serve: rebuild failed; no snapshot published")
+)
+
+// maxBodyBytes bounds a POST body; a decoder fed unbounded input is a
+// memory-exhaustion vector for a resident process.
+const maxBodyBytes = 1 << 20
+
+// maxWeightedTerms bounds an assembled metric; each term costs a full
+// scoring pass worth of arithmetic per tree node.
+const maxWeightedTerms = 16
+
+// maxTimeoutMS bounds the client-requested deadline (the effective
+// deadline is additionally capped by Config.RequestTimeout).
+const maxTimeoutMS = 10 * 60 * 1000
+
+// SearchRequest is the decoded form of a /search query, accepted as
+// URL query parameters (GET) or a JSON body (POST):
+//
+//	GET  /search?metric=average-degree&min_size=10&timeout_ms=500
+//	GET  /search?weighted=average-degree:1,cut-ratio:0.5
+//	POST /search {"metric":"conductance","min_size":10,"max_size":500}
+type SearchRequest struct {
+	// Metric names a built-in metric; empty defaults to average-degree
+	// unless Weighted is set.
+	Metric string `json:"metric,omitempty"`
+	// Weighted assembles a linear-combination metric; mutually
+	// exclusive with Metric.
+	Weighted []WeightedTerm `json:"weighted,omitempty"`
+	// MinSize/MaxSize restrict the search to k-cores with vertex count
+	// in [MinSize, MaxSize]; 0 means unconstrained on that side.
+	MinSize int64 `json:"min_size,omitempty"`
+	MaxSize int64 `json:"max_size,omitempty"`
+	// TimeoutMS, when positive, lowers this query's deadline below the
+	// server's RequestTimeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// WeightedTerm is one (metric, coefficient) component of an assembled
+// metric. Coefficients must be finite and non-negative.
+type WeightedTerm struct {
+	Metric string  `json:"metric"`
+	Coeff  float64 `json:"coeff"`
+}
+
+// DecodeSearchRequest parses and validates a /search request from
+// either encoding. Every failure — unknown metric, non-finite or
+// negative coefficient, inverted or overflowing size range, malformed
+// JSON — wraps errBadRequest; the decoder must never panic (fuzzed by
+// FuzzServeRequest).
+func DecodeSearchRequest(r *http.Request) (SearchRequest, hcd.Metric, error) {
+	var req SearchRequest
+	var err error
+	switch r.Method {
+	case http.MethodGet:
+		req, err = searchRequestFromQuery(r)
+	case http.MethodPost:
+		req, err = searchRequestFromJSON(r)
+	default:
+		return req, nil, fmt.Errorf("%w: method %s not allowed (use GET or POST)", errBadRequest, r.Method)
+	}
+	if err != nil {
+		return req, nil, err
+	}
+	m, err := req.resolveMetric()
+	if err != nil {
+		return req, nil, err
+	}
+	if err := req.validateSizes(); err != nil {
+		return req, nil, err
+	}
+	if req.TimeoutMS < 0 || req.TimeoutMS > maxTimeoutMS {
+		return req, nil, fmt.Errorf("%w: timeout_ms %d out of range [0, %d]", errBadRequest, req.TimeoutMS, maxTimeoutMS)
+	}
+	return req, m, nil
+}
+
+func searchRequestFromQuery(r *http.Request) (SearchRequest, error) {
+	var req SearchRequest
+	q := r.URL.Query()
+	req.Metric = q.Get("metric")
+	var err error
+	if req.MinSize, err = formInt(q.Get("min_size"), "min_size"); err != nil {
+		return req, err
+	}
+	if req.MaxSize, err = formInt(q.Get("max_size"), "max_size"); err != nil {
+		return req, err
+	}
+	if req.TimeoutMS, err = formInt(q.Get("timeout_ms"), "timeout_ms"); err != nil {
+		return req, err
+	}
+	if w := q.Get("weighted"); w != "" {
+		for _, pair := range strings.Split(w, ",") {
+			name, coeff, ok := strings.Cut(pair, ":")
+			if !ok {
+				return req, fmt.Errorf("%w: weighted term %q is not metric:coeff", errBadRequest, pair)
+			}
+			c, err := strconv.ParseFloat(coeff, 64)
+			if err != nil {
+				return req, fmt.Errorf("%w: weighted coefficient %q: %v", errBadRequest, coeff, err)
+			}
+			req.Weighted = append(req.Weighted, WeightedTerm{Metric: name, Coeff: c})
+		}
+	}
+	return req, nil
+}
+
+func searchRequestFromJSON(r *http.Request) (SearchRequest, error) {
+	var req SearchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, fmt.Errorf("%w: decoding JSON body: %v", errBadRequest, err)
+	}
+	return req, nil
+}
+
+// formInt parses one optional non-negative integer parameter.
+func formInt(s, name string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %s=%q: %v", errBadRequest, name, s, err)
+	}
+	return v, nil
+}
+
+// resolveMetric turns the request's metric spec into an hcd.Metric.
+// strconv.ParseFloat happily parses "NaN" and "Inf", so finiteness is
+// an explicit check here, not a parse-time freebie.
+func (req *SearchRequest) resolveMetric() (hcd.Metric, error) {
+	if len(req.Weighted) > 0 {
+		if req.Metric != "" {
+			return nil, fmt.Errorf("%w: metric and weighted are mutually exclusive", errBadRequest)
+		}
+		if len(req.Weighted) > maxWeightedTerms {
+			return nil, fmt.Errorf("%w: %d weighted terms exceeds the limit of %d", errBadRequest, len(req.Weighted), maxWeightedTerms)
+		}
+		terms := make([]hcd.MetricTerm, 0, len(req.Weighted))
+		for _, t := range req.Weighted {
+			m, err := hcd.MetricByName(t.Metric)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+			}
+			if math.IsNaN(t.Coeff) || math.IsInf(t.Coeff, 0) || t.Coeff < 0 {
+				return nil, fmt.Errorf("%w: weighted coefficient for %s must be finite and non-negative, got %v", errBadRequest, t.Metric, t.Coeff)
+			}
+			terms = append(terms, hcd.MetricTerm{Metric: m, Coeff: t.Coeff})
+		}
+		return hcd.WeightedMetric("", terms...), nil
+	}
+	name := req.Metric
+	if name == "" {
+		name = "average-degree"
+	}
+	m, err := hcd.MetricByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	return m, nil
+}
+
+// validateSizes rejects negative and inverted size constraints (the
+// "bad k-ranges" class: min_size=-1, max_size < min_size, values that
+// overflowed ParseInt are already rejected there).
+func (req *SearchRequest) validateSizes() error {
+	if req.MinSize < 0 {
+		return fmt.Errorf("%w: min_size %d is negative", errBadRequest, req.MinSize)
+	}
+	if req.MaxSize < 0 {
+		return fmt.Errorf("%w: max_size %d is negative", errBadRequest, req.MaxSize)
+	}
+	if req.MaxSize > 0 && req.MaxSize < req.MinSize {
+		return fmt.Errorf("%w: max_size %d < min_size %d", errBadRequest, req.MaxSize, req.MinSize)
+	}
+	return nil
+}
+
+// ReconstructRequest is the decoded form of a /reconstruct query:
+// either a tree node id (node=) or a vertex + coreness pair (v=, k=)
+// naming "the k-core containing v". limit caps the returned vertex
+// list; 0 means unlimited.
+type ReconstructRequest struct {
+	Node    int64 `json:"node"`
+	V       int64 `json:"v"`
+	K       int64 `json:"k"`
+	Limit   int64 `json:"limit,omitempty"`
+	byNode  bool
+	byLocal bool
+}
+
+// DecodeReconstructRequest parses and validates a /reconstruct request
+// (GET query parameters only — the request is four small integers).
+func DecodeReconstructRequest(r *http.Request) (ReconstructRequest, error) {
+	var req ReconstructRequest
+	if r.Method != http.MethodGet {
+		return req, fmt.Errorf("%w: method %s not allowed (use GET)", errBadRequest, r.Method)
+	}
+	q := r.URL.Query()
+	var err error
+	req.byNode = q.Get("node") != ""
+	hasV, hasK := q.Get("v") != "", q.Get("k") != ""
+	req.byLocal = hasV || hasK
+	if req.byNode == req.byLocal {
+		return req, fmt.Errorf("%w: pass exactly one of node= or v=&k=", errBadRequest)
+	}
+	if req.byLocal && (!hasV || !hasK) {
+		return req, fmt.Errorf("%w: v= and k= are both required", errBadRequest)
+	}
+	if req.Node, err = formInt(q.Get("node"), "node"); err != nil {
+		return req, err
+	}
+	if req.V, err = formInt(q.Get("v"), "v"); err != nil {
+		return req, err
+	}
+	if req.K, err = formInt(q.Get("k"), "k"); err != nil {
+		return req, err
+	}
+	if req.Limit, err = formInt(q.Get("limit"), "limit"); err != nil {
+		return req, err
+	}
+	if req.Node < 0 || req.V < 0 || req.Limit < 0 {
+		return req, fmt.Errorf("%w: node, v and limit must be non-negative", errBadRequest)
+	}
+	if req.byLocal && req.K < 1 {
+		return req, fmt.Errorf("%w: k must be >= 1", errBadRequest)
+	}
+	if req.Node > math.MaxInt32 || req.V > math.MaxInt32 || req.K > math.MaxInt32 {
+		return req, fmt.Errorf("%w: node, v and k must fit in int32", errBadRequest)
+	}
+	return req, nil
+}

@@ -1,0 +1,309 @@
+// Package serve implements the resident HCD query service behind
+// cmd/hcdserve: a long-running HTTP+JSON server that keeps one built
+// index (a Snapshot) in memory and answers subgraph-search, core
+// reconstruction, and stats queries against it.
+//
+// The package is organised around three robustness mechanisms, all
+// exercised deterministically by the chaos tests via the faultinject
+// sites serve.admit, serve.query, serve.rebuild and serve.swap:
+//
+//   - Admission control and load shedding: at most MaxInflight queries
+//     execute concurrently; up to QueueDepth more wait at most QueueWait
+//     for a slot. Arrivals beyond the queue are shed with 429, waiters
+//     that time out with 503, both carrying Retry-After. See admission.go.
+//   - Crash-free degradation: every handler runs under Protect, which
+//     recovers panics (including injected faults and *par.PanicError
+//     from the query kernels) into a buffered JSON 500 carrying the
+//     fault chain — the process never dies to a bad query. Responses
+//     are marshalled fully before the first byte is written, so a
+//     failure never tears a partial JSON body onto the wire.
+//   - Atomic snapshot swap: queries read one immutable *Snapshot via an
+//     atomic pointer. A background rebuild (triggered by /reload or a
+//     watched input file) builds the next snapshot off to the side and
+//     publishes it with a single pointer swap, retrying with
+//     exponential backoff + jitter on failure while the last-good
+//     snapshot keeps serving. See snapshot.go.
+//
+// Graceful drain: cancelling the context passed to Run stops admission
+// (503 + Retry-After), lets in-flight queries finish against
+// DrainTimeout, then hard-cancels their contexts (the query kernels
+// abort at chunk boundaries) before closing. /healthz reports process
+// liveness always; /readyz reports snapshot readiness and flips to 503
+// the moment the drain starts.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hcd"
+	"hcd/internal/obs"
+)
+
+// Service counters and gauges, registered once at package init and
+// exported at /metrics alongside the build/search instrumentation.
+var (
+	mInflight = obs.NewGauge("hcd_serve_inflight",
+		"queries currently executing")
+	mQueue = obs.NewGauge("hcd_serve_queue",
+		"queries waiting for an execution slot")
+	mAdmitted = obs.NewCounter("hcd_serve_admitted_total",
+		"requests admitted for execution")
+	mShed = obs.NewCounter("hcd_serve_shed_total",
+		"requests refused by admission control (queue full, wait timeout, draining, not ready)")
+	mDrained = obs.NewCounter("hcd_serve_drained_total",
+		"admitted requests that completed during drain")
+	mPanics = obs.NewCounter("hcd_serve_panics_total",
+		"handler panics contained into 500 responses")
+	mRebuildRetries = obs.NewCounter("hcd_serve_rebuild_retries_total",
+		"snapshot rebuild attempts that failed and were retried")
+	mRebuildAbandoned = obs.NewCounter("hcd_serve_rebuild_abandoned_total",
+		"rebuild rounds abandoned after exhausting RebuildMaxAttempts")
+	mSwaps = obs.NewCounter("hcd_serve_swaps_total",
+		"snapshots published by pointer swap")
+	mLatency = obs.NewHistogram("hcd_serve_request_ns",
+		"admitted request latency")
+)
+
+// Config tunes a Server. The zero value of every field except Load is
+// usable; defaults are resolved by New.
+type Config struct {
+	// Load produces the graph a snapshot is built from. It is called
+	// once per rebuild attempt (so a changed input file is re-read on
+	// /reload). Required.
+	Load func() (*hcd.Graph, error)
+	// Build tunes the index build (threads, kernel, self-verify,
+	// deadline) and supplies the per-query thread count.
+	Build hcd.Options
+	// MaxInflight caps concurrently executing queries.
+	// Default 2 × GOMAXPROCS.
+	MaxInflight int
+	// QueueDepth bounds the admission wait queue; an arrival beyond it
+	// is shed immediately with 429. Default 4 × MaxInflight.
+	QueueDepth int
+	// QueueWait bounds how long a queued request waits for an execution
+	// slot before being shed with 503. Default 250ms.
+	QueueWait time.Duration
+	// RequestTimeout caps each query's execution deadline; a request may
+	// ask for less via timeout_ms but never more. Default 30s.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds the graceful drain: in-flight queries get this
+	// long to finish before their contexts are cancelled. Default 10s.
+	DrainTimeout time.Duration
+	// RebuildBackoff is the delay after the first failed rebuild
+	// attempt; it doubles per failure up to RebuildBackoffMax, with up
+	// to 50% additive jitter. Defaults 100ms / 5s.
+	RebuildBackoff    time.Duration
+	RebuildBackoffMax time.Duration
+	// RebuildMaxAttempts bounds one rebuild round; when exhausted the
+	// round is abandoned and the last-good snapshot keeps serving until
+	// the next /reload or watch trigger. Default 5; negative means
+	// retry until the server drains.
+	RebuildMaxAttempts int
+	// WatchPath, when set, is polled every WatchInterval (default 2s)
+	// and a rebuild is triggered when its mtime or size changes.
+	WatchPath     string
+	WatchInterval time.Duration
+	// Log receives operator log lines. Default io.Discard.
+	Log io.Writer
+}
+
+// withDefaults resolves zero fields to their documented defaults.
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxInflight
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 250 * time.Millisecond
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.RebuildBackoff <= 0 {
+		c.RebuildBackoff = 100 * time.Millisecond
+	}
+	if c.RebuildBackoffMax <= 0 {
+		c.RebuildBackoffMax = 5 * time.Second
+	}
+	if c.RebuildMaxAttempts == 0 {
+		c.RebuildMaxAttempts = 5
+	}
+	if c.WatchInterval <= 0 {
+		c.WatchInterval = 2 * time.Second
+	}
+	if c.Log == nil {
+		c.Log = io.Discard
+	}
+	return c
+}
+
+// Server is the resident query service: one atomic snapshot, one
+// admission limiter, one background rebuilder.
+type Server struct {
+	cfg Config
+	lim *limiter
+	mux http.Handler
+	log *log.Logger
+
+	cur      atomic.Pointer[Snapshot]
+	epoch    atomic.Uint64
+	reloadCh chan struct{}
+
+	draining   atomic.Bool
+	rebuilding atomic.Int64
+}
+
+// New builds a Server from cfg (Load is required) without starting any
+// background work; Run starts serving and the rebuild/watch loops, and
+// Handler exposes the routes for in-process tests and benchmarks.
+func New(cfg Config) (*Server, error) {
+	if cfg.Load == nil {
+		return nil, errors.New("serve: Config.Load is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		lim:      newLimiter(cfg.MaxInflight, cfg.QueueDepth, cfg.QueueWait),
+		log:      log.New(cfg.Log, "hcdserve: ", log.LstdFlags|log.Lmsgprefix),
+		reloadCh: make(chan struct{}, 1),
+	}
+	s.mux = s.routes()
+	return s, nil
+}
+
+// routes assembles the endpoint mux. Every route — including the
+// re-exported obs debug endpoints — runs under Protect, so a panic
+// anywhere in the handler tree is contained into a JSON 500.
+func (s *Server) routes() http.Handler {
+	obsH := obs.Handler()
+	mux := http.NewServeMux()
+	mux.Handle("/search", Protect(s.gated(s.handleSearch)))
+	mux.Handle("/reconstruct", Protect(s.gated(s.handleReconstruct)))
+	mux.Handle("/stats", Protect(http.HandlerFunc(s.handleStats)))
+	mux.Handle("/reload", Protect(http.HandlerFunc(s.handleReload)))
+	mux.Handle("/healthz", Protect(http.HandlerFunc(s.handleHealthz)))
+	mux.Handle("/readyz", Protect(http.HandlerFunc(s.handleReadyz)))
+	mux.Handle("/metrics", Protect(obsH))
+	mux.Handle("/trace", Protect(obsH))
+	mux.Handle("/debug/", Protect(obsH))
+	mux.Handle("/", Protect(http.HandlerFunc(s.handleIndex)))
+	return mux
+}
+
+// Handler returns the server's HTTP handler. It is valid before Run:
+// tests and the serve benchmark drive it through httptest with
+// snapshots published via Rebuild.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Ready reports whether a snapshot is published and the server is not
+// draining — the /readyz condition.
+func (s *Server) Ready() bool { return s.cur.Load() != nil && !s.draining.Load() }
+
+// Epoch returns the published snapshot's epoch, 0 when none is
+// published yet.
+func (s *Server) Epoch() uint64 {
+	if snap := s.cur.Load(); snap != nil {
+		return snap.Epoch
+	}
+	return 0
+}
+
+// WaitReady blocks until a snapshot is published or ctx is done.
+func (s *Server) WaitReady(ctx context.Context) error {
+	for s.cur.Load() == nil {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("serve: waiting for first snapshot: %w", ctx.Err())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// Run serves on ln until ctx is cancelled, then drains gracefully:
+// admission stops (new requests shed with 503, /readyz flips), in-flight
+// queries get DrainTimeout to finish, then their contexts are cancelled
+// (the kernels abort at chunk boundaries) and the listener closes. A
+// completed drain returns nil — the process exit-0 path. If no snapshot
+// is published yet an initial rebuild is triggered; until it lands the
+// server is live but not ready.
+func (s *Server) Run(ctx context.Context, ln net.Listener) error {
+	// baseCtx parents every request context; hardCancel is the
+	// drain-deadline escalation that aborts still-running queries.
+	baseCtx, hardCancel := context.WithCancel(context.Background())
+	defer hardCancel()
+	httpSrv := &http.Server{
+		Handler:           s.mux,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	bg, bgCancel := context.WithCancel(context.Background())
+	defer bgCancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); s.rebuildLoop(bg) }()
+	if s.cfg.WatchPath != "" {
+		wg.Add(1)
+		go func() { defer wg.Done(); s.watchLoop(bg) }()
+	}
+	if s.cur.Load() == nil {
+		s.triggerReload()
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	s.log.Printf("serving on %s", ln.Addr())
+
+	select {
+	case err := <-errCh:
+		// Listener failure before any shutdown was requested.
+		bgCancel()
+		wg.Wait()
+		return err
+	case <-ctx.Done():
+	}
+
+	s.log.Printf("drain: stopping admission (timeout %v)", s.cfg.DrainTimeout)
+	s.draining.Store(true)
+	bgCancel()
+	dctx, dcancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer dcancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		// Drain deadline exceeded: cancel in-flight request contexts so
+		// the query kernels abort, then give the unwound handlers a
+		// short grace period to flush their (now error) responses.
+		s.log.Printf("drain: deadline exceeded, cancelling in-flight queries")
+		hardCancel()
+		fctx, fcancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer fcancel()
+		if err := httpSrv.Shutdown(fctx); err != nil {
+			_ = httpSrv.Close() // final resort; Shutdown already reported the cause
+		}
+	}
+	<-errCh // Serve has returned http.ErrServerClosed
+	wg.Wait()
+	s.log.Printf("drain: complete")
+	return nil
+}
+
+// queryOpts is the per-query Options: the configured thread count with
+// build-only knobs (deadline, self-verify) stripped.
+func (s *Server) queryOpts() hcd.Options {
+	return hcd.Options{Threads: s.cfg.Build.Threads, Kernel: s.cfg.Build.Kernel}
+}

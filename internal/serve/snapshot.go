@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"time"
+
+	"hcd"
+	"hcd/internal/faultinject"
+	"hcd/internal/hierarchy"
+	"hcd/internal/obs"
+	"hcd/internal/par"
+)
+
+// Snapshot is one immutable generation of the served index: everything
+// a query needs, built off to the side and published with a single
+// atomic pointer swap. Queries load the pointer once and use only that
+// generation for their whole lifetime, so a concurrent swap can never
+// show them a torn or partial index.
+type Snapshot struct {
+	// Graph is the input the snapshot was built from.
+	Graph *hcd.Graph
+	// Searcher answers best-k-core queries (PBKS).
+	Searcher *hcd.Searcher
+	// Core is the coreness array.
+	Core []int32
+	// Local answers "the k-core containing v" reconstruction queries.
+	Local *hcd.LocalQuery
+	// Stats is the hierarchy's precomputed shape summary.
+	Stats hierarchy.Stats
+	// Epoch increments with every published snapshot (first is 1).
+	Epoch uint64
+	// BuiltAt is the publication time.
+	BuiltAt time.Time
+	// Report describes how the build ran (fallbacks, verification,
+	// phase times).
+	Report *hcd.BuildReport
+}
+
+// triggerReload requests a background rebuild; a request that finds one
+// already pending coalesces with it and reports false.
+func (s *Server) triggerReload() bool {
+	select {
+	case s.reloadCh <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// rebuildLoop services reload triggers until ctx is done (the server is
+// draining). Each trigger runs one rebuild round with retry + backoff.
+func (s *Server) rebuildLoop(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.reloadCh:
+		}
+		s.rebuildRound(ctx)
+	}
+}
+
+// rebuildRound attempts to build and publish one new snapshot,
+// retrying with exponential backoff + jitter on failure. The last-good
+// snapshot keeps serving throughout; an exhausted round abandons the
+// rebuild (last-good stays) rather than wedging the loop.
+func (s *Server) rebuildRound(ctx context.Context) {
+	s.rebuilding.Add(1)
+	defer s.rebuilding.Add(-1)
+	backoff := s.cfg.RebuildBackoff
+	for attempt := 1; ; attempt++ {
+		err := s.buildAndSwap(ctx)
+		if err == nil {
+			return
+		}
+		if ctx.Err() != nil {
+			return // draining: stop retrying, keep last-good
+		}
+		mRebuildRetries.Inc()
+		s.log.Printf("rebuild attempt %d failed: %v", attempt, err)
+		if s.cfg.RebuildMaxAttempts > 0 && attempt >= s.cfg.RebuildMaxAttempts {
+			mRebuildAbandoned.Inc()
+			s.log.Printf("rebuild abandoned after %d attempts; serving last-good snapshot", attempt)
+			return
+		}
+		// Full backoff with up to 50% additive jitter, capped.
+		d := backoff + time.Duration(rand.Int63n(int64(backoff)/2+1))
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(d):
+		}
+		if backoff *= 2; backoff > s.cfg.RebuildBackoffMax {
+			backoff = s.cfg.RebuildBackoffMax
+		}
+	}
+}
+
+// buildAndSwap is one contained rebuild attempt: load the input, build
+// the index, publish the snapshot. A panic anywhere inside — including
+// the serve.rebuild and serve.swap fault sites — is recovered into the
+// returned error, so an injected or real crash costs one retry, never
+// the process or the published snapshot.
+func (s *Server) buildAndSwap(ctx context.Context) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = par.AsPanicError(r)
+		}
+	}()
+	sp := obs.StartSpan("serve.rebuild")
+	defer sp.End()
+
+	faultinject.Maybe("serve.rebuild")
+	g, err := s.cfg.Load()
+	if err != nil {
+		return err
+	}
+	h, core, searcher, rep, err := hcd.BuildAndIndexCtx(ctx, g, s.cfg.Build)
+	if err != nil {
+		return err
+	}
+	snap := &Snapshot{
+		Graph:    g,
+		Searcher: searcher,
+		Core:     core,
+		Local:    hcd.NewLocalQuery(h),
+		Stats:    h.ComputeStats(),
+		BuiltAt:  time.Now(),
+		Report:   rep,
+	}
+
+	// The swap itself: the fault site sits before the epoch claim so an
+	// injected swap failure leaves the previous snapshot fully intact
+	// (epochs may skip on retry, but they stay monotonic).
+	faultinject.Maybe("serve.swap")
+	snap.Epoch = s.epoch.Add(1)
+	s.cur.Store(snap)
+	mSwaps.Inc()
+	s.log.Printf("snapshot epoch %d published: n=%d m=%d nodes=%d (%s)",
+		snap.Epoch, g.NumVertices(), g.NumEdges(), snap.Stats.Nodes, rep.Summary())
+	return nil
+}
+
+// Rebuild runs one synchronous rebuild round (same retry/backoff policy
+// as the background loop) and reports whether a snapshot got published.
+// cmd/hcdserve uses it to block start-up on the first snapshot; tests
+// and the serve benchmark use it to publish deterministically.
+func (s *Server) Rebuild(ctx context.Context) error {
+	before := s.epoch.Load()
+	s.rebuildRound(ctx)
+	if s.epoch.Load() == before {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return errRebuildFailed
+	}
+	return nil
+}
+
+// watchLoop polls WatchPath and triggers a rebuild when its mtime or
+// size changes — the "watched input file" reload path. Stat errors are
+// ignored (the file may be mid-replace); the next tick re-checks.
+func (s *Server) watchLoop(ctx context.Context) {
+	var lastMod time.Time
+	var lastSize int64
+	if fi, err := os.Stat(s.cfg.WatchPath); err == nil {
+		lastMod, lastSize = fi.ModTime(), fi.Size()
+	}
+	t := time.NewTicker(s.cfg.WatchInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		fi, err := os.Stat(s.cfg.WatchPath)
+		if err != nil {
+			continue
+		}
+		if !fi.ModTime().Equal(lastMod) || fi.Size() != lastSize {
+			lastMod, lastSize = fi.ModTime(), fi.Size()
+			s.log.Printf("watch: %s changed, triggering rebuild", s.cfg.WatchPath)
+			s.triggerReload()
+		}
+	}
+}
