@@ -19,9 +19,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"hcd"
@@ -55,6 +57,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	watch := fs.Bool("watch", false, "poll -in and rebuild the snapshot when it changes")
 	watchInterval := fs.Duration("watch-interval", 0, "poll interval for -watch (0 = 2s)")
 	faults := fs.String("faults", "", "fault-injection spec, e.g. serve.query:panic:3 (HCD_FAULTS env also honoured)")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	slowQuery := fs.Duration("slow-query", 0, "served-query latency logged at warn and counted against the SLO (0 = 500ms)")
+	sloWindow := fs.Duration("slo-window", 0, "sliding window for the /stats SLO section (0 = 60s)")
+	requestLog := fs.Int("request-log", 0, "completed requests kept for /debug/requests (0 = 128)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -71,6 +78,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	k, err := hcd.ParsePeelKernel(*kernel)
+	if err != nil {
+		fmt.Fprintf(stderr, "hcdserve: %v\n", err)
+		return 2
+	}
+	logger, err := buildLogger(stderr, *logFormat, *logLevel)
 	if err != nil {
 		fmt.Fprintf(stderr, "hcdserve: %v\n", err)
 		return 2
@@ -106,7 +118,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		RequestTimeout: *reqTimeout,
 		DrainTimeout:   *drainTimeout,
 		WatchInterval:  *watchInterval,
+		Logger:         logger,
 		Log:            stderr,
+		SlowQuery:      *slowQuery,
+		SLOWindow:      *sloWindow,
+		RequestLogSize: *requestLog,
 	}
 	if *watch {
 		cfg.WatchPath = *in
@@ -127,4 +143,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// buildLogger assembles the structured logger behind -log-format and
+// -log-level. Timestamps are dropped in favour of slog's defaults only
+// when the format is unknown — that's a usage error.
+func buildLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (debug, info, warn, error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (text or json)", format)
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -71,7 +72,10 @@ func quantCell(dataset, kernel string, clients int, perRep [][]int64, q float64)
 //
 //   - serve.search.p50 / serve.search.p99 — full-index metric search;
 //   - serve.reconstruct.p50 / serve.reconstruct.p99 — core
-//     reconstruction, dominated by admission + encoding overhead.
+//     reconstruction, dominated by admission + encoding overhead;
+//   - serve.search.wait.p50 / serve.search.wait.p99 — admission
+//     queue-wait under deliberate slot pressure (half the slots, sized
+//     queue), measured from the X-Queue-Wait-Ns response header.
 //
 // Cell.Threads carries the client count; each rep contributes one
 // quantile sample, so the compare gate's MAD band works unchanged. The
@@ -173,6 +177,83 @@ func ServeBench(cfg Config) error {
 					quantCell(d.name, ep.kernel+".p99", p, perRep, 0.99))
 			}
 			rep.Scaling = append(rep.Scaling, rep.buildScaling(d.name, ep.kernel+".p50", ""))
+		}
+
+		// Queue-wait pressure stage: a second server with half the
+		// execution slots but a sweep-sized queue and an effectively
+		// unbounded queue wait, so every request is eventually served and
+		// the admission queue actually fills. Each served response reports
+		// how long it waited via X-Queue-Wait-Ns; the per-cell quantiles
+		// journal as serve.search.wait.* — new cells are DeltaAdded in the
+		// compare gate, so they inform without gating.
+		pressure, err := serve.New(serve.Config{
+			Load:           func() (*hcd.Graph, error) { return g, nil },
+			Build:          hcd.Options{Threads: cfg.Threads},
+			MaxInflight:    max(1, maxClients/2),
+			QueueDepth:     maxClients,
+			QueueWait:      time.Minute,
+			RequestTimeout: time.Minute,
+		})
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		if err := pressure.Rebuild(context.Background()); err != nil {
+			return fmt.Errorf("serve: publishing pressure snapshot: %w", err)
+		}
+		ph := pressure.Handler()
+		waitStorm := func(path string, clients int) ([]int64, error) {
+			perWorker := make([][]int64, clients)
+			var stormErr atomic.Value
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					waits := make([]int64, 0, perClient)
+					for i := 0; i < perClient; i++ {
+						r := httptest.NewRequest(http.MethodGet, path, nil)
+						w := httptest.NewRecorder()
+						ph.ServeHTTP(w, r)
+						if w.Code != http.StatusOK {
+							stormErr.Store(fmt.Errorf("serve: pressure %s returned %d (the unbounded queue wait must serve everything)", path, w.Code))
+							return
+						}
+						ns, err := strconv.ParseInt(w.Header().Get("X-Queue-Wait-Ns"), 10, 64)
+						if err != nil {
+							stormErr.Store(fmt.Errorf("serve: pressure %s: bad X-Queue-Wait-Ns header: %w", path, err))
+							return
+						}
+						waits = append(waits, ns)
+					}
+					perWorker[c] = waits
+				}(c)
+			}
+			wg.Wait()
+			if err, ok := stormErr.Load().(error); ok {
+				return nil, err
+			}
+			var all []int64
+			for _, waits := range perWorker {
+				all = append(all, waits...)
+			}
+			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+			return all, nil
+		}
+		for _, p := range rep.Threads {
+			sp := obs.StartSpanArg("bench.servewait", int64(p))
+			perRep := make([][]int64, 0, rep.Reps)
+			for i := 0; i < rep.Reps; i++ {
+				all, err := waitStorm("/search?metric=average-degree", p)
+				if err != nil {
+					sp.End()
+					return err
+				}
+				perRep = append(perRep, all)
+			}
+			sp.End()
+			rep.Cells = append(rep.Cells,
+				quantCell(d.name, "serve.search.wait.p50", p, perRep, 0.50),
+				quantCell(d.name, "serve.search.wait.p99", p, perRep, 0.99))
 		}
 	}
 	printReport(cfg, rep)

@@ -80,13 +80,24 @@ func panicSafetyCheck() *Check {
 	}
 }
 
-// isProtectCall reports whether e is (possibly parenthesised) a direct
-// call to serve.Protect, the recovery wrapper handlers must go through.
+// isProtectCall reports whether e is (possibly parenthesised) a call to
+// serve.Protect, or a middleware-wrapper call — s.observed(route,
+// Protect(h)), s.refreshed(Protect(h)) — whose argument tree contains
+// one. Recovery composes through wrappers: a panic below the wrapper
+// still unwinds into Protect, so instrumentation outside it is safe.
 func isProtectCall(pkg *Package, servePath string, e ast.Expr) bool {
 	call, ok := ast.Unparen(e).(*ast.CallExpr)
 	if !ok {
 		return false
 	}
 	fn := calleeFunc(pkg, call)
-	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == servePath && fn.Name() == "Protect"
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == servePath && fn.Name() == "Protect" {
+		return true
+	}
+	for _, a := range call.Args {
+		if isProtectCall(pkg, servePath, a) {
+			return true
+		}
+	}
+	return false
 }

@@ -22,6 +22,10 @@ func DefaultParityPairs(module string) []ParityPair {
 	return []ParityPair{
 		{Path: module + "/internal/obs", Tag: "noobs"},
 		{Path: module + "/internal/faultinject", Tag: "nofaults"},
+		// serve mirrors its request-telemetry internals (reqobs.go) under
+		// noobs; the exported surface must stay identical so hcdserve
+		// builds unchanged either way.
+		{Path: module + "/internal/serve", Tag: "noobs"},
 	}
 }
 

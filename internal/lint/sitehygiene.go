@@ -74,12 +74,23 @@ func siteHygieneCheck() *Check {
 						}
 					case obsPath:
 						switch fn.Name() {
-						case "StartSpan", "StartSpanArg", "StartPhase":
-							if lit, ok := stringLit(call.Args[0]); ok {
-								spans = append(spans, nameUse{lit, call.Args[0].Pos()})
-								diags = append(diags, checkGrammar(ctx, "span", lit, siteNameRe, call.Args[0].Pos())...)
+						case "StartSpan", "StartSpanArg", "StartPhase", "StartSpanTag",
+							"StartSpanCtx", "StartSpanCtxArg", "StartPhaseCtx":
+							// The Ctx constructors take the context first;
+							// the span name sits at argument index 1.
+							idx := 0
+							switch fn.Name() {
+							case "StartSpanCtx", "StartSpanCtxArg", "StartPhaseCtx":
+								idx = 1
+							}
+							if len(call.Args) <= idx {
+								return true
+							}
+							if lit, ok := stringLit(call.Args[idx]); ok {
+								spans = append(spans, nameUse{lit, call.Args[idx].Pos()})
+								diags = append(diags, checkGrammar(ctx, "span", lit, siteNameRe, call.Args[idx].Pos())...)
 							} else {
-								diags = append(diags, ctx.diag("site-hygiene", call.Args[0].Pos(),
+								diags = append(diags, ctx.diag("site-hygiene", call.Args[idx].Pos(),
 									"obs.%s span name must be a string literal so traces stay greppable", fn.Name()))
 							}
 						case "NewPhaseStat":

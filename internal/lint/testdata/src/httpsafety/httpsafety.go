@@ -14,12 +14,28 @@ func index(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write([]byte("ok"))
 }
 
+// logged stands in for an instrumentation middleware (request IDs,
+// access logs) that wraps an already-protected handler.
+func logged(route string, h http.Handler) http.Handler {
+	_ = route
+	return h
+}
+
 func routes() http.Handler {
 	mux := http.NewServeMux()
 
 	// Wrapped registrations are fine, with or without parentheses.
 	mux.Handle("/good", serve.Protect(http.HandlerFunc(index)))
 	mux.Handle("/paren", (serve.Protect(http.HandlerFunc(index))))
+
+	// A middleware wrapper composes: recovery still sits inside it, so
+	// the registration passes as long as Protect appears somewhere in
+	// the wrapper's argument tree.
+	mux.Handle("/observed", logged("observed", serve.Protect(http.HandlerFunc(index))))
+	mux.Handle("/nested", logged("nested", logged("inner", serve.Protect(http.HandlerFunc(index)))))
+
+	// A wrapper with no Protect anywhere inside is still bare.
+	mux.Handle("/wrappedbare", logged("wrappedbare", http.HandlerFunc(index)))
 
 	// A bare http.Handler misses the recovery wrapper.
 	mux.Handle("/bare", http.HandlerFunc(index))

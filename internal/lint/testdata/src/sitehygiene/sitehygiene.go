@@ -3,6 +3,8 @@
 package sitehygiene
 
 import (
+	"context"
+
 	"hcd/internal/faultinject"
 	"hcd/internal/obs"
 )
@@ -17,6 +19,15 @@ func Touch(name string) {
 	obs.StartSpan("fixture.span").End()
 	obs.StartSpan("fixture.span").End() // duplicate span
 	obs.StartSpanArg("fixture.span.arg.deep", 1).End()
+
+	// The ctx/tag constructors carry the span name at a different
+	// argument index; the same grammar and uniqueness rules apply.
+	ctx := context.Background()
+	obs.StartSpanCtx(ctx, "fixture.ctxspan").End()
+	obs.StartSpanCtx(ctx, "Bad.CtxSpan").End()       // grammar violation
+	obs.StartSpanCtxArg(ctx, name, 1).End()          // dynamic span name
+	obs.StartPhaseCtx(ctx, "fixture.ctxphase").End() // clean
+	obs.StartSpanTag("fixture.ctxspan", name).End()  // duplicate of the ctx span
 
 	c := obs.NewCounter("Bad-Metric", "fixture")
 	c.Inc()

@@ -10,6 +10,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -61,6 +62,25 @@ func StartSpanArg(string, int64) *Span { return sharedSpan }
 
 // StartPhase returns the shared stub span; no worker hooks are armed.
 func StartPhase(string) *Span { return sharedSpan }
+
+// ContextWithTag returns ctx unchanged: with tracing compiled out there
+// is nothing for a correlation tag to stamp.
+func ContextWithTag(ctx context.Context, _ string) context.Context { return ctx }
+
+// Tag always reports the empty tag.
+func Tag(context.Context) string { return "" }
+
+// StartSpanTag returns the shared stub span.
+func StartSpanTag(string, string) *Span { return sharedSpan }
+
+// StartSpanCtx returns the shared stub span.
+func StartSpanCtx(context.Context, string) *Span { return sharedSpan }
+
+// StartSpanCtxArg returns the shared stub span.
+func StartSpanCtxArg(context.Context, string, int64) *Span { return sharedSpan }
+
+// StartPhaseCtx returns the shared stub span; no worker hooks are armed.
+func StartPhaseCtx(context.Context, string) *Span { return sharedSpan }
 
 // End reports a zero duration.
 func (*Span) End() time.Duration { return 0 }

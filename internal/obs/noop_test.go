@@ -4,6 +4,7 @@ package obs_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http/httptest"
 	"strings"
@@ -30,6 +31,21 @@ func TestStubsAreInert(t *testing.T) {
 	}
 	if n := obs.DefaultTracer().SpanCount(); n != 0 {
 		t.Errorf("SpanCount = %d, want 0", n)
+	}
+
+	ctx := context.Background()
+	if got := obs.ContextWithTag(ctx, "rid-1"); got != ctx {
+		t.Error("stub ContextWithTag must return ctx unchanged")
+	}
+	if got := obs.Tag(ctx); got != "" {
+		t.Errorf("stub Tag = %q, want empty", got)
+	}
+	obs.StartSpanCtx(ctx, "test.ctxspan").End()
+	obs.StartSpanCtxArg(ctx, "test.ctxspan.arg", 1).End()
+	obs.StartPhaseCtx(ctx, "test.ctxphase").End()
+	obs.StartSpanTag("test.tagspan", "rid-1").End()
+	if n := obs.DefaultTracer().SpanCount(); n != 0 {
+		t.Errorf("SpanCount after ctx spans = %d, want 0", n)
 	}
 
 	c := obs.NewCounter("test_total", "test")

@@ -33,6 +33,15 @@
 //	    search.typea|typeb
 //	      treeaccum
 //	  search.score              metric evaluation + argmax
+//	serve.request               one hcdserve request (tagged with its ID)
+//	  serve.request.wait        slow-path wait for an execution slot
+//	                            (absent when admission was uncontended)
+//	  serve.request.exec        handler execution (search/... nest here)
+//
+// Spans opened through the Ctx constructors carry the correlation tag of
+// their context (see request.go): the exported trace gives each tag its
+// own track, so request spans do not interleave with the build pipeline
+// or with each other.
 //
 // The per-phase worker statistics are global (one armed phase at a time,
 // innermost wins): concurrent pipelines in one process share the

@@ -16,7 +16,8 @@ import (
 // nanoseconds relative to the tracer's epoch.
 type spanRecord struct {
 	name  string
-	arg   int64 // optional argument (e.g. the level k); argNone when absent
+	tag   string // optional correlation tag (e.g. a request ID); "" when absent
+	arg   int64  // optional argument (e.g. the level k); argNone when absent
 	start int64
 	dur   int64
 }
@@ -119,16 +120,36 @@ func (t *Tracer) snapshot() []spanRecord {
 // WriteTrace serialises the recorded spans as Chrome trace-event JSON
 // ("X" complete events, microsecond timestamps), loadable directly in
 // chrome://tracing or https://ui.perfetto.dev.
+//
+// Untagged spans (the build/search pipeline) share track 1. Tagged spans
+// — request-scoped spans opened through StartSpanCtx/StartSpanTag — get
+// one track per tag in first-appearance order, so every request renders
+// as its own lane with the tag exported as args.rid; a single request ID
+// therefore selects the complete span tree of that request.
 func (t *Tracer) WriteTrace(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+	lanes := map[string]int{}
 	for i, r := range t.snapshot() {
 		if i > 0 {
 			bw.WriteByte(',')
 		}
-		fmt.Fprintf(bw, "\n{\"name\":%q,\"cat\":\"hcd\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":%.3f,\"dur\":%.3f",
-			r.name, float64(r.start)/1e3, float64(r.dur)/1e3)
-		if r.arg != argNone {
+		tid := 1
+		if r.tag != "" {
+			var ok bool
+			if tid, ok = lanes[r.tag]; !ok {
+				tid = 2 + len(lanes)
+				lanes[r.tag] = tid
+			}
+		}
+		fmt.Fprintf(bw, "\n{\"name\":%q,\"cat\":\"hcd\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f",
+			r.name, tid, float64(r.start)/1e3, float64(r.dur)/1e3)
+		switch {
+		case r.tag != "" && r.arg != argNone:
+			fmt.Fprintf(bw, ",\"args\":{\"k\":%d,\"rid\":%q}", r.arg, r.tag)
+		case r.tag != "":
+			fmt.Fprintf(bw, ",\"args\":{\"rid\":%q}", r.tag)
+		case r.arg != argNone:
 			fmt.Fprintf(bw, ",\"args\":{\"k\":%d}", r.arg)
 		}
 		bw.WriteByte('}')
@@ -174,6 +195,7 @@ var curAgg atomic.Pointer[workerAgg]
 type Span struct {
 	tr      *Tracer
 	name    string
+	tag     string
 	arg     int64
 	start   time.Time
 	agg     *workerAgg // non-nil for phases
@@ -213,6 +235,7 @@ func (s *Span) End() time.Duration {
 	}
 	s.tr.record(spanRecord{
 		name:  s.name,
+		tag:   s.tag,
 		arg:   s.arg,
 		start: s.start.Sub(s.tr.epoch).Nanoseconds(),
 		dur:   d.Nanoseconds(),

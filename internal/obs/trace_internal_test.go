@@ -84,6 +84,38 @@ func TestWriteTraceOmitsAbsentArgs(t *testing.T) {
 	}
 }
 
+// TestWriteTraceTagLanes checks tagged spans get one track per tag (in
+// first-appearance order, starting at tid 2) with the tag exported as
+// args.rid, while untagged spans stay on track 1.
+func TestWriteTraceTagLanes(t *testing.T) {
+	tr := NewTracer(16)
+	tr.record(spanRecord{name: "pipeline", arg: argNone, start: 0, dur: 5})
+	tr.record(spanRecord{name: "serve.request", tag: "req-a", arg: argNone, start: 1, dur: 3})
+	tr.record(spanRecord{name: "search", tag: "req-a", arg: 4, start: 2, dur: 1})
+	tr.record(spanRecord{name: "serve.request", tag: "req-b", arg: argNone, start: 3, dur: 2})
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"tid":1`,                      // untagged pipeline span
+		`"args":{"rid":"req-a"}`,       // tagged, no k
+		`"args":{"k":4,"rid":"req-a"}`, // tagged with k
+		`"args":{"rid":"req-b"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %s:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, `"tid":2`) != 2 {
+		t.Errorf("req-a spans must share track 2:\n%s", out)
+	}
+	if strings.Count(out, `"tid":3`) != 1 {
+		t.Errorf("req-b must get track 3:\n%s", out)
+	}
+}
+
 // TestReset drops the buffered spans and the lifetime count.
 func TestReset(t *testing.T) {
 	tr := NewTracer(16)

@@ -79,7 +79,7 @@ func NewIndexCtx(ctx context.Context, g *graph.Graph, core []int32, h *hierarchy
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	defer obs.StartSpan("search.newindex").End()
+	defer obs.StartSpanCtx(ctx, "search.newindex").End()
 	n := g.NumVertices()
 	ix := &Index{
 		g:    g,
@@ -196,7 +196,7 @@ func (ix *Index) SearchReportCtx(ctx context.Context, m metrics.Metric, threads 
 	rep := &Report{Threads: par.Threads(threads)}
 	//hcdlint:allow determinism wall-clock reads here feed only Report.Elapsed/Phases, never the Result; the winner and scores are clock-independent
 	start := time.Now()
-	defer obs.StartSpan("search").End()
+	defer obs.StartSpanCtx(ctx, "search").End()
 	nn := ix.h.NumNodes()
 	if nn == 0 {
 		rep.Elapsed = time.Since(start)
@@ -204,7 +204,7 @@ func (ix *Index) SearchReportCtx(ctx context.Context, m metrics.Metric, threads 
 	}
 	// Phase durations use a local clock so they stay populated under the
 	// noobs build tag; only the worker statistics come from obs.
-	sp := obs.StartPhase("search.primary")
+	sp := obs.StartPhaseCtx(ctx, "search.primary")
 	//hcdlint:allow determinism phase timing for Report.Phases only; no influence on the Result
 	ps := time.Now()
 	var vals []metrics.PrimaryValues
@@ -220,7 +220,7 @@ func (ix *Index) SearchReportCtx(ctx context.Context, m metrics.Metric, threads 
 	if err != nil {
 		return Result{Node: hierarchy.Nil}, nil, err
 	}
-	sp = obs.StartPhase("search.score")
+	sp = obs.StartPhaseCtx(ctx, "search.score")
 	//hcdlint:allow determinism phase timing for Report.Phases only; no influence on the Result
 	ps = time.Now()
 	r, err := ix.pickCtx(ctx, m, vals, threads)

@@ -40,7 +40,7 @@ func (ix *Index) PrimaryACtx(ctx context.Context, threads int) ([]metrics.Primar
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	defer obs.StartSpan("search.typea").End()
+	defer obs.StartSpanCtx(ctx, "search.typea").End()
 	nn := ix.h.NumNodes()
 	vals := make([]int64, nn*3) // rows: [n, 2m, b]
 	err := par.ForChunkedErr(ctx, nn, threads, 64, func(lo, hi int) error {

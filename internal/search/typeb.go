@@ -55,7 +55,7 @@ func (ix *Index) PrimaryBCtx(ctx context.Context, threads int) ([]metrics.Primar
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	defer obs.StartSpan("search.typeb").End()
+	defer obs.StartSpanCtx(ctx, "search.typeb").End()
 	g, h := ix.g, ix.h
 	n := g.NumVertices()
 	nn := h.NumNodes()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hcd/internal/faultinject"
+	"hcd/internal/obs"
 )
 
 // limiter is the admission controller: a semaphore of maxInflight
@@ -42,11 +43,13 @@ func newLimiter(maxInflight, queueDepth int, queueWait time.Duration) *limiter {
 // admit tries to claim an execution slot, queueing for at most
 // queueWait. On admitOK the returned release func must be called
 // exactly once when the request finishes; on every other verdict
-// release is nil. The serve.admit fault site fires inside admit, so an
-// injected panic here surfaces through the handler's Protect wrapper
-// as a contained 500 — admission is part of the request's blast
-// radius, not the process's.
-func (l *limiter) admit(ctx context.Context) (release func(), v verdict) {
+// release is nil. wait is the time the request spent queued (zero on
+// the fast path; for a shed waiter, the time it burned before giving
+// up). The serve.admit fault site fires inside admit, so an injected
+// panic here surfaces through the handler's Protect wrapper as a
+// contained 500 — admission is part of the request's blast radius, not
+// the process's.
+func (l *limiter) admit(ctx context.Context) (release func(), wait time.Duration, v verdict) {
 	faultinject.Maybe("serve.admit")
 
 	claim := func() func() {
@@ -61,14 +64,15 @@ func (l *limiter) admit(ctx context.Context) (release func(), v verdict) {
 	// Fast path: a free slot with no queueing.
 	select {
 	case l.slots <- struct{}{}:
-		return claim(), admitOK
+		mQueueWait.Observe(0)
+		return claim(), 0, admitOK
 	default:
 	}
 
 	if l.queued.Add(1) > l.maxQueue {
 		l.queued.Add(-1)
 		mShed.Inc()
-		return nil, shedQueueFull
+		return nil, 0, shedQueueFull
 	}
 	mQueue.Set(l.queued.Load())
 	defer func() {
@@ -76,16 +80,26 @@ func (l *limiter) admit(ctx context.Context) (release func(), v verdict) {
 		mQueue.Set(l.queued.Load())
 	}()
 
+	// Slow path: the queue wait gets its own span (on the request's lane
+	// when the context is tagged), so a trace shows saturation as a
+	// visible serve.request.wait bar rather than mystery latency.
+	sp := obs.StartSpanCtx(ctx, "serve.request.wait")
+	start := time.Now()
 	t := time.NewTimer(l.queueWait)
 	defer t.Stop()
 	select {
 	case l.slots <- struct{}{}:
-		return claim(), admitOK
+		sp.End()
+		wait = time.Since(start)
+		mQueueWait.Observe(wait)
+		return claim(), wait, admitOK
 	case <-t.C:
+		sp.End()
 		mShed.Inc()
-		return nil, shedWaitExpired
+		return nil, time.Since(start), shedWaitExpired
 	case <-ctx.Done():
+		sp.End()
 		mShed.Inc()
-		return nil, shedCancelled
+		return nil, time.Since(start), shedCancelled
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"hcd"
@@ -19,37 +20,60 @@ import (
 // mid-request is invisible to it.
 func (s *Server) gated(h func(http.ResponseWriter, *http.Request, *Snapshot)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		rec := requestFrom(r.Context()) // nil when driven outside observed (direct tests)
+		if rec != nil {
+			rec.gated = true
+		}
+		shed := func(status int, verdict string, err error) {
+			if rec != nil {
+				rec.Verdict = verdict
+			}
+			noteError(r, err)
+			writeError(w, status, err)
+		}
 		if s.draining.Load() {
 			mShed.Inc()
 			w.Header().Set("Connection", "close")
-			writeError(w, http.StatusServiceUnavailable, errors.New("serve: draining"))
+			shed(http.StatusServiceUnavailable, verdictShedDrain, errors.New("serve: draining"))
 			return
 		}
 		snap := s.cur.Load()
 		if snap == nil {
 			mShed.Inc()
-			writeError(w, http.StatusServiceUnavailable, errors.New("serve: no snapshot published yet"))
+			shed(http.StatusServiceUnavailable, verdictShedNoSnap, errors.New("serve: no snapshot published yet"))
 			return
 		}
-		release, v := s.lim.admit(r.Context())
+		// No span around the uncontended admission fast path (one atomic
+		// CAS); when the request actually queues for a slot, admit opens
+		// the serve.request.wait span, so the trace shows the wait exactly
+		// when there is one.
+		release, wait, v := s.lim.admit(r.Context())
+		if rec != nil {
+			rec.QueueWaitNS = wait.Nanoseconds()
+			rec.Epoch = snap.Epoch
+		}
 		switch v {
 		case shedQueueFull:
-			writeError(w, http.StatusTooManyRequests, errors.New("serve: admission queue full"))
+			shed(http.StatusTooManyRequests, verdictShedQueue, errors.New("serve: admission queue full"))
 			return
 		case shedWaitExpired:
-			writeError(w, http.StatusServiceUnavailable, errors.New("serve: saturated, queue wait expired"))
+			shed(http.StatusServiceUnavailable, verdictShedWait, errors.New("serve: saturated, queue wait expired"))
 			return
 		case shedCancelled:
-			writeError(w, http.StatusServiceUnavailable, errors.New("serve: request cancelled while queued"))
+			shed(http.StatusServiceUnavailable, verdictShedCancel, errors.New("serve: request cancelled while queued"))
 			return
 		}
 		defer release()
+		// The queue wait rides back as a header so load generators (and
+		// the serve benchmark's queue-wait cells) can measure admission
+		// pressure without parsing logs.
+		w.Header()["X-Queue-Wait-Ns"] = []string{strconv.FormatInt(wait.Nanoseconds(), 10)}
 		// The serve.query fault site panics *inside* the admitted request
 		// — the exact blast radius a contained kernel panic has; Protect
 		// turns either into a JSON 500 with the fault chain, and the
 		// deferred release above still frees the slot during unwinding.
 		faultinject.Maybe("serve.query")
-		sp := obs.StartSpan("serve.request")
+		sp := obs.StartSpanCtx(r.Context(), "serve.request.exec")
 		start := time.Now()
 		defer func() {
 			mLatency.Observe(time.Since(start))
@@ -103,8 +127,12 @@ type primaryValues struct {
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, snap *Snapshot) {
 	req, m, err := DecodeSearchRequest(r)
 	if err != nil {
+		noteError(r, err)
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	if rec := requestFrom(r.Context()); rec != nil {
+		rec.Metric = m.Name()
 	}
 	timeout := s.cfg.RequestTimeout
 	if req.TimeoutMS > 0 {
@@ -123,6 +151,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request, snap *Snap
 		res, _, err = snap.Searcher.BestCtx(ctx, m, s.queryOpts())
 	}
 	if err != nil {
+		noteError(r, err)
 		writeError(w, queryErrorStatus(err), err)
 		return
 	}
@@ -208,6 +237,10 @@ type statsResponse struct {
 	Graph      *graphStats   `json:"graph,omitempty"`
 	Hierarchy  *forestStats  `json:"hierarchy,omitempty"`
 	Serve      serveCounters `json:"serve"`
+	// SLO reports query availability and latency-threshold attainment
+	// over the sliding Config.SLOWindow. Under the noobs build the window
+	// is a stub and both ratios read 1 on a zero total.
+	SLO sloSnapshot `json:"slo"`
 }
 
 type graphStats struct {
@@ -229,15 +262,19 @@ type serveCounters struct {
 	Shed           int64 `json:"shed"`
 	Drained        int64 `json:"drained"`
 	Panics         int64 `json:"panics"`
+	Slow           int64 `json:"slow"`
 	RebuildRetries int64 `json:"rebuild_retries"`
 	Swaps          int64 `json:"swaps"`
 	// LatencyP50NS / LatencyP99NS are bucket-interpolated request-latency
-	// quantiles (0 under the noobs build, where the histogram is a stub).
-	LatencyP50NS int64 `json:"latency_p50_ns"`
-	LatencyP99NS int64 `json:"latency_p99_ns"`
+	// quantiles (0 under the noobs build, where the histogram is a stub);
+	// QueueWaitP99NS is the same for the admission queue wait.
+	LatencyP50NS   int64 `json:"latency_p50_ns"`
+	LatencyP99NS   int64 `json:"latency_p99_ns"`
+	QueueWaitP99NS int64 `json:"queue_wait_p99_ns"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.refreshGauges()
 	resp := statsResponse{
 		Ready:      s.Ready(),
 		Draining:   s.draining.Load(),
@@ -249,11 +286,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Shed:           mShed.Value(),
 			Drained:        mDrained.Value(),
 			Panics:         mPanics.Value(),
+			Slow:           mSlow.Value(),
 			RebuildRetries: mRebuildRetries.Value(),
 			Swaps:          mSwaps.Value(),
 			LatencyP50NS:   mLatency.Quantile(0.50).Nanoseconds(),
 			LatencyP99NS:   mLatency.Quantile(0.99).Nanoseconds(),
+			QueueWaitP99NS: mQueueWait.Quantile(0.99).Nanoseconds(),
 		},
+		SLO: s.slo.snap(time.Now()),
 	}
 	if snap := s.cur.Load(); snap != nil {
 		resp.Epoch = snap.Epoch
@@ -279,7 +319,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, errors.New("serve: draining"))
 		return
 	}
-	triggered := s.triggerReload()
+	triggered := s.triggerReload("reload")
 	writeJSON(w, http.StatusAccepted, map[string]bool{"triggered": triggered, "pending": !triggered})
 }
 
@@ -313,6 +353,6 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]string{
 		"service": "hcdserve",
-		"routes":  "/search /reconstruct /stats /reload /healthz /readyz /metrics /trace /debug/",
+		"routes":  "/search /reconstruct /stats /reload /healthz /readyz /metrics /trace /debug/requests /debug/",
 	})
 }

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hcd"
+)
+
+// benchHandler builds a served snapshot once for the handler-path
+// benchmarks. These measure the full per-request envelope (observability
+// wrapper, admission, handler, JSON encoding) — the serving overhead the
+// request-observability layer must keep inside its budget.
+func benchHandler(b *testing.B) http.Handler {
+	b.Helper()
+	g := testGraph()
+	s, err := New(Config{
+		Load:           func() (*hcd.Graph, error) { return g, nil },
+		Build:          hcd.Options{Threads: 2},
+		MaxInflight:    8,
+		QueueDepth:     8,
+		RequestTimeout: time.Minute,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Rebuild(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	return s.Handler()
+}
+
+// BenchmarkReconstructRequest is the cheap-query path: core
+// reconstruction on a small graph, dominated by per-request overhead
+// rather than kernel work.
+func BenchmarkReconstructRequest(b *testing.B) {
+	h := benchHandler(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := httptest.NewRequest(http.MethodGet, "/reconstruct?node=0", nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			b.Fatal(w.Code)
+		}
+	}
+}
+
+// BenchmarkHealthzRequest is the floor: the observability envelope plus
+// a trivial handler.
+func BenchmarkHealthzRequest(b *testing.B) {
+	h := benchHandler(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+	}
+}

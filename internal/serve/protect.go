@@ -46,7 +46,12 @@ func Protect(h http.Handler) http.Handler {
 				panic(rec)
 			}
 			mPanics.Inc()
-			writeError(w, http.StatusInternalServerError, par.AsPanicError(rec))
+			err := par.AsPanicError(rec)
+			if reqRec := requestFrom(r.Context()); reqRec != nil {
+				reqRec.panicked = true
+				noteError(r, err)
+			}
+			writeError(w, http.StatusInternalServerError, err)
 		}()
 		h.ServeHTTP(w, r)
 	})

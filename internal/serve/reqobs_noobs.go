@@ -1,0 +1,44 @@
+//go:build noobs
+
+// Inert mirrors of reqobs.go for the noobs build: the /debug/requests
+// ring and the SLO window keep their surface but record nothing, so the
+// endpoints stay up with well-formed empty payloads and the request hot
+// path pays only an inline-able no-op call.
+package serve
+
+import "time"
+
+type reqRing struct{}
+
+func newReqRing(int) *reqRing { return &reqRing{} }
+
+func (*reqRing) add(RequestRecord) {}
+
+func (*reqRing) snapshot(int) []RequestRecord { return nil }
+
+func (*reqRing) cap() int { return 0 }
+
+type sloWindow struct{ secs int }
+
+func newSLOWindow(window time.Duration) *sloWindow {
+	secs := int(window / time.Second)
+	if secs <= 0 {
+		secs = 60
+	}
+	return &sloWindow{secs: secs}
+}
+
+func (*sloWindow) record(time.Time, bool, bool) {}
+
+type sloSnapshot struct {
+	WindowSeconds     int     `json:"window_seconds"`
+	Total             int64   `json:"total"`
+	Errors            int64   `json:"errors"`
+	Slow              int64   `json:"slow"`
+	Availability      float64 `json:"availability"`
+	LatencyAttainment float64 `json:"latency_attainment"`
+}
+
+func (w *sloWindow) snap(time.Time) sloSnapshot {
+	return sloSnapshot{WindowSeconds: w.secs, Availability: 1, LatencyAttainment: 1}
+}

@@ -37,7 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
@@ -72,6 +72,25 @@ var (
 		"snapshots published by pointer swap")
 	mLatency = obs.NewHistogram("hcd_serve_request_ns",
 		"admitted request latency")
+	mQueueWait = obs.NewHistogram("hcd_serve_queue_wait_ns",
+		"time admitted requests spent waiting for an execution slot")
+
+	// Capacity and freshness gauges. The static pair is set once in New;
+	// the rest are recomputed by refreshGauges at each /metrics scrape and
+	// /stats call, so a scrape always sees current values without a
+	// background ticker.
+	gSlotsTotal = obs.NewGauge("hcd_serve_slots_total",
+		"configured execution slots (MaxInflight)")
+	gQueueCap = obs.NewGauge("hcd_serve_queue_capacity",
+		"configured admission queue depth")
+	gSlotUtil = obs.NewGauge("hcd_serve_slot_utilization_pct",
+		"execution slots in use, percent of MaxInflight")
+	gEpoch = obs.NewGauge("hcd_serve_epoch",
+		"epoch of the published snapshot, 0 before the first publish")
+	gSnapAge = obs.NewGauge("hcd_serve_snapshot_age_ns",
+		"age of the published snapshot")
+	gRebuildLag = obs.NewGauge("hcd_serve_rebuild_lag_ns",
+		"elapsed time of the in-progress rebuild round, 0 when idle")
 )
 
 // Config tunes a Server. The zero value of every field except Load is
@@ -113,8 +132,21 @@ type Config struct {
 	// and a rebuild is triggered when its mtime or size changes.
 	WatchPath     string
 	WatchInterval time.Duration
-	// Log receives operator log lines. Default io.Discard.
+	// Logger receives the structured operator and access logs. When nil,
+	// one is derived from Log (text handler at Info), or logging is
+	// disabled entirely when Log is also nil.
+	Logger *slog.Logger
+	// Log is the fallback plain-writer sink used when Logger is nil.
 	Log io.Writer
+	// SlowQuery is the served-query latency at which a query is logged at
+	// Warn and counted against the latency SLO. Default 500ms.
+	SlowQuery time.Duration
+	// SLOWindow is the sliding window over which /stats reports
+	// availability and latency attainment. Default 60s.
+	SLOWindow time.Duration
+	// RequestLogSize caps the /debug/requests completed-request ring.
+	// Default 128.
+	RequestLogSize int
 }
 
 // withDefaults resolves zero fields to their documented defaults.
@@ -146,26 +178,60 @@ func (c Config) withDefaults() Config {
 	if c.WatchInterval <= 0 {
 		c.WatchInterval = 2 * time.Second
 	}
+	if c.Logger == nil {
+		if c.Log != nil {
+			c.Logger = slog.New(slog.NewTextHandler(c.Log, nil))
+		} else {
+			c.Logger = slog.New(discardHandler{})
+		}
+	}
 	if c.Log == nil {
 		c.Log = io.Discard
+	}
+	if c.SlowQuery <= 0 {
+		c.SlowQuery = 500 * time.Millisecond
+	}
+	if c.SLOWindow <= 0 {
+		c.SLOWindow = 60 * time.Second
+	}
+	if c.RequestLogSize <= 0 {
+		c.RequestLogSize = 128
 	}
 	return c
 }
 
+// discardHandler disables logging for servers configured without a sink.
+// (Go 1.22 has no slog.DiscardHandler yet.) Enabled returning false
+// makes slog skip record assembly, so the default server pays nothing
+// per request.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
 // Server is the resident query service: one atomic snapshot, one
 // admission limiter, one background rebuilder.
 type Server struct {
-	cfg Config
-	lim *limiter
-	mux http.Handler
-	log *log.Logger
+	cfg  Config
+	lim  *limiter
+	mux  http.Handler
+	slog *slog.Logger
+	ring *reqRing
+	slo  *sloWindow
 
 	cur      atomic.Pointer[Snapshot]
 	epoch    atomic.Uint64
-	reloadCh chan struct{}
+	reloadCh chan string // carries the rebuild cause
 
 	draining   atomic.Bool
 	rebuilding atomic.Int64
+	// swappedAt / rebuildStart drive the freshness gauges: unix nanos of
+	// the last snapshot publish, and of the running rebuild round's start
+	// (0 when no round is running).
+	swappedAt    atomic.Int64
+	rebuildStart atomic.Int64
 }
 
 // New builds a Server from cfg (Load is required) without starting any
@@ -179,29 +245,68 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		lim:      newLimiter(cfg.MaxInflight, cfg.QueueDepth, cfg.QueueWait),
-		log:      log.New(cfg.Log, "hcdserve: ", log.LstdFlags|log.Lmsgprefix),
-		reloadCh: make(chan struct{}, 1),
+		slog:     cfg.Logger,
+		ring:     newReqRing(cfg.RequestLogSize),
+		slo:      newSLOWindow(cfg.SLOWindow),
+		reloadCh: make(chan string, 1),
 	}
+	gSlotsTotal.Set(int64(cfg.MaxInflight))
+	gQueueCap.Set(int64(cfg.QueueDepth))
 	s.mux = s.routes()
 	return s, nil
 }
 
+// refreshGauges recomputes the snapshot-freshness and capacity gauges.
+// Called at each /metrics scrape and /stats call rather than from a
+// ticker, so an idle server does no background work and a scrape is
+// never stale.
+func (s *Server) refreshGauges() {
+	gEpoch.Set(int64(s.Epoch()))
+	if snap := s.cur.Load(); snap != nil {
+		gSnapAge.Set(time.Since(snap.BuiltAt).Nanoseconds())
+	} else {
+		gSnapAge.Set(0)
+	}
+	if start := s.rebuildStart.Load(); start > 0 {
+		gRebuildLag.Set(time.Now().UnixNano() - start)
+	} else {
+		gRebuildLag.Set(0)
+	}
+	if s.cfg.MaxInflight > 0 {
+		gSlotUtil.Set(mInflight.Value() * 100 / int64(s.cfg.MaxInflight))
+	}
+}
+
+// refreshed wraps the metrics exposition so every scrape sees freshly
+// computed gauges.
+func (s *Server) refreshed(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.refreshGauges()
+		h.ServeHTTP(w, r)
+	})
+}
+
 // routes assembles the endpoint mux. Every route — including the
 // re-exported obs debug endpoints — runs under Protect, so a panic
-// anywhere in the handler tree is contained into a JSON 500.
+// anywhere in the handler tree is contained into a JSON 500; the
+// observed envelope sits outside Protect so a contained panic is still
+// one fully classified request. The pprof tree under /debug/ is the one
+// deliberate exception to observed: profile downloads run for seconds
+// and would drown the access log and latency histograms.
 func (s *Server) routes() http.Handler {
 	obsH := obs.Handler()
 	mux := http.NewServeMux()
-	mux.Handle("/search", Protect(s.gated(s.handleSearch)))
-	mux.Handle("/reconstruct", Protect(s.gated(s.handleReconstruct)))
-	mux.Handle("/stats", Protect(http.HandlerFunc(s.handleStats)))
-	mux.Handle("/reload", Protect(http.HandlerFunc(s.handleReload)))
-	mux.Handle("/healthz", Protect(http.HandlerFunc(s.handleHealthz)))
-	mux.Handle("/readyz", Protect(http.HandlerFunc(s.handleReadyz)))
-	mux.Handle("/metrics", Protect(obsH))
-	mux.Handle("/trace", Protect(obsH))
+	mux.Handle("/search", s.observed("search", Protect(s.gated(s.handleSearch))))
+	mux.Handle("/reconstruct", s.observed("reconstruct", Protect(s.gated(s.handleReconstruct))))
+	mux.Handle("/stats", s.observed("stats", Protect(http.HandlerFunc(s.handleStats))))
+	mux.Handle("/reload", s.observed("reload", Protect(http.HandlerFunc(s.handleReload))))
+	mux.Handle("/healthz", s.observed("healthz", Protect(http.HandlerFunc(s.handleHealthz))))
+	mux.Handle("/readyz", s.observed("readyz", Protect(http.HandlerFunc(s.handleReadyz))))
+	mux.Handle("/debug/requests", s.observed("debugreq", Protect(http.HandlerFunc(s.handleDebugRequests))))
+	mux.Handle("/metrics", s.observed("metrics", Protect(s.refreshed(obsH))))
+	mux.Handle("/trace", s.observed("trace", Protect(obsH)))
 	mux.Handle("/debug/", Protect(obsH))
-	mux.Handle("/", Protect(http.HandlerFunc(s.handleIndex)))
+	mux.Handle("/", s.observed("index", Protect(http.HandlerFunc(s.handleIndex))))
 	return mux
 }
 
@@ -263,12 +368,12 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 		go func() { defer wg.Done(); s.watchLoop(bg) }()
 	}
 	if s.cur.Load() == nil {
-		s.triggerReload()
+		s.triggerReload("initial")
 	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
-	s.log.Printf("serving on %s", ln.Addr())
+	s.slog.Info("serving", "addr", ln.Addr().String())
 
 	select {
 	case err := <-errCh:
@@ -279,7 +384,7 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	case <-ctx.Done():
 	}
 
-	s.log.Printf("drain: stopping admission (timeout %v)", s.cfg.DrainTimeout)
+	s.slog.Info("drain: stopping admission", "timeout", s.cfg.DrainTimeout)
 	s.draining.Store(true)
 	bgCancel()
 	dctx, dcancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
@@ -288,7 +393,8 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 		// Drain deadline exceeded: cancel in-flight request contexts so
 		// the query kernels abort, then give the unwound handlers a
 		// short grace period to flush their (now error) responses.
-		s.log.Printf("drain: deadline exceeded, cancelling in-flight queries")
+		s.slog.Warn("drain: deadline exceeded, cancelling in-flight queries",
+			"inflight", mInflight.Value())
 		hardCancel()
 		fctx, fcancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer fcancel()
@@ -298,7 +404,7 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	}
 	<-errCh // Serve has returned http.ErrServerClosed
 	wg.Wait()
-	s.log.Printf("drain: complete")
+	s.slog.Info("drain: complete")
 	return nil
 }
 

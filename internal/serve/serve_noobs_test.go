@@ -1,0 +1,94 @@
+//go:build noobs
+
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestNoobsObservabilityEndpoints checks the observability surface stays
+// up when telemetry is compiled out: /stats still carries a well-formed
+// (idle-valued) SLO section, /metrics answers 200, and /debug/requests
+// reports itself disabled with an empty — not missing, not panicking —
+// request list.
+func TestNoobsObservabilityEndpoints(t *testing.T) {
+	s := newTestServer(t, nil)
+	publish(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A query exercises the full observed path (ID assignment, verdicts,
+	// stub ring/SLO writes) before the endpoints are read back.
+	status, _ := get(t, ts, "/search?metric=average-degree")
+	if status != http.StatusOK {
+		t.Fatalf("search status %d, want 200", status)
+	}
+
+	status, body := get(t, ts, "/stats")
+	if status != http.StatusOK {
+		t.Fatalf("stats status %d, want 200", status)
+	}
+	slo, ok := body["slo"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats body has no slo section: %v", body)
+	}
+	if slo["window_seconds"].(float64) <= 0 {
+		t.Errorf("slo window_seconds = %v, want > 0", slo["window_seconds"])
+	}
+	// The stub window records nothing, so both objectives read as met.
+	if slo["availability"].(float64) != 1 || slo["latency_attainment"].(float64) != 1 {
+		t.Errorf("stub slo = %v, want availability/attainment 1", slo)
+	}
+
+	status, body = get(t, ts, "/debug/requests")
+	if status != http.StatusOK {
+		t.Fatalf("debug/requests status %d, want 200", status)
+	}
+	if enabled := body["enabled"].(bool); enabled {
+		t.Error("debug/requests enabled = true under noobs")
+	}
+	reqs, ok := body["requests"].([]any)
+	if !ok {
+		t.Fatalf("debug/requests requests is %T, want empty array", body["requests"])
+	}
+	if len(reqs) != 0 {
+		t.Errorf("stub ring returned %d requests, want 0", len(reqs))
+	}
+
+	// /metrics is served by the obs stub handler: 200 and non-empty, even
+	// though there is nothing to report.
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d, want 200", resp.StatusCode)
+	}
+	if out.Len() == 0 {
+		t.Error("metrics body is empty, want a notice")
+	}
+
+	// Request IDs are operational plumbing, not telemetry: they must
+	// survive the noobs build.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/search?metric=average-degree", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "noobs-rid-7")
+	resp, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "noobs-rid-7" {
+		t.Errorf("X-Request-ID = %q, want echo under noobs", got)
+	}
+}

@@ -38,11 +38,13 @@ type Snapshot struct {
 	Report *hcd.BuildReport
 }
 
-// triggerReload requests a background rebuild; a request that finds one
-// already pending coalesces with it and reports false.
-func (s *Server) triggerReload() bool {
+// triggerReload requests a background rebuild attributed to cause
+// ("initial", "reload", "watch", ...); a request that finds one already
+// pending coalesces with it — keeping the pending cause — and reports
+// false.
+func (s *Server) triggerReload(cause string) bool {
 	select {
-	case s.reloadCh <- struct{}{}:
+	case s.reloadCh <- cause:
 		return true
 	default:
 		return false
@@ -53,25 +55,32 @@ func (s *Server) triggerReload() bool {
 // draining). Each trigger runs one rebuild round with retry + backoff.
 func (s *Server) rebuildLoop(ctx context.Context) {
 	for {
+		var cause string
 		select {
 		case <-ctx.Done():
 			return
-		case <-s.reloadCh:
+		case cause = <-s.reloadCh:
 		}
-		s.rebuildRound(ctx)
+		s.rebuildRound(ctx, cause)
 	}
 }
 
 // rebuildRound attempts to build and publish one new snapshot,
 // retrying with exponential backoff + jitter on failure. The last-good
 // snapshot keeps serving throughout; an exhausted round abandons the
-// rebuild (last-good stays) rather than wedging the loop.
-func (s *Server) rebuildRound(ctx context.Context) {
+// rebuild (last-good stays) rather than wedging the loop. The cause
+// rides through every retry's log line, so an operator can tell a
+// flapping watch trigger from a failing manual reload.
+func (s *Server) rebuildRound(ctx context.Context, cause string) {
 	s.rebuilding.Add(1)
-	defer s.rebuilding.Add(-1)
+	s.rebuildStart.Store(time.Now().UnixNano())
+	defer func() {
+		s.rebuildStart.Store(0)
+		s.rebuilding.Add(-1)
+	}()
 	backoff := s.cfg.RebuildBackoff
 	for attempt := 1; ; attempt++ {
-		err := s.buildAndSwap(ctx)
+		err := s.buildAndSwap(ctx, cause)
 		if err == nil {
 			return
 		}
@@ -79,10 +88,12 @@ func (s *Server) rebuildRound(ctx context.Context) {
 			return // draining: stop retrying, keep last-good
 		}
 		mRebuildRetries.Inc()
-		s.log.Printf("rebuild attempt %d failed: %v", attempt, err)
+		s.slog.Warn("rebuild attempt failed",
+			"cause", cause, "attempt", attempt, "error", err)
 		if s.cfg.RebuildMaxAttempts > 0 && attempt >= s.cfg.RebuildMaxAttempts {
 			mRebuildAbandoned.Inc()
-			s.log.Printf("rebuild abandoned after %d attempts; serving last-good snapshot", attempt)
+			s.slog.Error("rebuild abandoned; serving last-good snapshot",
+				"cause", cause, "attempts", attempt, "epoch", s.Epoch())
 			return
 		}
 		// Full backoff with up to 50% additive jitter, capped.
@@ -103,7 +114,7 @@ func (s *Server) rebuildRound(ctx context.Context) {
 // the serve.rebuild and serve.swap fault sites — is recovered into the
 // returned error, so an injected or real crash costs one retry, never
 // the process or the published snapshot.
-func (s *Server) buildAndSwap(ctx context.Context) (err error) {
+func (s *Server) buildAndSwap(ctx context.Context, cause string) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = par.AsPanicError(r)
@@ -137,9 +148,12 @@ func (s *Server) buildAndSwap(ctx context.Context) (err error) {
 	faultinject.Maybe("serve.swap")
 	snap.Epoch = s.epoch.Add(1)
 	s.cur.Store(snap)
+	s.swappedAt.Store(time.Now().UnixNano())
 	mSwaps.Inc()
-	s.log.Printf("snapshot epoch %d published: n=%d m=%d nodes=%d (%s)",
-		snap.Epoch, g.NumVertices(), g.NumEdges(), snap.Stats.Nodes, rep.Summary())
+	s.slog.Info("snapshot published",
+		"cause", cause, "epoch", snap.Epoch,
+		"n", g.NumVertices(), "m", g.NumEdges(), "nodes", snap.Stats.Nodes,
+		"build", rep.Summary())
 	return nil
 }
 
@@ -149,7 +163,7 @@ func (s *Server) buildAndSwap(ctx context.Context) (err error) {
 // and the serve benchmark use it to publish deterministically.
 func (s *Server) Rebuild(ctx context.Context) error {
 	before := s.epoch.Load()
-	s.rebuildRound(ctx)
+	s.rebuildRound(ctx, "sync")
 	if s.epoch.Load() == before {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -182,8 +196,9 @@ func (s *Server) watchLoop(ctx context.Context) {
 		}
 		if !fi.ModTime().Equal(lastMod) || fi.Size() != lastSize {
 			lastMod, lastSize = fi.ModTime(), fi.Size()
-			s.log.Printf("watch: %s changed, triggering rebuild", s.cfg.WatchPath)
-			s.triggerReload()
+			s.slog.Info("watched input changed, triggering rebuild",
+				"path", s.cfg.WatchPath, "size", fi.Size(), "mtime", fi.ModTime())
+			s.triggerReload("watch")
 		}
 	}
 }

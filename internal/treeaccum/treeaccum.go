@@ -40,7 +40,7 @@ func AccumulateCtx(ctx context.Context, h *hierarchy.HCD, vals []int64, width, t
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	defer obs.StartSpan("treeaccum").End()
+	defer obs.StartSpanCtx(ctx, "treeaccum").End()
 	nn := h.NumNodes()
 	if nn == 0 || width == 0 {
 		return ctx.Err()
