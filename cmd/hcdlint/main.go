@@ -1,11 +1,16 @@
 // hcdlint runs the repository's static-analysis suite (internal/lint):
-// tag-parity, determinism, panic-safety, site-hygiene and errcheck.
+// tag-parity, determinism, panic-safety, site-hygiene, errcheck, and
+// the call-graph-backed ctx-propagation, atomic-discipline,
+// goroutine-lifetime and hot-loop-alloc checks.
 //
 // Usage:
 //
 //	go run ./cmd/hcdlint ./...             lint the whole module
 //	go run ./cmd/hcdlint ./internal/core   lint one directory
 //	go run ./cmd/hcdlint -tags noobs ./... lint the noobs file set
+//	go run ./cmd/hcdlint -tagsets default,noobs,nofaults ./...
+//	                                       lint every flavour in one
+//	                                       process (shared package cache)
 //	go run ./cmd/hcdlint -json ./...       machine-readable findings
 //	go run ./cmd/hcdlint -list             print the check catalogue
 //
@@ -19,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"hcd/internal/lint"
@@ -32,6 +38,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("hcdlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	tags := fs.String("tags", "", "comma-separated build tags to lint under")
+	tagsets := fs.String("tagsets", "", `comma-separated tag sets to lint in one process ("default" = no tags); findings are deduplicated across sets`)
 	jsonOut := fs.Bool("json", false, "emit findings as JSON on stdout")
 	list := fs.Bool("list", false, "print the check catalogue and exit")
 	checksFlag := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
@@ -40,51 +47,21 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 	if *list {
 		for _, c := range lint.AllChecks() {
-			fmt.Fprintf(stdout, "%-14s %s\n", c.Name, c.Doc)
+			fmt.Fprintf(stdout, "%-18s %s\n", c.Name, c.Doc)
 		}
 		return 0
+	}
+	if *tags != "" && *tagsets != "" {
+		fmt.Fprintln(stderr, "hcdlint: -tags and -tagsets are mutually exclusive")
+		return 2
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
-	var tagList []string
-	if *tags != "" {
-		tagList = strings.Split(*tags, ",")
-	}
-	loader, err := lint.NewLoader(".", tagList)
-	if err != nil {
-		fmt.Fprintln(stderr, err)
-		return 2
-	}
-
-	var pkgs []*lint.Package
-	seen := map[string]bool{}
-	for _, pat := range patterns {
-		var batch []*lint.Package
-		switch {
-		case pat == "./..." || pat == "...":
-			batch, err = loader.ModulePackages()
-		default:
-			var p *lint.Package
-			p, err = loader.LoadDir(filepath.Clean(pat))
-			if p != nil {
-				batch = []*lint.Package{p}
-			}
-		}
-		if err != nil {
-			fmt.Fprintln(stderr, err)
-			return 2
-		}
-		for _, p := range batch {
-			if !seen[p.Path] {
-				seen[p.Path] = true
-				pkgs = append(pkgs, p)
-			}
-		}
-	}
-
+	// Validate the check selection before the (expensive) module load, and
+	// report every unknown name at once.
 	checks := lint.AllChecks()
 	if *checksFlag != "" {
 		want := map[string]bool{}
@@ -98,26 +75,110 @@ func run(args []string, stdout, stderr *os.File) int {
 				delete(want, c.Name)
 			}
 		}
-		for name := range want {
-			fmt.Fprintf(stderr, "hcdlint: unknown check %q (see -list)\n", name)
+		if len(want) > 0 {
+			unknown := make([]string, 0, len(want))
+			for name := range want {
+				unknown = append(unknown, fmt.Sprintf("%q", name))
+			}
+			sort.Strings(unknown)
+			fmt.Fprintf(stderr, "hcdlint: unknown check(s) %s (see -list)\n", strings.Join(unknown, ", "))
 			return 2
 		}
 		checks = sel
 	}
 
-	ctx := &lint.Context{Loader: loader, Pkgs: pkgs}
-	diags, err := lint.Run(ctx, checks)
+	// Resolve the flavours to lint: one (-tags, possibly empty) or
+	// several (-tagsets), all sharing one loader family so unchanged
+	// packages type-check once.
+	type flavour struct {
+		name string
+		tags []string
+	}
+	var flavours []flavour
+	switch {
+	case *tagsets != "":
+		seen := map[string]bool{}
+		for _, name := range strings.Split(*tagsets, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" || seen[name] {
+				continue
+			}
+			seen[name] = true
+			fl := flavour{name: name}
+			if name != "default" {
+				fl.tags = strings.Split(name, " ")
+			}
+			flavours = append(flavours, fl)
+		}
+		if len(flavours) == 0 {
+			fmt.Fprintln(stderr, "hcdlint: -tagsets lists no tag sets")
+			return 2
+		}
+	case *tags != "":
+		flavours = []flavour{{name: *tags, tags: strings.Split(*tags, ",")}}
+	default:
+		flavours = []flavour{{name: "default"}}
+	}
+
+	base, err := lint.NewLoader(".", flavours[0].tags)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	// Report module-root-relative paths: stable across machines, and
-	// clickable from the repo root where CI and developers run this.
-	for i := range diags {
-		if rel, err := filepath.Rel(loader.Dir, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
-			diags[i].File = filepath.ToSlash(rel)
+
+	// Findings deduplicate across flavours; each remembers which tag sets
+	// produced it so flavour-specific findings are labelled.
+	var diags []lint.Diagnostic
+	diagSets := map[lint.Diagnostic][]string{}
+	for i, fl := range flavours {
+		loader := base
+		if i > 0 {
+			loader = base.Variant(fl.tags)
+		}
+		pkgs, err := loadPatterns(loader, patterns)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		ctx := &lint.Context{Loader: loader, Pkgs: pkgs}
+		ds, err := lint.Run(ctx, checks)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		// Report module-root-relative paths: stable across machines, and
+		// clickable from the repo root where CI and developers run this.
+		for _, d := range ds {
+			if rel, err := filepath.Rel(loader.Dir, d.File); err == nil && !strings.HasPrefix(rel, "..") {
+				d.File = filepath.ToSlash(rel)
+			}
+			if _, dup := diagSets[d]; !dup {
+				diags = append(diags, d)
+			}
+			diagSets[d] = append(diagSets[d], fl.name)
 		}
 	}
+	if len(flavours) > 1 {
+		for i := range diags {
+			if sets := diagSets[diags[i]]; len(sets) < len(flavours) {
+				diags[i].Message += " (tag sets: " + strings.Join(sets, ", ") + ")"
+			}
+		}
+		sort.Slice(diags, func(i, j int) bool {
+			a, b := diags[i], diags[j]
+			if a.File != b.File {
+				return a.File < b.File
+			}
+			if a.Line != b.Line {
+				return a.Line < b.Line
+			}
+			if a.Col != b.Col {
+				return a.Col < b.Col
+			}
+			return a.Check < b.Check
+		})
+	}
+
 	if *jsonOut {
 		if err := lint.WriteJSON(stdout, diags); err != nil {
 			fmt.Fprintln(stderr, err)
@@ -135,4 +196,34 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 1
 	}
 	return 0
+}
+
+// loadPatterns materialises the requested packages under one loader.
+func loadPatterns(loader *lint.Loader, patterns []string) ([]*lint.Package, error) {
+	var pkgs []*lint.Package
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		var batch []*lint.Package
+		var err error
+		switch {
+		case pat == "./..." || pat == "...":
+			batch, err = loader.ModulePackages()
+		default:
+			var p *lint.Package
+			p, err = loader.LoadDir(filepath.Clean(pat))
+			if p != nil {
+				batch = []*lint.Package{p}
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range batch {
+			if !seen[p.Path] {
+				seen[p.Path] = true
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+	return pkgs, nil
 }

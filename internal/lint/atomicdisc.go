@@ -1,0 +1,211 @@
+// atomic-discipline: a memory location is either atomic or it is not.
+// Mixing sync/atomic accesses with plain loads and stores of the same
+// location is a data race the race detector only catches when the two
+// sides actually collide in a test run; this check makes the mix a
+// finding at compile-read time, module-wide.
+//
+// The check collects every location passed by address to a sync/atomic
+// function — struct fields (`&s.count`), slice/array elements
+// (`&vals[i]`, identified by their root variable) and plain variables —
+// and flags every other access to the same location that is not itself
+// an atomic operand. Composite-literal field initialisation (`T{count:
+// 0}`) is exempt: the value is unpublished while it is being built.
+// Phase-separated accesses that are provably race-free (a barrier
+// between the atomic and plain epochs) carry an //hcdlint:allow with
+// the separation argument.
+//
+// Separately, every struct field updated with a 64-bit sync/atomic
+// function must be 64-bit aligned on 32-bit targets, where Go only
+// guarantees 4-byte struct field alignment: the field's offset under
+// GOARCH=386 layout must be a multiple of 8 (the allocator aligns the
+// first word of an allocation, so offset-0 fields are safe). The typed
+// wrappers (atomic.Int64, atomic.Uint64) carry their own alignment
+// guarantee and are exempt — they are also the recommended fix.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// atomic64 marks the sync/atomic functions with 8-byte operands.
+var atomic64 = map[string]bool{
+	"LoadInt64": true, "StoreInt64": true, "AddInt64": true, "SwapInt64": true,
+	"CompareAndSwapInt64": true, "AndInt64": true, "OrInt64": true,
+	"LoadUint64": true, "StoreUint64": true, "AddUint64": true, "SwapUint64": true,
+	"CompareAndSwapUint64": true, "AndUint64": true, "OrUint64": true,
+}
+
+// atomicTarget is one location accessed through sync/atomic.
+type atomicTarget struct {
+	obj      *types.Var // field var, or root var for elements/plain vars
+	element  bool       // the atomic op addressed an element of obj, not obj itself
+	fnName   string     // the sync/atomic function first seen on it
+	firstPos token.Pos
+}
+
+func atomicDisciplineCheck() *Check {
+	return &Check{
+		Name: "atomic-discipline",
+		Doc:  "locations accessed via sync/atomic must never be read or written plainly; 64-bit atomic struct fields must stay aligned on 32-bit targets",
+		Run: func(ctx *Context) ([]Diagnostic, error) {
+			targets := map[*types.Var]*atomicTarget{}
+			operands := map[ast.Expr]bool{} // exprs that ARE atomic operands
+			var diags []Diagnostic
+
+			// Pass 1: collect atomic operands and their target locations;
+			// check 64-bit field alignment as we go.
+			walkFiles(ctx, func(pkg *Package, f *ast.File) {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := calleeFunc(pkg, call)
+					if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || len(call.Args) == 0 {
+						return true
+					}
+					if sig, _ := fn.Type().(*types.Signature); sig != nil && sig.Recv() != nil {
+						return true // typed-wrapper methods manage their own location
+					}
+					ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+					if !ok || ue.Op != token.AND {
+						return true
+					}
+					lv := ast.Unparen(ue.X)
+					operands[lv] = true
+					obj, element := atomicLocation(pkg, lv)
+					if obj == nil {
+						return true
+					}
+					if _, seen := targets[obj]; !seen {
+						targets[obj] = &atomicTarget{obj: obj, element: element, fnName: fn.Name(), firstPos: lv.Pos()}
+					}
+					if atomic64[fn.Name()] {
+						if sel, ok := lv.(*ast.SelectorExpr); ok {
+							diags = append(diags, checkAlign64(ctx, pkg, sel, fn.Name())...)
+						}
+					}
+					return true
+				})
+			})
+
+			// Pass 2: flag plain accesses to the collected locations.
+			walkFiles(ctx, func(pkg *Package, f *ast.File) {
+				compositeKeys := map[*ast.Ident]bool{}
+				ast.Inspect(f, func(n ast.Node) bool {
+					if cl, ok := n.(*ast.CompositeLit); ok {
+						for _, el := range cl.Elts {
+							if kv, ok := el.(*ast.KeyValueExpr); ok {
+								if id, ok := kv.Key.(*ast.Ident); ok {
+									compositeKeys[id] = true
+								}
+							}
+						}
+					}
+					return true
+				})
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.SelectorExpr:
+						obj, _ := pkg.Info.Uses[n.Sel].(*types.Var)
+						t := targets[obj]
+						if t == nil || !obj.IsField() || operands[n] || compositeKeys[n.Sel] {
+							return true
+						}
+						diags = append(diags, ctx.diag("atomic-discipline", n.Pos(),
+							"plain access to field %s, which is updated with atomic.%s (first at %s); every access must go through sync/atomic (or migrate the field to a typed atomic wrapper)",
+							obj.Name(), t.fnName, ctx.relPos(t.firstPos)))
+					case *ast.IndexExpr:
+						id := rootIdent(n.X)
+						if id == nil {
+							return true
+						}
+						obj, _ := pkg.Info.ObjectOf(id).(*types.Var)
+						t := targets[obj]
+						if t == nil || !t.element || operands[n] {
+							return true
+						}
+						diags = append(diags, ctx.diag("atomic-discipline", n.Pos(),
+							"plain element access of %q, whose elements are updated with atomic.%s (first at %s); mixed plain/atomic element access races unless the epochs are separated by a barrier",
+							obj.Name(), t.fnName, ctx.relPos(t.firstPos)))
+					}
+					return true
+				})
+			})
+			return diags, nil
+		},
+	}
+}
+
+// atomicLocation resolves the lvalue under an atomic &-operand to its
+// identity: (field var, false) for s.f, (root var, true) for a[i],
+// (var, false) for a plain identifier.
+func atomicLocation(pkg *Package, lv ast.Expr) (*types.Var, bool) {
+	switch lv := lv.(type) {
+	case *ast.SelectorExpr:
+		if v, ok := pkg.Info.Uses[lv.Sel].(*types.Var); ok && v.IsField() {
+			return v, false
+		}
+	case *ast.IndexExpr:
+		if id := rootIdent(lv.X); id != nil {
+			if v, ok := pkg.Info.ObjectOf(id).(*types.Var); ok {
+				return v, true
+			}
+		}
+	case *ast.Ident:
+		if v, ok := pkg.Info.ObjectOf(lv).(*types.Var); ok {
+			return v, false
+		}
+	}
+	return nil, false
+}
+
+// sizes386 is the layout of the strictest supported 32-bit target.
+var sizes386 = types.SizesFor("gc", "386")
+
+// checkAlign64 verifies that the field in sel sits at a 64-bit-aligned
+// offset under 32-bit struct layout. The selection's full index path is
+// walked so fields of embedded structs accumulate their outer offsets.
+func checkAlign64(ctx *Context, pkg *Package, sel *ast.SelectorExpr, fnName string) []Diagnostic {
+	s := pkg.Info.Selections[sel]
+	if s == nil {
+		return nil
+	}
+	t := s.Recv()
+	var off int64
+	for _, idx := range s.Index() {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			// An indirection re-anchors at an allocation start: the
+			// pointed-to struct's own offsets are what matter.
+			t = p.Elem()
+			off = 0
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || idx >= st.NumFields() {
+			return nil
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		off += sizes386.Offsetsof(fields)[idx]
+		t = st.Field(idx).Type()
+	}
+	if off%8 == 0 {
+		return nil
+	}
+	return []Diagnostic{ctx.diag("atomic-discipline", sel.Sel.Pos(),
+		"atomic.%s on field %s at 32-bit offset %d: 64-bit atomics require 8-byte alignment, which GOARCH=386 only gives fields at offsets divisible by 8; move the field first in the struct or use atomic.%s",
+		fnName, sel.Sel.Name, off, typedWrapperFor(fnName))}
+}
+
+// typedWrapperFor names the alignment-safe typed replacement.
+func typedWrapperFor(fnName string) string {
+	if strings.HasSuffix(fnName, "Uint64") {
+		return "Uint64"
+	}
+	return "Int64"
+}

@@ -1,0 +1,489 @@
+// Call graph: the interprocedural backbone under the ctx-propagation,
+// goroutine-lifetime and (indirectly) hot-loop-alloc checks. Built from
+// the same go/types information the per-function checks already use —
+// no SSA, no x/tools — it resolves three call shapes over every loaded
+// package:
+//
+//	static     a call whose callee resolves to a declared function or
+//	           method (generic instantiations collapse to their origin
+//	           declaration, so one node covers every instantiation)
+//	interface  a call through an interface-typed receiver resolves to
+//	           every loaded concrete method with the same name and
+//	           parameter signature whose receiver type implements the
+//	           interface (class-hierarchy analysis — conservative
+//	           over-approximation)
+//	dynamic    a call through a func-typed value resolves to every
+//	           loaded address-taken function with an identical
+//	           signature (signature-match analysis — conservative)
+//
+// Calls made inside function literals are attributed to the enclosing
+// declared function: for reachability questions ("can F's execution
+// enter a cancellable region?") the literal runs under the declaration
+// that created it. Soundness caveats (reflection, funcs stored in
+// maps/fields then called in another package, methods called only from
+// outside the loaded set) are documented in DESIGN.md "Static analysis
+// & invariants".
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// CGNode is one declared function or method in the loaded packages.
+type CGNode struct {
+	// Func is the canonical (origin, for generics) object.
+	Func *types.Func
+	// Pkg is the package the declaration was loaded from.
+	Pkg *Package
+	// Decl is the declaration, with body.
+	Decl *ast.FuncDecl
+
+	// Callees maps each resolved callee to the call positions.
+	Callees map[*CGNode][]token.Pos
+	// Callers is the reverse adjacency, filled after construction.
+	Callers []*CGNode
+
+	// ObservesCtx: the body calls Done/Err/Deadline on a
+	// context.Context value — the function reacts to cancellation.
+	ObservesCtx bool
+	// ObservesDone: the body contains a select with a receive case on a
+	// Done-like channel (ctx.Done(), a chan struct{}), a direct receive
+	// from one, or a for-range over a channel — the shapes that bound a
+	// goroutine's lifetime to an external signal.
+	ObservesDone bool
+	// FaultSite: the body calls faultinject.Maybe — a fault-injection
+	// point that can panic or stall, so the surrounding machinery must
+	// be containment-aware.
+	FaultSite bool
+
+	// witness is the next hop on one shortest path to a cancellable
+	// sink, filled by Cancellable; nil on the sink itself.
+	witness *CGNode
+}
+
+// CallGraph indexes every declared function of the loaded packages.
+type CallGraph struct {
+	module string
+	// Nodes is keyed by the canonical *types.Func.
+	Nodes map[*types.Func]*CGNode
+	// Ordered lists the nodes in declaration-position order; traversals
+	// use it so edge lists, witness chains and messages are stable
+	// across runs (map iteration order is randomised).
+	Ordered []*CGNode
+
+	// byName indexes concrete methods by name for interface resolution.
+	byName map[string][]*CGNode
+	// bySig indexes address-taken functions by signature string for
+	// dynamic (func-value) resolution.
+	bySig map[string][]*CGNode
+}
+
+// NodeOf returns the node for fn (resolving generic instantiations to
+// their origin), or nil when fn was not declared in the loaded set.
+func (g *CallGraph) NodeOf(fn *types.Func) *CGNode {
+	if fn == nil {
+		return nil
+	}
+	return g.Nodes[fn.Origin()]
+}
+
+// BuildCallGraph constructs the module call graph over ctx.Pkgs.
+func BuildCallGraph(ctx *Context) *CallGraph {
+	g := &CallGraph{
+		module: ctx.Loader.Module,
+		Nodes:  map[*types.Func]*CGNode{},
+		byName: map[string][]*CGNode{},
+		bySig:  map[string][]*CGNode{},
+	}
+	// Pass 1: index declarations, address-taken functions.
+	addrTaken := map[*types.Func]bool{}
+	for _, pkg := range ctx.Pkgs {
+		// A function identifier used anywhere but the operator position
+		// of a call has its address taken (passed, stored, returned): it
+		// becomes a dynamic-dispatch candidate. Mark callee idents first
+		// so the package-wide Uses sweep can tell call uses from value
+		// uses.
+		callUses := map[*ast.Ident]bool{}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &CGNode{Func: fn, Pkg: pkg, Decl: fd, Callees: map[*CGNode][]token.Pos{}}
+				g.Nodes[fn] = n
+				g.Ordered = append(g.Ordered, n)
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					g.byName[fn.Name()] = append(g.byName[fn.Name()], n)
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id := calleeIdent(call); id != nil {
+						callUses[id] = true
+					}
+				}
+				return true
+			})
+		}
+		for id, obj := range pkg.Info.Uses {
+			fn, ok := obj.(*types.Func)
+			if !ok || callUses[id] {
+				continue
+			}
+			addrTaken[fn.Origin()] = true
+		}
+	}
+	for _, n := range g.Ordered {
+		if addrTaken[n.Func] {
+			g.bySig[sigKey(n.Func)] = append(g.bySig[sigKey(n.Func)], n)
+		}
+	}
+
+	// Pass 2: resolve call sites and compute per-node facts.
+	faultPath := g.module + "/internal/faultinject"
+	for _, n := range g.Ordered {
+		g.resolveBody(n, faultPath)
+	}
+	for _, n := range g.Ordered {
+		callees := make([]*CGNode, 0, len(n.Callees))
+		for callee := range n.Callees {
+			callees = append(callees, callee)
+		}
+		sort.Slice(callees, func(i, j int) bool { return callees[i].Func.Pos() < callees[j].Func.Pos() })
+		for _, callee := range callees {
+			callee.Callers = append(callee.Callers, n)
+		}
+	}
+	return g
+}
+
+// calleeIdent returns the identifier in the callee position of a call
+// (the selector's Sel for method/package calls), or nil.
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel
+	case *ast.Ident:
+		return fun
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return id
+		}
+	case *ast.IndexListExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return id
+		}
+	}
+	return nil
+}
+
+// resolveBody walks one declaration's body, adding edges and facts.
+func (g *CallGraph) resolveBody(n *CGNode, faultPath string) {
+	pkg := n.Pkg
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.CallExpr:
+			g.resolveCall(n, pkg, node, faultPath)
+		case *ast.SelectStmt:
+			if selectHasDoneCase(pkg, node) {
+				n.ObservesDone = true
+			}
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW && isDoneLikeChan(pkg, node.X) {
+				n.ObservesDone = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[node.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					n.ObservesDone = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// cgCalleeFunc resolves a call's callee to a *types.Func, including
+// explicitly instantiated generic callees (IndexExpr/IndexListExpr),
+// which the per-check calleeFunc helper does not need to handle.
+func cgCalleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	if id := calleeIdent(call); id != nil {
+		if fn, ok := pkg.Info.Uses[id].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// resolveCall classifies one call site and records its edges and facts.
+func (g *CallGraph) resolveCall(n *CGNode, pkg *Package, call *ast.CallExpr, faultPath string) {
+	if fn := cgCalleeFunc(pkg, call); fn != nil {
+		if fn.Pkg() != nil {
+			switch {
+			case fn.Pkg().Path() == faultPath && fn.Name() == "Maybe":
+				n.FaultSite = true
+			case isCtxObserver(fn):
+				n.ObservesCtx = true
+			}
+		}
+		// Interface dispatch resolves to implementations; everything
+		// else is a static edge to the declaration (when loaded).
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if s := pkg.Info.Selections[sel]; s != nil {
+				if _, isIface := s.Recv().Underlying().(*types.Interface); isIface {
+					iface := s.Recv().Underlying().(*types.Interface)
+					for _, cand := range g.byName[fn.Name()] {
+						if implementsWithMethod(cand, iface, fn) {
+							n.addEdge(cand, call.Pos())
+						}
+					}
+					return
+				}
+			}
+		}
+		if callee := g.NodeOf(fn); callee != nil {
+			n.addEdge(callee, call.Pos())
+		}
+		return
+	}
+	// No *types.Func: a call through a func-typed value (parameter,
+	// variable, field, or another call's result). Conservatively edge to
+	// every address-taken function with an identical signature.
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for _, cand := range g.bySig[cgSigString(sig)] {
+		n.addEdge(cand, call.Pos())
+	}
+}
+
+func (n *CGNode) addEdge(callee *CGNode, pos token.Pos) {
+	n.Callees[callee] = append(n.Callees[callee], pos)
+}
+
+// sigKey renders fn's signature without its receiver, so methods and
+// functions with the same parameter/result shape share a key.
+func sigKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	return cgSigString(sig)
+}
+
+// sigString canonicalises a signature to parameter and result types
+// only (names and receiver dropped).
+func cgSigString(sig *types.Signature) string {
+	ps := make([]string, sig.Params().Len())
+	for i := range ps {
+		ps[i] = sig.Params().At(i).Type().String()
+	}
+	rs := make([]string, sig.Results().Len())
+	for i := range rs {
+		rs[i] = sig.Results().At(i).Type().String()
+	}
+	s := "(" + join(ps) + ")(" + join(rs) + ")"
+	if sig.Variadic() {
+		s += "..."
+	}
+	return s
+}
+
+func join(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ","
+		}
+		out += s
+	}
+	return out
+}
+
+// implementsWithMethod reports whether cand's receiver type satisfies
+// iface and cand has the same name and parameter signature as the
+// interface method m.
+func implementsWithMethod(cand *CGNode, iface *types.Interface, m *types.Func) bool {
+	sig, ok := cand.Func.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if !types.Implements(recv, iface) && !types.Implements(types.NewPointer(recv), iface) {
+		// recv may itself be the pointer type already.
+		return false
+	}
+	msig, ok := m.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	return cgSigString(sig) == cgSigString(msig)
+}
+
+// isCtxObserver reports whether fn is one of the context.Context (or
+// http.Request deadline) methods whose call means the function reacts
+// to cancellation.
+func isCtxObserver(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	if !isContextType(sig.Recv().Type()) {
+		return false
+	}
+	switch fn.Name() {
+	case "Done", "Err", "Deadline":
+		return true
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isHTTPRequestPtr reports whether t is *net/http.Request.
+func isHTTPRequestPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request"
+}
+
+// selectHasDoneCase reports whether a select statement has a receive
+// case on a Done-like channel.
+func selectHasDoneCase(pkg *Package, sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		var recv ast.Expr
+		switch s := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			recv = s.X
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				recv = s.Rhs[0]
+			}
+		}
+		ue, ok := ast.Unparen(recv).(*ast.UnaryExpr)
+		if !ok || ue.Op != token.ARROW {
+			continue
+		}
+		if isDoneLikeChan(pkg, ue.X) {
+			return true
+		}
+	}
+	return false
+}
+
+// isDoneLikeChan reports whether e is a cancellation-signal channel: a
+// ctx.Done() call, or any receive-capable channel of struct{} / empty
+// element (the done/stop/quit idiom).
+func isDoneLikeChan(pkg *Package, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		if fn := calleeFunc(pkg, call); fn != nil && isCtxObserver(fn) && fn.Name() == "Done" {
+			return true
+		}
+	}
+	tv, ok := pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	ch, ok := tv.Type.Underlying().(*types.Chan)
+	if !ok || ch.Dir() == types.SendOnly {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// Cancellable computes the cancellable-reaching set: every node from
+// which execution can (per the conservative edges) enter a function
+// that observes its context or contains a fault-injection site. Each
+// member's witness chain records one path to a sink, for messages.
+func (g *CallGraph) Cancellable() map[*CGNode]bool {
+	set := map[*CGNode]bool{}
+	var frontier []*CGNode
+	for _, n := range g.Ordered {
+		if n.ObservesCtx || n.FaultSite {
+			set[n] = true
+			n.witness = nil
+			frontier = append(frontier, n)
+		}
+	}
+	for len(frontier) > 0 {
+		next := frontier[:0:0]
+		for _, n := range frontier {
+			for _, caller := range n.Callers {
+				if !set[caller] {
+					set[caller] = true
+					caller.witness = n
+					next = append(next, caller)
+				}
+			}
+		}
+		frontier = next
+	}
+	return set
+}
+
+// SinkOf follows n's witness chain to the cancellable sink it reaches.
+// Only meaningful for members of the Cancellable set.
+func (g *CallGraph) SinkOf(n *CGNode) *CGNode {
+	for n.witness != nil {
+		n = n.witness
+	}
+	return n
+}
+
+// ReachesDone reports whether n (or anything it transitively calls)
+// contains a select/receive on a Done-like signal — the interprocedural
+// half of the goroutine-lifetime check.
+func (g *CallGraph) ReachesDone(n *CGNode) bool {
+	seen := map[*CGNode]bool{}
+	var walk func(*CGNode) bool
+	walk = func(m *CGNode) bool {
+		if seen[m] {
+			return false
+		}
+		seen[m] = true
+		if m.ObservesDone {
+			return true
+		}
+		for callee := range m.Callees {
+			if walk(callee) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(n)
+}

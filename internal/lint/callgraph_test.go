@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// fixtureGraph builds the call graph over one testdata/src package.
+func fixtureGraph(t *testing.T, name string) *CallGraph {
+	t.Helper()
+	loader := newTestLoader(t)
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	ctx := &Context{Loader: loader, Pkgs: []*Package{pkg}}
+	return ctx.CallGraph()
+}
+
+func nodeNamed(t *testing.T, g *CallGraph, name string) *CGNode {
+	t.Helper()
+	var found *CGNode
+	for _, n := range g.Ordered {
+		if n.Func.Name() == name {
+			if found != nil {
+				t.Fatalf("two nodes named %q: generic instantiations must collapse to one origin", name)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("no node named %q in graph (%d nodes)", name, len(g.Ordered))
+	}
+	return found
+}
+
+func hasEdge(from, to *CGNode) bool {
+	_, ok := from.Callees[to]
+	return ok
+}
+
+// TestCallGraphResolvesGenerics pins the generics satellite: calls to
+// type-parameterised functions — inferred (Map(xs, Double)) and
+// explicit (Sum[float64](xs), an IndexExpr callee) — resolve to the
+// single origin declaration, and a func value passed at an
+// instantiated call site still counts as address-taken.
+func TestCallGraphResolvesGenerics(t *testing.T) {
+	g := fixtureGraph(t, "generics")
+	use := nodeNamed(t, g, "Use")
+	useExplicit := nodeNamed(t, g, "UseExplicit")
+	mapNode := nodeNamed(t, g, "Map")
+	sum := nodeNamed(t, g, "Sum")
+	if !hasEdge(use, mapNode) {
+		t.Errorf("missing edge Use -> Map (inferred instantiation)")
+	}
+	if !hasEdge(useExplicit, sum) {
+		t.Errorf("missing edge UseExplicit -> Sum (explicit IndexExpr instantiation)")
+	}
+	if hasEdge(use, sum) || hasEdge(useExplicit, mapNode) {
+		t.Errorf("spurious cross edges between generic callees")
+	}
+	// Map's callers must include Use, via the reverse adjacency.
+	callers := map[string]bool{}
+	for _, c := range mapNode.Callers {
+		callers[c.Func.Name()] = true
+	}
+	if !callers["Use"] {
+		t.Errorf("Map.Callers = %v, want Use present", callers)
+	}
+}
+
+// TestCallGraphCancellable pins the reachability facility on the
+// ctxprop fixture: waiter observes its ctx; everything that can reach
+// it is cancellable, and witness chains lead back to the sink.
+func TestCallGraphCancellable(t *testing.T) {
+	g := fixtureGraph(t, "ctxprop")
+	waiter := nodeNamed(t, g, "waiter")
+	relay := nodeNamed(t, g, "relay")
+	if !waiter.ObservesCtx {
+		t.Fatalf("waiter must observe its ctx (calls Done and Err)")
+	}
+	cancellable := g.Cancellable()
+	for _, name := range []string{"waiter", "relay", "launder", "dropped", "fire"} {
+		if !cancellable[nodeNamed(t, g, name)] {
+			t.Errorf("%s must be in the cancellable-reaching set", name)
+		}
+	}
+	if g.SinkOf(relay) != waiter {
+		t.Errorf("SinkOf(relay) = %v, want waiter", g.SinkOf(relay).Func.Name())
+	}
+}
+
+// TestCallGraphReachesDone pins the interprocedural half of
+// goroutine-lifetime: watcher selects on ctx.Done, so a goroutine body
+// calling it is bounded even though the select is one hop away.
+func TestCallGraphReachesDone(t *testing.T) {
+	g := fixtureGraph(t, "goroutines")
+	watcher := nodeNamed(t, g, "watcher")
+	if !watcher.ObservesDone {
+		t.Fatalf("watcher must observe a Done-like signal")
+	}
+	if !g.ReachesDone(watcher) {
+		t.Errorf("ReachesDone(watcher) = false, want true")
+	}
+	spin := nodeNamed(t, g, "spin")
+	if g.ReachesDone(spin) {
+		t.Errorf("ReachesDone(spin) = true, want false (infinite loop, no signal)")
+	}
+}

@@ -1,0 +1,175 @@
+// ctx-propagation: the containment story (BuildCtx's graceful
+// degradation, hcdserve's per-request deadlines) only works if the
+// caller's context actually reaches the cancellable work — the par.*Err
+// chunk boundaries, the fault-injection sites, the kernel entry points.
+// PR 4 closed two such gaps by hand (rank+layout and index phases ran
+// on a laundered Background); this check machine-enforces the property
+// through the call graph.
+//
+// Two rules, both scoped to library code (cmd/ and examples/ are
+// operator-facing entry points that legitimately mint root contexts):
+//
+//  1. laundering — a function that holds a context (a context.Context
+//     or *http.Request parameter) must not pass context.Background() /
+//     context.TODO() to a callee that transitively reaches cancellable
+//     work. The nil-defaulting idiom (`if ctx == nil { ctx =
+//     context.Background() }`) is untouched: it assigns, then passes
+//     the variable.
+//
+//  2. dropped ctx — a function whose context parameter is never
+//     mentioned in its body, while the function transitively reaches
+//     cancellable work, has a containment gap: somewhere below it a
+//     callee defaulted to Background and the caller's cancellation
+//     can no longer stop the work.
+//
+// Soundness caveat: calls through interfaces and func values resolve
+// conservatively (see callgraph.go); a Background passed through an
+// interface method the graph cannot pin to one declaration is not
+// flagged.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func ctxPropagationCheck() *Check {
+	return &Check{
+		Name: "ctx-propagation",
+		Doc:  "functions holding a ctx must pass it to cancellable callees: no Background/TODO laundering, no unused ctx parameter above cancellable work",
+		Run: func(ctx *Context) ([]Diagnostic, error) {
+			cg := ctx.CallGraph()
+			cancellable := cg.Cancellable()
+			var diags []Diagnostic
+			for _, n := range cg.Ordered {
+				if hasPathSegment(n.Pkg.Path, "cmd") || hasPathSegment(n.Pkg.Path, "examples") {
+					continue
+				}
+				ctxParams, reqParams := ctxishParams(n.Func)
+				if len(ctxParams) == 0 && len(reqParams) == 0 {
+					continue
+				}
+				diags = append(diags, launderingFindings(ctx, cg, cancellable, n)...)
+				diags = append(diags, droppedCtxFindings(ctx, cg, cancellable, n, ctxParams)...)
+			}
+			return diags, nil
+		},
+	}
+}
+
+// ctxishParams splits fn's parameters into context.Context ones and
+// *http.Request ones (whose Context() makes a ctx available).
+func ctxishParams(fn *types.Func) (ctxs, reqs []*types.Var) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil, nil
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		switch {
+		case isContextType(p.Type()):
+			ctxs = append(ctxs, p)
+		case isHTTPRequestPtr(p.Type()):
+			reqs = append(reqs, p)
+		}
+	}
+	return ctxs, reqs
+}
+
+// launderingFindings flags Background()/TODO() arguments in ctx
+// positions of calls to cancellable-reaching callees inside n's body.
+func launderingFindings(ctx *Context, cg *CallGraph, cancellable map[*CGNode]bool, n *CGNode) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := cg.NodeOf(calleeFunc(n.Pkg, call))
+		if callee == nil || !cancellable[callee] {
+			return true
+		}
+		sig, ok := callee.Func.Type().(*types.Signature)
+		if !ok {
+			return true
+		}
+		for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+			if !isContextType(sig.Params().At(i).Type()) {
+				continue
+			}
+			if name, bad := backgroundOrTODO(n.Pkg, call.Args[i]); bad {
+				diags = append(diags, ctx.diag("ctx-propagation", call.Args[i].Pos(),
+					"context.%s() passed to %s, which reaches cancellable %s; pass the caller's ctx so cancellation and deadlines propagate",
+					name, funcLabel(cg, callee), funcLabel(cg, cg.SinkOf(callee))))
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// droppedCtxFindings flags n when a ctx parameter is never referenced
+// while n reaches cancellable work.
+func droppedCtxFindings(ctx *Context, cg *CallGraph, cancellable map[*CGNode]bool, n *CGNode, ctxParams []*types.Var) []Diagnostic {
+	if len(ctxParams) == 0 || !cancellable[n] {
+		return nil
+	}
+	used := map[types.Object]bool{}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		if id, ok := node.(*ast.Ident); ok {
+			if obj := n.Pkg.Info.Uses[id]; obj != nil {
+				used[obj] = true
+			}
+		}
+		return true
+	})
+	var diags []Diagnostic
+	for _, p := range ctxParams {
+		if used[p] {
+			continue
+		}
+		name := p.Name()
+		if name == "" || name == "_" {
+			name = "ctx"
+		}
+		diags = append(diags, ctx.diag("ctx-propagation", n.Decl.Name.Pos(),
+			"%s's %s parameter is never used, but the function reaches cancellable %s%s; plumb the ctx down (or the work outlives its caller's cancellation)",
+			n.Func.Name(), name, funcLabel(cg, cg.SinkOf(n)), viaLabel(cg, n)))
+	}
+	return diags
+}
+
+// backgroundOrTODO reports whether e is a direct context.Background()
+// or context.TODO() call, returning which.
+func backgroundOrTODO(pkg *Package, e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// funcLabel renders a node as pkgbase.Func for messages.
+func funcLabel(cg *CallGraph, n *CGNode) string {
+	if n == nil {
+		return "?"
+	}
+	return pkgBase(n.Pkg.Path) + "." + n.Func.Name()
+}
+
+// viaLabel names the first hop of the witness path when it is not the
+// sink itself — "… (via coredecomp.PeelCtx)".
+func viaLabel(cg *CallGraph, n *CGNode) string {
+	hop := n.witness
+	if hop == nil || hop == cg.SinkOf(n) {
+		return ""
+	}
+	return " (via " + funcLabel(cg, hop) + ")"
+}

@@ -1,0 +1,160 @@
+// goroutine-lifetime: a goroutine with no bound outlives its request,
+// its build, or its test — the leak class the serve tier's drain
+// machinery exists to prevent. Every `go` statement in non-test library
+// code must be provably bounded by one of the accepted shapes:
+//
+//	join    the spawned body signals a sync.WaitGroup (Done, usually
+//	        deferred) or sends on / closes a channel the spawner can
+//	        drain — the par worker and serve rebuild idioms
+//	signal  the body (or a function it transitively calls, per the call
+//	        graph) selects on or receives from a Done-like signal —
+//	        ctx.Done(), a chan struct{} — or ranges over a channel,
+//	        so closing the signal ends it
+//
+// Anything else — a fire-and-forget `go f()` whose body neither joins
+// nor watches a signal — is a finding. A deliberately detached
+// goroutine carries an //hcdlint:allow with the argument for why its
+// lifetime is acceptable. cmd/ and examples/ are exempt
+// (process-lifetime goroutines in a main are bounded by the process).
+//
+// "Provably" is per-shape, not per-path: a wg.Done reachable on only
+// some paths still counts (path-sensitive analysis is out of scope and
+// the deferred form is the overwhelmingly dominant idiom).
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func goroutineLifetimeCheck() *Check {
+	return &Check{
+		Name: "goroutine-lifetime",
+		Doc:  "go statements in library code must be joined (WaitGroup, channel) or watch a Done-like signal, directly or via their callees",
+		Run: func(ctx *Context) ([]Diagnostic, error) {
+			cg := ctx.CallGraph()
+			var diags []Diagnostic
+			walkFiles(ctx, func(pkg *Package, f *ast.File) {
+				if hasPathSegment(pkg.Path, "cmd") || hasPathSegment(pkg.Path, "examples") {
+					return
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					gs, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					if !goroutineBounded(cg, pkg, gs) {
+						diags = append(diags, ctx.diag("goroutine-lifetime", gs.Pos(),
+							"goroutine is not provably bounded: no WaitGroup.Done, no channel send/close, and no Done-like signal (ctx.Done, chan struct{}) in its body or its callees; join it or give it a cancellation signal"))
+					}
+					return true
+				})
+			})
+			return diags, nil
+		},
+	}
+}
+
+// goroutineBounded applies the accepted shapes to one go statement.
+func goroutineBounded(cg *CallGraph, pkg *Package, gs *ast.GoStmt) bool {
+	// A func-literal body is analysed directly; a named function or
+	// method defers to its call-graph node. Either way the spawned
+	// call's arguments are part of the spawn expression, not the body.
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		if bodyBounded(pkg, lit.Body) {
+			return true
+		}
+		// Interprocedural half: anything the literal calls that reaches
+		// a Done-like signal bounds it.
+		return litReachesDone(cg, pkg, lit)
+	}
+	fn := calleeFunc(pkg, gs.Call)
+	if node := cg.NodeOf(fn); node != nil {
+		return bodyBounded(node.Pkg, node.Decl.Body) || cg.ReachesDone(node)
+	}
+	// A dynamic callee (func value) cannot be analysed: conservatively a
+	// finding, waivable at the spawn site.
+	return false
+}
+
+// bodyBounded scans one body for the joining shapes: WaitGroup.Done,
+// channel send, channel close, Done-like select/receive, range over a
+// channel.
+func bodyBounded(pkg *Package, body ast.Node) bool {
+	bounded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if bounded {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(pkg, n); fn != nil {
+				if fn.Name() == "Done" && recvIsWaitGroup(fn) {
+					bounded = true
+				}
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					bounded = true
+				}
+			}
+		case *ast.SendStmt:
+			bounded = true
+		case *ast.SelectStmt:
+			if selectHasDoneCase(pkg, n) {
+				bounded = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isDoneLikeChan(pkg, n.X) {
+				bounded = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					bounded = true
+				}
+			}
+		}
+		return true
+	})
+	return bounded
+}
+
+// litReachesDone reports whether any function the literal statically
+// calls reaches a Done-like signal.
+func litReachesDone(cg *CallGraph, pkg *Package, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if node := cg.NodeOf(calleeFunc(pkg, call)); node != nil && cg.ReachesDone(node) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// recvIsWaitGroup reports whether fn is a method of sync.WaitGroup.
+func recvIsWaitGroup(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

@@ -18,6 +18,21 @@
 //	              unique string literals matching the documented grammar
 //	errcheck      unchecked error returns in non-test library code
 //
+// Four further checks ride the whole-module call graph (callgraph.go):
+//
+//	ctx-propagation    a function holding a ctx must pass it down to
+//	                   cancellable work — no Background/TODO laundering,
+//	                   no dropped ctx parameter
+//	atomic-discipline  locations touched via sync/atomic are never read
+//	                   or written plainly; 64-bit atomic fields stay
+//	                   aligned on 32-bit layouts
+//	goroutine-lifetime every go statement in library code is provably
+//	                   bounded (WaitGroup/channel join, or a Done-like
+//	                   signal in reach)
+//	hot-loop-alloc     kernel inner loops stay free of allocation-forcing
+//	                   constructs (closures, fmt, string concat,
+//	                   unpreallocated append)
+//
 // A finding on a line can be waived with a directive comment on that
 // line or the line above:
 //
@@ -32,6 +47,7 @@ import (
 	"go/ast"
 	"go/token"
 	"io"
+	"path/filepath"
 	"sort"
 	"strings"
 )
@@ -72,10 +88,32 @@ type Context struct {
 	Loader *Loader
 	// Pkgs are the in-scope packages, in import-path order.
 	Pkgs []*Package
+
+	cg *CallGraph // built on first CallGraph() call, shared by checks
 }
 
 // Fset returns the position table for Pkgs.
 func (c *Context) Fset() *token.FileSet { return c.Loader.Fset }
+
+// CallGraph returns the whole-module call graph over Pkgs, building it
+// on first use (the interprocedural checks share one instance).
+func (c *Context) CallGraph() *CallGraph {
+	if c.cg == nil {
+		c.cg = BuildCallGraph(c)
+	}
+	return c.cg
+}
+
+// relPos renders a position module-root-relative ("file.go:12") for use
+// inside messages, keeping findings machine-independent.
+func (c *Context) relPos(pos token.Pos) string {
+	p := c.Fset().Position(pos)
+	file := p.Filename
+	if rel, err := filepath.Rel(c.Loader.Dir, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return fmt.Sprintf("%s:%d", file, p.Line)
+}
 
 // diag builds a Diagnostic at pos.
 func (c *Context) diag(check string, pos token.Pos, format string, args ...any) Diagnostic {
@@ -89,7 +127,8 @@ func (c *Context) diag(check string, pos token.Pos, format string, args ...any) 
 	}
 }
 
-// AllChecks returns the full catalogue, in documentation order.
+// AllChecks returns the full catalogue, in documentation order: the
+// five per-function checks, then the four call-graph-backed ones.
 func AllChecks() []*Check {
 	return []*Check{
 		tagParityCheck(),
@@ -97,6 +136,10 @@ func AllChecks() []*Check {
 		panicSafetyCheck(),
 		siteHygieneCheck(),
 		errcheckCheck(),
+		ctxPropagationCheck(),
+		atomicDisciplineCheck(),
+		goroutineLifetimeCheck(),
+		hotLoopAllocCheck(),
 	}
 }
 

@@ -89,12 +89,12 @@ func TestFixtures(t *testing.T) {
 // file still matches.
 func TestFixturesFindEveryCheck(t *testing.T) {
 	fired := map[string]bool{}
-	for _, name := range []string{"core", "hindex", "panicsafety", "httpsafety", "sitehygiene", "errcheck", "allowdir"} {
+	for _, name := range []string{"core", "hindex", "panicsafety", "httpsafety", "sitehygiene", "errcheck", "allowdir", "ctxprop", "goroutines", "atomics", "treeaccum"} {
 		for _, d := range runFixture(t, name) {
 			fired[d.Check] = true
 		}
 	}
-	for _, check := range []string{"determinism", "panic-safety", "site-hygiene", "errcheck", "allow"} {
+	for _, check := range []string{"determinism", "panic-safety", "site-hygiene", "errcheck", "allow", "ctx-propagation", "goroutine-lifetime", "atomic-discipline", "hot-loop-alloc"} {
 		if !fired[check] {
 			t.Errorf("no fixture finding for check %q", check)
 		}

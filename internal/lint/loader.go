@@ -44,8 +44,11 @@ type Package struct {
 }
 
 // Loader loads packages of one module under one build-tag set. Loaders
-// for other tag sets of the same module share the stdlib export-data
-// table via Variant.
+// for other tag sets of the same module share a family: one FileSet,
+// one stdlib importer, and a cross-tag-set package cache, so linting
+// three tag flavours re-checks only the tag-sensitive packages (and
+// their dependents) instead of re-loading the module from scratch per
+// flavour.
 type Loader struct {
 	// Dir is the module root (the directory holding go.mod).
 	Dir string
@@ -53,13 +56,43 @@ type Loader struct {
 	Module string
 	// Tags are the build tags this loader applies.
 	Tags []string
-	// Fset positions every file this loader parsed.
+	// Fset positions every file any loader of the family parsed.
 	Fset *token.FileSet
 
-	exports map[string]string // stdlib import path -> export data file
-	std     types.Importer
+	fam     *family
 	pkgs    map[string]*Package
 	loading map[string]bool // import-cycle guard
+}
+
+// family is the state shared by a loader and its tag-set Variants.
+// Sharing the FileSet and the stdlib importer is what makes cached
+// packages interchangeable across variants: positions stay resolvable
+// and stdlib types keep pointer identity. Not safe for concurrent use,
+// like the loaders themselves (checks run sequentially).
+type family struct {
+	exports map[string]string // stdlib import path -> export data file
+	fset    *token.FileSet
+	std     types.Importer
+	// cache maps an import path to its most recently checked build. A
+	// variant reuses the entry when its tag set selects the same file
+	// list AND every module-internal dependency resolved to the same
+	// *Package — so tag-sensitive packages and everything above them
+	// re-check, everything else is shared.
+	cache        map[string]*cacheEntry
+	hits, misses int
+}
+
+// cacheEntry records what a cached package was built from.
+type cacheEntry struct {
+	files []string   // sorted file names the tag set selected
+	deps  []*Package // module-internal deps, in bp.Imports order
+	pkg   *Package
+}
+
+// CacheStats reports cross-tag-set package cache hits and misses for
+// this loader's family (misses include every first load).
+func (l *Loader) CacheStats() (hits, misses int) {
+	return l.fam.hits, l.fam.misses
 }
 
 // NewLoader creates a loader rooted at the module containing dir,
@@ -75,41 +108,45 @@ func NewLoader(dir string, tags []string) (*Loader, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newLoader(root, module, tags, exports), nil
-}
-
-// Variant returns a fresh loader for the same module under a different
-// tag set, reusing the stdlib export-data table (stdlib export data does
-// not vary with module build tags).
-func (l *Loader) Variant(tags []string) *Loader {
-	return newLoader(l.Dir, l.Module, tags, l.exports)
-}
-
-func newLoader(root, module string, tags []string, exports map[string]string) *Loader {
-	l := &Loader{
-		Dir:     root,
-		Module:  module,
-		Tags:    tags,
-		Fset:    token.NewFileSet(),
+	fam := &family{
 		exports: exports,
-		pkgs:    map[string]*Package{},
-		loading: map[string]bool{},
+		fset:    token.NewFileSet(),
+		cache:   map[string]*cacheEntry{},
 	}
-	l.std = importer.ForCompiler(l.Fset, "gc", func(path string) (io.ReadCloser, error) {
-		f, ok := l.exports[path]
+	fam.std = importer.ForCompiler(fam.fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := fam.exports[path]
 		if !ok {
 			// A stdlib package outside the module's dependency closure
 			// (possible for testdata fixtures): locate it on demand.
-			ef, err := exportFile(l.Dir, path)
+			ef, err := exportFile(root, path)
 			if err != nil {
 				return nil, err
 			}
-			l.exports[path] = ef
+			fam.exports[path] = ef
 			f = ef
 		}
 		return os.Open(f)
 	})
-	return l
+	return newLoader(root, module, tags, fam), nil
+}
+
+// Variant returns a fresh loader for the same module under a different
+// tag set, sharing the family (stdlib export data, FileSet, and the
+// cross-tag-set package cache).
+func (l *Loader) Variant(tags []string) *Loader {
+	return newLoader(l.Dir, l.Module, tags, l.fam)
+}
+
+func newLoader(root, module string, tags []string, fam *family) *Loader {
+	return &Loader{
+		Dir:     root,
+		Module:  module,
+		Tags:    tags,
+		Fset:    fam.fset,
+		fam:     fam,
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
 }
 
 // findModule walks up from dir to the enclosing go.mod and returns the
@@ -196,7 +233,7 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		}
 		return p.Types, nil
 	}
-	return l.std.Import(path)
+	return l.fam.std.Import(path)
 }
 
 // pkgDir maps a module-internal import path to its directory.
@@ -247,6 +284,28 @@ func (l *Loader) load(path string) (*Package, error) {
 		return nil, fmt.Errorf("lint: %s: %v", dir, err)
 	}
 	sort.Strings(bp.GoFiles)
+
+	// Load module-internal dependencies first (bp.Imports is sorted and
+	// deduplicated), so the family-cache key — file list plus dependency
+	// identity — is known before deciding whether to re-check.
+	var deps []*Package
+	for _, imp := range bp.Imports {
+		if imp != l.Module && !strings.HasPrefix(imp, l.Module+"/") {
+			continue
+		}
+		dp, err := l.load(imp)
+		if err != nil {
+			return nil, err
+		}
+		deps = append(deps, dp)
+	}
+	if e := l.fam.cache[path]; e != nil && sameFiles(e.files, bp.GoFiles) && sameDeps(e.deps, deps) {
+		l.fam.hits++
+		l.pkgs[path] = e.pkg
+		return e.pkg, nil
+	}
+	l.fam.misses++
+
 	files := make([]*ast.File, 0, len(bp.GoFiles))
 	for _, name := range bp.GoFiles {
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
@@ -268,7 +327,32 @@ func (l *Loader) load(path string) (*Package, error) {
 	}
 	p := &Package{Path: path, Dir: dir, Files: files, Types: tp, Info: info}
 	l.pkgs[path] = p
+	l.fam.cache[path] = &cacheEntry{files: bp.GoFiles, deps: deps, pkg: p}
 	return p, nil
+}
+
+func sameFiles(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameDeps(a, b []*Package) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // ModulePackages enumerates and loads every buildable package under the

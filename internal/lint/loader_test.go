@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestVariantSharesCache pins the cross-tag-set package cache: loading
+// the module under a second tag set reuses every package whose file
+// list and dependency identities are unchanged, and re-checks exactly
+// the tag-sensitive packages (the noop mirrors) plus their dependents.
+func TestVariantSharesCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module twice; skipped under -short")
+	}
+	base, err := NewLoader(".", nil)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	basePkgs, err := base.ModulePackages()
+	if err != nil {
+		t.Fatalf("base ModulePackages: %v", err)
+	}
+	_, missesAfterBase := base.CacheStats()
+
+	noobs := base.Variant([]string{"noobs"})
+	noobsPkgs, err := noobs.ModulePackages()
+	if err != nil {
+		t.Fatalf("noobs ModulePackages: %v", err)
+	}
+	hits, misses := noobs.CacheStats()
+	if hits == 0 {
+		t.Fatalf("no cache hits on the noobs variant: the family cache is not sharing packages")
+	}
+
+	byPath := func(pkgs []*Package) map[string]*Package {
+		m := map[string]*Package{}
+		for _, p := range pkgs {
+			m[p.Path] = p
+		}
+		return m
+	}
+	b, n := byPath(basePkgs), byPath(noobsPkgs)
+
+	// obs selects different files under noobs: must be re-checked.
+	obsPath := base.Module + "/internal/obs"
+	if b[obsPath] == nil || n[obsPath] == nil {
+		t.Fatalf("internal/obs missing from a load (base %v, noobs %v)", b[obsPath] != nil, n[obsPath] != nil)
+	}
+	if b[obsPath] == n[obsPath] {
+		t.Errorf("internal/obs shared across tag sets despite selecting different files")
+	}
+	// Packages outside obs's dependency cone are shared: unionfind has no
+	// module-internal imports at all, and lint (by far the largest
+	// package) is tag-free — sharing it is most of the wall-clock win.
+	for _, base := range []string{"/internal/unionfind", "/internal/lint", "/internal/metrics"} {
+		path := noobs.Module + base
+		if b[path] == nil || b[path] != n[path] {
+			t.Errorf("%s should be cache-shared across tag sets", path)
+		}
+	}
+	// A dependent of obs re-checks even though its own file list is
+	// stable: its Uses/Selections must resolve into the noop obs.
+	corePath := base.Module + "/internal/core"
+	if b[corePath] == n[corePath] {
+		t.Errorf("internal/core depends on the tag-sensitive obs and must be re-checked under noobs")
+	}
+	if hits < 3 {
+		t.Errorf("noobs variant reused %d packages (misses %d of %d total); want at least the tag-free set shared",
+			hits, misses-missesAfterBase, misses)
+	}
+}

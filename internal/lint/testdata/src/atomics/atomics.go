@@ -1,0 +1,79 @@
+// Package atomics is a hcdlint testdata fixture for the
+// atomic-discipline check: mixed plain/atomic field access, mixed
+// plain/atomic slice-element access, a 64-bit field misaligned under
+// 32-bit layout, and the clean shapes (all-atomic fields, composite
+// literal initialisation, typed wrappers, a justified allow).
+package atomics
+
+import "sync/atomic"
+
+// counters mixes a bool in front of a 64-bit atomic field: offset 4
+// under GOARCH=386 layout — the alignment finding.
+type counters struct {
+	closed bool
+	hits   int64 // accessed atomically below, misaligned on 32-bit
+	misses int64
+}
+
+// aligned keeps its 64-bit atomic field first — clean layout.
+type aligned struct {
+	hits   int64
+	closed bool
+}
+
+// wrapped uses the typed wrapper, which carries its own alignment
+// guarantee and manages its own location — entirely exempt.
+type wrapped struct {
+	closed bool
+	hits   atomic.Int64
+}
+
+// Bump updates hits atomically (and trips the 386 alignment rule).
+func Bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// BumpAligned is the clean layout's atomic update.
+func BumpAligned(a *aligned) {
+	atomic.AddInt64(&a.hits, 1)
+}
+
+// BumpWrapped goes through the typed wrapper — clean.
+func BumpWrapped(w *wrapped) {
+	w.hits.Add(1)
+}
+
+// Read reads the atomically-updated field plainly — finding.
+func Read(c *counters) int64 {
+	return c.hits
+}
+
+// ReadAllowed is the justified mixed access: construction-time, before
+// the value is shared — waived.
+func ReadAllowed(c *counters) int64 {
+	//hcdlint:allow atomic-discipline fixture: called only before the counters struct is published to other goroutines
+	return c.hits
+}
+
+// New initialises through a composite literal, which is exempt: the
+// value is unpublished while it is being built.
+func New() *counters {
+	return &counters{hits: 0, misses: 0}
+}
+
+// Fold adds rows atomically but reads the source row plainly — the
+// element-mix finding, on the same slice object.
+func Fold(vals []int64, dst, src int) {
+	atomic.AddInt64(&vals[dst], vals[src])
+}
+
+// Sum re-reads the elements outside the atomic epoch; element identity
+// is per-variable, and sum's parameter is a different object than
+// Fold's — clean (the race, if any, is Fold's).
+func Sum(vals []int64) int64 {
+	var s int64
+	for i := range vals {
+		s += vals[i]
+	}
+	return s
+}

@@ -1,0 +1,71 @@
+// Package ctxprop is a hcdlint testdata fixture for the
+// ctx-propagation check: laundering via context.Background/TODO,
+// a dropped (never-used) ctx parameter above cancellable work, and
+// the shapes that must stay clean (direct propagation, the
+// nil-defaulting idiom, non-ctx wrappers, a justified allow).
+package ctxprop
+
+import (
+	"context"
+	"io"
+	"net/http"
+)
+
+type ctxKey struct{}
+
+// waiter observes its ctx: the fixture's cancellable sink.
+func waiter(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// relay passes its ctx straight down — clean.
+func relay(ctx context.Context) error { return waiter(ctx) }
+
+// launder holds a live ctx but hands the sink a fresh root — finding.
+func launder(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return waiter(context.Background())
+}
+
+// launderTODO: TODO() launders exactly like Background() — finding.
+func launderTODO(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return waiter(context.TODO())
+}
+
+// dropped never mentions its ctx, yet reaches the sink through fire —
+// the dropped-ctx rule's true positive.
+func dropped(ctx context.Context) error { return fire() }
+
+// fire is a non-ctx wrapper: holding no ctx, its Background is the
+// documented defaulting idiom and stays clean.
+func fire() error { return waiter(context.Background()) }
+
+// defaulted shows the nil-defaulting idiom — assign, then pass the
+// variable — which must stay clean.
+func defaulted(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return waiter(ctx)
+}
+
+// handle holds a ctx through its *http.Request; minting a root instead
+// of using r.Context() is laundering too — finding.
+func handle(w io.Writer, r *http.Request) {
+	_ = r.Host
+	_ = waiter(context.Background())
+}
+
+// detached uses its ctx for values only and detaches the write on
+// purpose, with the justification in the allow — waived.
+func detached(ctx context.Context) error {
+	_ = ctx.Value(ctxKey{})
+	//hcdlint:allow ctx-propagation fixture: the audit write must complete even when the request is cancelled
+	return waiter(context.Background())
+}

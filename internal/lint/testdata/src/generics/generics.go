@@ -1,0 +1,55 @@
+// Package generics is a hcdlint testdata fixture: type-parameterised
+// code the loader must type-check and the call graph must resolve —
+// implicit and explicit instantiations collapse to their origin
+// declarations (asserted by TestCallGraphResolvesGenerics). One
+// deliberate errcheck finding inside a generic body proves the checks
+// traverse generic code like any other.
+package generics
+
+import "strconv"
+
+// Number constrains Sum's element type.
+type Number interface {
+	~int | ~int64 | ~float64
+}
+
+// Map applies f over xs — the generic callee the graph must resolve.
+func Map[T, U any](xs []T, f func(T) U) []U {
+	out := make([]U, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, f(x))
+	}
+	return out
+}
+
+// Sum folds xs — instantiated explicitly below.
+func Sum[T Number](xs []T) T {
+	var s T
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Double is passed as a func value: an address-taken dynamic-dispatch
+// candidate.
+func Double(x int) int { return x * 2 }
+
+// Use calls Map with an inferred instantiation: the graph must edge
+// Use -> Map (the origin declaration).
+func Use(xs []int) []int {
+	return Map(xs, Double)
+}
+
+// UseExplicit instantiates Sum explicitly (an IndexExpr callee): the
+// graph must edge UseExplicit -> Sum.
+func UseExplicit(xs []float64) float64 {
+	return Sum[float64](xs)
+}
+
+// Parse drops an error inside a generic body — the checks see through
+// type parameters (errcheck finding).
+func Parse[T any](raw string, out *T) {
+	strconv.Atoi(raw)
+	_ = out
+}

@@ -1,0 +1,89 @@
+// Package goroutines is a hcdlint testdata fixture for the
+// goroutine-lifetime check: the accepted bounding shapes (WaitGroup
+// join, channel send, Done-like select, range-over-channel, an
+// interprocedurally reachable signal), one deliberately detached
+// goroutine carrying an allow, and the fire-and-forget true positives.
+package goroutines
+
+import (
+	"context"
+	"sync"
+)
+
+// spin loops with no join and no signal — the named-function true
+// positive, flagged at its spawn site.
+func spin() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+
+// Leak spawns unbounded goroutines — findings.
+func Leak(fn func()) {
+	go spin()
+	go func() {
+		for {
+			_ = len("")
+		}
+	}()
+	// A dynamic callee can't be analysed: conservatively a finding.
+	go fn()
+}
+
+// Bounded exercises every accepted shape — all clean.
+func Bounded(ctx context.Context, jobs <-chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}()
+	wg.Wait()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- nil }()
+	<-errCh
+
+	go func() {
+		select {
+		case <-ctx.Done():
+			return
+		case j := <-jobs:
+			_ = j
+		}
+	}()
+
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+
+	// The signal lives two calls down: the literal calls watcher, which
+	// selects on ctx.Done — the interprocedural accept.
+	go func() {
+		watcher(ctx)
+	}()
+}
+
+// watcher selects on its ctx; goroutines calling it are bounded.
+func watcher(ctx context.Context) {
+	select {
+	case <-ctx.Done():
+	}
+}
+
+// Detached is fire-and-forget on purpose; the allow carries the
+// argument — waived.
+func Detached() {
+	//hcdlint:allow goroutine-lifetime fixture: one-shot best-effort cache warmup, bounded by the work itself
+	go spin()
+}

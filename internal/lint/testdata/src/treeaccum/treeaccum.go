@@ -1,0 +1,92 @@
+// Package treeaccum is a hcdlint testdata fixture. Its directory base
+// name matches a kernel package, so the hot-loop-alloc check applies to
+// the loop bodies it hands to par: closures, fmt, string concatenation
+// and growing appends inside the hot body are findings; preallocated
+// buffers, hoisted state and a justified allow stay clean.
+package treeaccum
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"hcd/internal/par"
+)
+
+// Accumulate walks into every hot-loop allocation trap the check knows.
+func Accumulate(ctx context.Context, xs []int64, threads int) error {
+	names := make([]string, len(xs))
+	return par.ForErr(ctx, len(xs), threads, func(lo, hi int) error {
+		var local []int64
+		tag := ""
+		for i := lo; i < hi; i++ {
+			local = append(local, xs[i])
+			names[i] = fmt.Sprintf("node-%d", i)
+			tag += strconv.Itoa(i)
+			f := func() int64 { return xs[i] }
+			xs[i] = f()
+		}
+		_, _ = local, tag
+		return nil
+	})
+}
+
+// Gather appends to a slice captured from outside the body — the
+// race-plus-allocation shape.
+func Gather(ctx context.Context, xs []int64, threads int) error {
+	var all []int64
+	err := par.ForErr(ctx, len(xs), threads, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			all = append(all, xs[i])
+		}
+		return nil
+	})
+	_ = all
+	return err
+}
+
+// Clean does the same work with the blessed shapes: per-worker buffers
+// preallocated inside the body, indexed writes into hoisted slices, and
+// strconv instead of fmt.
+func Clean(ctx context.Context, xs []int64, out []string, threads int) error {
+	return par.ForChunkedErr(ctx, len(xs), threads, 4096, func(lo, hi int) error {
+		local := make([]int64, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			local = append(local, xs[i])
+			out[i] = strconv.FormatInt(xs[i], 10)
+		}
+		_ = local
+		return nil
+	})
+}
+
+// Recycle pins the two capacity-reuse idioms as clean: a body-local
+// initialised from a reslice of a per-worker buffer, and a scratch
+// slice recycled in place with s = s[:0].
+func Recycle(ctx context.Context, xs []int64, bufs [][]int64, threads int) error {
+	return par.ForErr(ctx, len(xs), threads, func(lo, hi int) error {
+		local := bufs[0][:0]
+		var scratch []int64
+		for i := lo; i < hi; i++ {
+			local = append(local, xs[i])
+			scratch = scratch[:0]
+			scratch = append(scratch, xs[i])
+		}
+		_, _ = local, scratch
+		return nil
+	})
+}
+
+// ColdPath formats inside the hot body but only on the error path that
+// aborts the whole kernel — the justified allow.
+func ColdPath(ctx context.Context, xs []int64, threads int) error {
+	return par.ForErr(ctx, len(xs), threads, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			if xs[i] < 0 {
+				//hcdlint:allow hot-loop-alloc fixture: error path, runs at most once per kernel abort
+				return fmt.Errorf("negative value at %d", i)
+			}
+		}
+		return nil
+	})
+}

@@ -70,6 +70,7 @@ func AccumulateCtx(ctx context.Context, h *hierarchy.HCD, vals []int64, width, t
 				id := nodes[i]
 				pa := h.Parent[id]
 				for f := 0; f < width; f++ {
+					//hcdlint:allow atomic-discipline the plain read is the child's row, finalised at the previous depth; levels are separated by the ForErr join barrier, so the atomic adds (parent row) and plain reads (child row) never overlap
 					atomic.AddInt64(&vals[int(pa)*width+f], vals[int(id)*width+f])
 				}
 			}
