@@ -58,6 +58,7 @@ type BuildReport struct {
 // opened around it (arming the par worker hooks) and the measured
 // PhaseStat is appended to the report. Returns f's error.
 func (rep *BuildReport) runPhase(name string, f func() error) error {
+	m0 := obs.ReadMem()
 	//hcdlint:allow site-hygiene phase names flow in from the fixed caller set below (peel, phcd, rank+layout, index, fallback, verify), each a literal at its call site
 	sp := obs.StartPhase(name)
 	start := time.Now()
@@ -65,7 +66,7 @@ func (rep *BuildReport) runPhase(name string, f func() error) error {
 	d := time.Since(start)
 	sp.End()
 	//hcdlint:allow site-hygiene phase name flows in from the fixed caller set below, each a literal at its call site
-	rep.Phases = append(rep.Phases, obs.NewPhaseStat(name, d, sp.WorkerStats()))
+	rep.Phases = append(rep.Phases, obs.NewPhaseStat(name, d, sp.WorkerStats()).WithMem(obs.ReadMem().Sub(m0)))
 	return err
 }
 

@@ -28,6 +28,7 @@ import (
 
 	"hcd"
 	"hcd/internal/faultinject"
+	"hcd/internal/obs"
 	"hcd/internal/serve"
 )
 
@@ -62,6 +63,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	slowQuery := fs.Duration("slow-query", 0, "served-query latency logged at warn and counted against the SLO (0 = 500ms)")
 	sloWindow := fs.Duration("slo-window", 0, "sliding window for the /stats SLO section (0 = 60s)")
 	requestLog := fs.Int("request-log", 0, "completed requests kept for /debug/requests (0 = 128)")
+	memSample := fs.Duration("mem-sample", 0, "memory sampler cadence for the hcd_mem_* gauges (0 = 100ms, negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -131,6 +133,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "hcdserve: %v\n", err)
 		return 1
+	}
+	if *memSample >= 0 {
+		// Heap-live watermarks, goroutine peaks, and GC pause quantiles
+		// for the /metrics hcd_mem_* family; a no-op under noobs.
+		stopSampler := obs.StartMemSampler(*memSample)
+		defer stopSampler()
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

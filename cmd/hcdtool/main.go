@@ -134,6 +134,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "hcdtool: wrote trace to %s\n", *tracePath)
 		}()
 	}
+	// The memory sampler runs for the whole command: the deferred final
+	// sample records the run's heap/goroutine peaks, so even a short
+	// build leaves its hcd_mem_* watermarks in the expvar/metrics
+	// exposition (and in the -debug-addr scrape). No-op under noobs.
+	stopMemSampler := obs.StartMemSampler(0)
+	defer stopMemSampler()
 	if *debugAddr != "" {
 		ln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {

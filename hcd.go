@@ -232,6 +232,13 @@ func (s *Searcher) Hierarchy() *HCD { return s.h }
 // hierarchy.
 func (s *Searcher) NumNodes() int { return s.h.NumNodes() }
 
+// IndexBytes reports the searcher's exclusive index footprint in bytes
+// (the coreness-ordered layout or the gt/eq preprocessing arrays,
+// whichever the searcher owns), computed deterministically from array
+// lengths. The graph and hierarchy are shared structures accounted
+// separately (Graph.Bytes, HCD.Bytes).
+func (s *Searcher) IndexBytes() int64 { return s.ix.Bytes() }
+
 // Built-in community scoring metrics (§II-D), all normalised so higher is
 // better.
 func AverageDegree() Metric         { return metrics.AverageDegree{} }

@@ -133,6 +133,35 @@ func ratio(base, x time.Duration) float64 {
 
 func secs(d time.Duration) string { return fmt.Sprintf("%.4f", d.Seconds()) }
 
+// humanBytes renders a byte count with a binary-prefix unit, matching
+// how an operator reads heap sizes.
+func humanBytes(v int64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(v)/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(v)/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(v)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", v)
+	}
+}
+
+// fmtSample renders one cell sample in its unit: seconds for timing
+// cells (the historical default), sizes for UnitBytes, plain counts for
+// UnitAllocs.
+func fmtSample(v int64, unit string) string {
+	switch unit {
+	case UnitBytes:
+		return humanBytes(v)
+	case UnitAllocs:
+		return fmt.Sprintf("%d", v)
+	default:
+		return secs(time.Duration(v)) + "s"
+	}
+}
+
 // Table2 prints the dataset statistics table (paper Table II): n, m,
 // average degree, kmax, and the number of HCD tree nodes.
 func Table2(cfg Config) {

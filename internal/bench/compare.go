@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"math"
 	"strings"
-	"time"
 )
 
 // DeltaClass classifies one cell's old→new movement.
@@ -43,8 +42,12 @@ type CellDelta struct {
 	Dataset string `json:"dataset"`
 	Kernel  string `json:"kernel"`
 	Threads int    `json:"threads"`
-	// OldMinNS / NewMinNS are the min-of-k wall times being compared
-	// (zero on the side where the cell is absent).
+	// Unit is the cells' measurement unit (empty = nanoseconds; see
+	// Cell.Unit). Memory cells classify with the same MAD noise band as
+	// timing cells — only the rendering differs.
+	Unit string `json:"unit,omitempty"`
+	// OldMinNS / NewMinNS are the min-of-k measurements being compared
+	// (zero on the side where the cell is absent), in Unit.
 	OldMinNS int64 `json:"old_min_ns"`
 	NewMinNS int64 `json:"new_min_ns"`
 	// Ratio is new/old of the min times (0 when either side is absent).
@@ -88,7 +91,7 @@ func Compare(old, new Report) Comparison {
 	for _, oc := range old.Cells {
 		seen[key(oc)] = true
 		nc := new.cell(oc.Dataset, oc.Kernel, oc.Threads)
-		d := CellDelta{Dataset: oc.Dataset, Kernel: oc.Kernel, Threads: oc.Threads, OldMinNS: oc.MinNS}
+		d := CellDelta{Dataset: oc.Dataset, Kernel: oc.Kernel, Threads: oc.Threads, Unit: oc.Unit, OldMinNS: oc.MinNS}
 		if nc == nil {
 			d.Class = DeltaRemoved
 			c.Deltas = append(c.Deltas, d)
@@ -117,7 +120,7 @@ func Compare(old, new Report) Comparison {
 		}
 		c.Deltas = append(c.Deltas, CellDelta{
 			Dataset: nc.Dataset, Kernel: nc.Kernel, Threads: nc.Threads,
-			NewMinNS: nc.MinNS, Class: DeltaAdded,
+			Unit: nc.Unit, NewMinNS: nc.MinNS, Class: DeltaAdded,
 		})
 	}
 	return c
@@ -160,15 +163,37 @@ func (c Comparison) HasRegressions() bool {
 	return c.Comparable && c.Count(DeltaRegressed) > 0
 }
 
-// Markdown renders the comparison as a report: manifest provenance, the
-// comparability verdict, a summary line, and the full classified table.
+// Markdown renders the comparison as a report. It leads with the
+// manifest-diff summary — git SHA, build flavour, CPU, toolchain and
+// suite, side by side with mismatches flagged — and the gate status, so
+// a report that does not gate says up front *why* (which runner
+// dimension broke comparability) before any delta numbers appear.
 func (c Comparison) Markdown() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# Benchmark comparison\n\n")
-	fmt.Fprintf(&b, "- old: %s\n", c.OldManifest.Describe())
-	fmt.Fprintf(&b, "- new: %s\n\n", c.NewManifest.Describe())
-	if !c.Comparable {
-		fmt.Fprintf(&b, "**Not comparable** — deltas below are informational only:\n\n")
+
+	// Manifest diff: every dimension the gate decision hangs on.
+	row := func(name, oldV, newV string, gates bool) {
+		mark := ""
+		if gates && oldV != newV {
+			mark = " ⚠"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s |%s\n", name, oldV, newV, mark)
+	}
+	o, n := c.OldManifest, c.NewManifest
+	fmt.Fprintf(&b, "| | old | new |\n|---|---|---|\n")
+	row("git", short(o.GitSHA), short(n.GitSHA), false)
+	row("flavour", o.Flavour(), n.Flavour(), true)
+	row("cpu", fmt.Sprintf("%dx %s (GOMAXPROCS %d)", o.NumCPU, orUnknown(o.CPUModel), o.GoMaxProcs),
+		fmt.Sprintf("%dx %s (GOMAXPROCS %d)", n.NumCPU, orUnknown(n.CPUModel), n.GoMaxProcs), true)
+	row("toolchain", o.GoVersion+" "+o.OS+"/"+o.Arch, n.GoVersion+" "+n.OS+"/"+n.Arch, true)
+	row("suite", fmt.Sprintf("%s scale %d (schema %d)", o.Suite, o.Scale, o.Schema),
+		fmt.Sprintf("%s scale %d (schema %d)", n.Suite, n.Scale, n.Schema), true)
+	fmt.Fprintln(&b)
+	if c.Comparable {
+		fmt.Fprintf(&b, "**Gate: active** — the manifests agree on every dimension that moves measurements.\n\n")
+	} else {
+		fmt.Fprintf(&b, "**Gate: informational only** — the runs are not comparable, so no delta below can block:\n\n")
 		for _, r := range c.Reasons {
 			fmt.Fprintf(&b, "- %s\n", r)
 		}
@@ -185,10 +210,10 @@ func (c Comparison) Markdown() string {
 	for _, d := range c.Deltas {
 		oldS, newS, delta := "-", "-", "-"
 		if d.OldMinNS > 0 {
-			oldS = secs(time.Duration(d.OldMinNS)) + "s"
+			oldS = fmtSample(d.OldMinNS, d.Unit)
 		}
 		if d.NewMinNS > 0 {
-			newS = secs(time.Duration(d.NewMinNS)) + "s"
+			newS = fmtSample(d.NewMinNS, d.Unit)
 		}
 		if d.Ratio > 0 {
 			delta = fmt.Sprintf("%+.1f%%", 100*(d.Ratio-1))
@@ -204,4 +229,23 @@ func (c Comparison) Markdown() string {
 			d.Dataset, d.Kernel, d.Threads, oldS, newS, delta, 100*d.Band, class)
 	}
 	return b.String()
+}
+
+// short truncates a git SHA for the manifest-diff table.
+func short(sha string) string {
+	if sha == "" {
+		return "unknown"
+	}
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
+}
+
+// orUnknown substitutes a placeholder for an empty best-effort field.
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
 }

@@ -87,8 +87,50 @@ func TestCompareIncomparableManifestsNeverGate(t *testing.T) {
 		t.Error("incomparable runs must never gate")
 	}
 	md := c.Markdown()
-	if !strings.Contains(md, "Not comparable") || !strings.Contains(md, "cpu model differs") {
+	if !strings.Contains(md, "Gate: informational only") || !strings.Contains(md, "cpu model differs") {
 		t.Errorf("markdown missing incomparability notice:\n%s", md)
+	}
+	// The manifest-diff lead must flag the mismatched dimension and show
+	// both sides, so the report says up front why it does not gate.
+	if !strings.Contains(md, "Different CPU") || !strings.Contains(md, "⚠") {
+		t.Errorf("markdown missing flagged manifest diff:\n%s", md)
+	}
+}
+
+func TestCompareMarkdownManifestDiffLeads(t *testing.T) {
+	old, new := cmpReports([]Cell{tightCell("k", 1, 1_000_000)}, []Cell{tightCell("k", 1, 1_000_000)})
+	md := Compare(old, new).Markdown()
+	for _, want := range []string{"| | old | new |", "| flavour |", "| toolchain |", "Gate: active"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing manifest-diff element %q:\n%s", want, md)
+		}
+	}
+	// Comparable runs carry no warning marks.
+	if strings.Contains(md, "⚠") {
+		t.Errorf("comparable manifests must not flag any row:\n%s", md)
+	}
+	// The diff summary must appear before the delta table.
+	if strings.Index(md, "| | old | new |") > strings.Index(md, "| dataset |") {
+		t.Errorf("manifest diff must lead the report:\n%s", md)
+	}
+}
+
+func TestCompareMemoryCellUnits(t *testing.T) {
+	mem := tightCell("phcd.mem.peak", 8, 1<<30)
+	mem.Unit = UnitBytes
+	grown := tightCell("phcd.mem.peak", 8, 1<<30+1<<29)
+	grown.Unit = UnitBytes
+	old, new := cmpReports([]Cell{mem}, []Cell{grown})
+	c := Compare(old, new)
+	if c.Deltas[0].Class != DeltaRegressed {
+		t.Fatalf("memory growth beyond the band = %s, want regressed", c.Deltas[0].Class)
+	}
+	if c.Deltas[0].Unit != UnitBytes {
+		t.Fatalf("delta lost the cell unit: %q", c.Deltas[0].Unit)
+	}
+	md := c.Markdown()
+	if !strings.Contains(md, "1.00GiB") || !strings.Contains(md, "1.50GiB") {
+		t.Errorf("markdown must render byte cells as sizes, not seconds:\n%s", md)
 	}
 }
 

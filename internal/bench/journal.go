@@ -10,7 +10,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"hcd/internal/obs"
@@ -23,11 +25,19 @@ import (
 // differential compare uses for its noise band.
 type Cell struct {
 	Dataset string `json:"dataset"`
-	// Kernel names what ran, e.g. "phcd", "lcps", "pbks.typea".
+	// Kernel names what ran, e.g. "phcd", "lcps", "pbks.typea". Memory
+	// cells suffix the kernel they profile: "phcd.mem.peak",
+	// "phcd.mem.allocs".
 	Kernel string `json:"kernel"`
 	// Threads is the worker count (1 for serial baselines).
 	Threads int `json:"threads"`
-	// SamplesNS holds every repetition's wall time, in run order.
+	// Unit names what the samples measure when they are not wall-clock
+	// nanoseconds: UnitBytes for peak-heap cells, UnitAllocs for
+	// allocations-per-op cells. Empty means nanoseconds (the historical
+	// default, which is why the sample fields keep their NS names).
+	Unit string `json:"unit,omitempty"`
+	// SamplesNS holds every repetition's measurement, in run order —
+	// wall-clock nanoseconds unless Unit says otherwise.
 	SamplesNS []int64 `json:"samples_ns"`
 	// MinNS, MedianNS and MADNS summarise SamplesNS (MAD = median
 	// absolute deviation from the median, a robust spread estimate).
@@ -52,6 +62,11 @@ type PhaseScaling struct {
 	SerialFraction float64 `json:"serial_fraction"`
 	// Share is this phase's fraction of the p=1 total across phases.
 	Share float64 `json:"share"`
+	// AllocBytes is the phase's heap allocation at p=1 (from the
+	// instrumented cells' memory accounting); AllocShare is its fraction
+	// of the p=1 total across phases. Both zero under the noobs build.
+	AllocBytes int64   `json:"alloc_bytes,omitempty"`
+	AllocShare float64 `json:"alloc_share,omitempty"`
 }
 
 // ScalingRow is the derived thread-scaling analysis for one (dataset,
@@ -81,6 +96,10 @@ type ScalingRow struct {
 	// Bottleneck names the phase that bounds scalability: the
 	// largest-serial-fraction phase among those with ≥5% share at p=1.
 	Bottleneck string `json:"bottleneck,omitempty"`
+	// Hungriest names the most allocation-hungry phase — the largest
+	// AllocBytes at p=1 — the way Bottleneck names the phase that bounds
+	// scaling. Empty when the cells carry no memory accounting (noobs).
+	Hungriest string `json:"hungriest,omitempty"`
 }
 
 // Report is one experiment run: provenance manifest, raw cells, and the
@@ -147,6 +166,106 @@ func measureCellSpan(dataset, kernel string, threads, reps int, f func()) Cell {
 	defer sp.End()
 	benchCells.Inc()
 	return measureCell(dataset, kernel, threads, reps, f)
+}
+
+// Units a Cell's samples can carry besides the default nanoseconds.
+const (
+	// UnitBytes marks a peak-heap cell: each sample is the heap-objects
+	// high-water mark (bytes) observed during one repetition.
+	UnitBytes = "bytes"
+	// UnitAllocs marks an allocation-volume cell: each sample is the
+	// heap objects allocated per operation.
+	UnitAllocs = "allocs"
+)
+
+// measureMemCells profiles f's memory behaviour: reps repetitions in a
+// pass separate from the timing cells — the forced GC per rep and the
+// heap-polling watcher must never sit inside a wall-clock sample — and
+// two cells out: <kernel>.mem.peak (UnitBytes, the heap-objects
+// high-water mark while f ran) and <kernel>.mem.allocs (UnitAllocs,
+// heap objects allocated per operation; per is the operation count one
+// f call performs, 1 for whole-pipeline cells). MinNS/MedianNS/MADNS
+// summarise the samples exactly as for timing cells, so the compare
+// gate's MAD noise band applies unchanged. Nil under the noobs build:
+// the flavour bit already makes such journals incomparable, and the
+// readers are stubs there.
+func measureMemCells(dataset, kernel string, threads, reps, per int, f func()) []Cell {
+	if !obs.Enabled() {
+		return nil
+	}
+	sp := obs.StartSpanArg("bench.memcell", int64(threads))
+	defer sp.End()
+	if reps < 1 {
+		reps = 1
+	}
+	if per < 1 {
+		per = 1
+	}
+	peaks := make([]int64, 0, reps)
+	allocs := make([]int64, 0, reps)
+	for i := 0; i < reps; i++ {
+		// Start each rep from a collected heap so the peak measures this
+		// repetition's working set, not the previous rep's garbage.
+		runtime.GC()
+		stopWatch := startPeakWatch()
+		m0 := obs.ReadMem()
+		f()
+		d := obs.ReadMem().Sub(m0)
+		peaks = append(peaks, stopWatch())
+		allocs = append(allocs, d.AllocObjects/int64(per))
+	}
+	// Leave a freshly collected heap behind: the pass's extra operations
+	// grow the GC pacing target, and without this collection the *next*
+	// timing sweep inherits that state and absorbs a GC it would not
+	// otherwise have run — visible as a spurious regression on
+	// sub-millisecond cells.
+	runtime.GC()
+	mk := func(suffix, unit string, samples []int64) Cell {
+		benchCells.Inc()
+		c := Cell{Dataset: dataset, Kernel: kernel + suffix, Threads: threads, Unit: unit, SamplesNS: samples}
+		c.MinNS = minInt64(samples)
+		c.MedianNS, c.MADNS = medianMAD(samples)
+		return c
+	}
+	return []Cell{
+		mk(".mem.peak", UnitBytes, peaks),
+		mk(".mem.allocs", UnitAllocs, allocs),
+	}
+}
+
+// startPeakWatch starts a goroutine polling the instantaneous
+// heap-objects reading every millisecond; the returned stop function
+// halts it and reports the high-water mark, folding in one final
+// reading so operations shorter than a poll tick still register their
+// end-state heap.
+func startPeakWatch() (stop func() int64) {
+	var peak atomic.Int64
+	peak.Store(obs.HeapObjectsBytes())
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		t := time.NewTicker(time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if v := obs.HeapObjectsBytes(); v > peak.Load() {
+					peak.Store(v)
+				}
+			}
+		}
+	}()
+	return func() int64 {
+		close(done)
+		<-exited
+		if v := obs.HeapObjectsBytes(); v > peak.Load() {
+			peak.Store(v)
+		}
+		return peak.Load()
+	}
 }
 
 // measureCell times f Reps times and assembles the cell.
@@ -245,23 +364,27 @@ func (r Report) buildScaling(dataset, kernel, baseline string) ScalingRow {
 		}
 	}
 	row.SerialFraction = obs.FitSerialFraction(points)
-	row.Phases, row.Bottleneck = r.buildPhaseScaling(dataset, kernel)
+	row.Phases, row.Bottleneck, row.Hungriest = r.buildPhaseScaling(dataset, kernel)
 	return row
 }
 
 // buildPhaseScaling computes per-phase speedup/efficiency/serial
 // fraction from the instrumented cells of one kernel sweep, and names
-// the bottleneck: the phase whose Amdahl serial fraction is largest
-// among phases carrying at least 5% of the p=1 time (tiny phases can
-// be perfectly serial without ever bounding anything).
-func (r Report) buildPhaseScaling(dataset, kernel string) ([]PhaseScaling, string) {
+// two phases: the bottleneck — the phase whose Amdahl serial fraction
+// is largest among phases carrying at least 5% of the p=1 time (tiny
+// phases can be perfectly serial without ever bounding anything) — and
+// the hungriest, the phase allocating the most heap bytes at p=1
+// (empty when the cells carry no memory accounting, i.e. under noobs).
+func (r Report) buildPhaseScaling(dataset, kernel string) ([]PhaseScaling, string, string) {
 	c1 := r.cell(dataset, kernel, 1)
 	if c1 == nil || len(c1.Phases) == 0 {
-		return nil, ""
+		return nil, "", ""
 	}
 	var total1 time.Duration
+	var totalAlloc1 int64
 	for _, ph := range c1.Phases {
 		total1 += ph.Duration
+		totalAlloc1 += ph.AllocBytes
 	}
 	phaseAt := func(threads int, name string) (obs.PhaseStat, bool) {
 		c := r.cell(dataset, kernel, threads)
@@ -277,10 +400,18 @@ func (r Report) buildPhaseScaling(dataset, kernel string) ([]PhaseScaling, strin
 	}
 	var out []PhaseScaling
 	bottleneck, worst := "", -1.0
+	hungriest, most := "", int64(0)
 	for _, ph1 := range c1.Phases {
-		ps := PhaseScaling{Name: ph1.Name, SerialFraction: -1}
+		ps := PhaseScaling{Name: ph1.Name, SerialFraction: -1, AllocBytes: ph1.AllocBytes}
 		if total1 > 0 {
 			ps.Share = float64(ph1.Duration) / float64(total1)
+		}
+		if totalAlloc1 > 0 {
+			ps.AllocShare = float64(ph1.AllocBytes) / float64(totalAlloc1)
+		}
+		if ph1.AllocBytes > most {
+			most = ph1.AllocBytes
+			hungriest = ph1.Name
 		}
 		var points []obs.ScalingPoint
 		for _, p := range r.Threads {
@@ -305,5 +436,5 @@ func (r Report) buildPhaseScaling(dataset, kernel string) ([]PhaseScaling, strin
 	if worst < 0 {
 		bottleneck = ""
 	}
-	return out, bottleneck
+	return out, bottleneck, hungriest
 }

@@ -40,8 +40,8 @@ func syntheticReport() Report {
 	ms := func(n int64) int64 { return n * int64(time.Millisecond) }
 	phases := func(scalable, serial int64) []obs.PhaseStat {
 		return []obs.PhaseStat{
-			{Name: "peel", Duration: time.Duration(ms(scalable))},
-			{Name: "index", Duration: time.Duration(ms(serial))},
+			{Name: "peel", Duration: time.Duration(ms(scalable)), AllocBytes: 3 << 20},
+			{Name: "index", Duration: time.Duration(ms(serial)), AllocBytes: 1 << 20},
 		}
 	}
 	return Report{
@@ -89,6 +89,53 @@ func TestBuildScalingDerivesCurves(t *testing.T) {
 	}
 	if row.Bottleneck != "index" {
 		t.Errorf("bottleneck = %q, want index (the serial 25%% phase)", row.Bottleneck)
+	}
+	// Memory accounting: peel allocates 3 MiB of the 4 MiB total at p=1,
+	// so it is the hungriest phase with a 75% allocation share.
+	if row.Hungriest != "peel" {
+		t.Errorf("hungriest = %q, want peel", row.Hungriest)
+	}
+	if !near(row.Phases[0].AllocShare, 0.75) || !near(row.Phases[1].AllocShare, 0.25) {
+		t.Errorf("alloc shares = %f/%f, want 0.75/0.25", row.Phases[0].AllocShare, row.Phases[1].AllocShare)
+	}
+}
+
+// TestMeasureMemCells pins the memory-pass cell shape: two cells per
+// kernel (peak bytes, allocs per op), units attached, allocations
+// divided by the per-op count.
+func TestMeasureMemCells(t *testing.T) {
+	if !obs.Enabled() {
+		t.Skip("memory cells are compiled out under noobs")
+	}
+	var sink [][]byte
+	cells := measureMemCells("d", "k", 2, 3, 4, func() {
+		sink = append(sink, make([]byte, 1<<20))
+	})
+	_ = sink
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2 (peak + allocs)", len(cells))
+	}
+	peak, allocs := cells[0], cells[1]
+	if peak.Kernel != "k.mem.peak" || peak.Unit != UnitBytes {
+		t.Errorf("peak cell = %q unit %q, want k.mem.peak / bytes", peak.Kernel, peak.Unit)
+	}
+	if allocs.Kernel != "k.mem.allocs" || allocs.Unit != UnitAllocs {
+		t.Errorf("allocs cell = %q unit %q, want k.mem.allocs / allocs", allocs.Kernel, allocs.Unit)
+	}
+	if peak.Threads != 2 || allocs.Threads != 2 {
+		t.Errorf("threads = %d/%d, want 2", peak.Threads, allocs.Threads)
+	}
+	if len(peak.SamplesNS) != 3 || len(allocs.SamplesNS) != 3 {
+		t.Errorf("samples = %d/%d, want 3 reps each", len(peak.SamplesNS), len(allocs.SamplesNS))
+	}
+	// Each rep allocates one 1 MiB slice (plus noise); the peak must see
+	// at least that much live, and the per-op alloc count (divided by 4)
+	// must stay small but positive.
+	if peak.MinNS < 1<<20 {
+		t.Errorf("peak heap = %d bytes, want >= 1 MiB (the live slice)", peak.MinNS)
+	}
+	if allocs.MinNS < 0 {
+		t.Errorf("allocs per op = %d, want >= 0", allocs.MinNS)
 	}
 }
 
@@ -144,7 +191,11 @@ func TestJournalSchemaGolden(t *testing.T) {
 			Phases: []obs.PhaseStat{{
 				Name: "peel", Duration: 400, Stints: 4, MaxWorkers: 2,
 				Chunks: 8, Busy: 700, MaxBusy: 390, Skew: 1.1,
+				AllocBytes: 4096, AllocObjects: 12, GCCycles: 1, GCPause: 200,
 			}},
+		}, {
+			Dataset: "rmat17", Kernel: "build.index.mem.peak", Threads: 2, Unit: UnitBytes,
+			SamplesNS: []int64{2048, 2048, 2048}, MinNS: 2048, MedianNS: 2048, MADNS: 0,
 		}},
 		Scaling: []ScalingRow{{
 			Dataset: "rmat17", Kernel: "build.index", Baseline: "lcps",
@@ -152,9 +203,10 @@ func TestJournalSchemaGolden(t *testing.T) {
 			Speedup: []float64{1, 2}, Efficiency: []float64{1, 1}, SerialFraction: 0,
 			Phases: []PhaseScaling{{
 				Name: "peel", Speedup: []float64{1, 2}, Efficiency: []float64{1, 1},
-				SerialFraction: 0, Share: 1,
+				SerialFraction: 0, Share: 1, AllocBytes: 4096, AllocShare: 1,
 			}},
 			Bottleneck: "peel",
+			Hungriest:  "peel",
 		}},
 	}
 	golden := filepath.Join("testdata", "journal_schema.golden")

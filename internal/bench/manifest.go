@@ -114,6 +114,22 @@ func (m Manifest) ComparableTo(o Manifest) []string {
 	return reasons
 }
 
+// Flavour names the build flavour the run was recorded under: "default
+// build", or the compiled-out tags ("noobs", "nofaults", or both).
+func (m Manifest) Flavour() string {
+	flavour := []string{}
+	if !m.Obs {
+		flavour = append(flavour, "noobs")
+	}
+	if !m.FaultInject {
+		flavour = append(flavour, "nofaults")
+	}
+	if len(flavour) == 0 {
+		return "default build"
+	}
+	return strings.Join(flavour, ",")
+}
+
 // Describe renders the manifest as one compact human-readable line for
 // report headers.
 func (m Manifest) Describe() string {
@@ -124,17 +140,7 @@ func (m Manifest) Describe() string {
 	if sha == "" {
 		sha = "unknown"
 	}
-	flavour := []string{}
-	if !m.Obs {
-		flavour = append(flavour, "noobs")
-	}
-	if !m.FaultInject {
-		flavour = append(flavour, "nofaults")
-	}
-	fl := "default build"
-	if len(flavour) > 0 {
-		fl = strings.Join(flavour, ",")
-	}
+	fl := m.Flavour()
 	cpu := m.CPUModel
 	if cpu == "" {
 		cpu = "unknown cpu"

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"text/tabwriter"
-	"time"
 
 	"hcd"
 	core2 "hcd/internal/core"
@@ -104,6 +103,12 @@ func PHCDBench(cfg Config) error {
 		Threads:    cfg.Sweep,
 		Reps:       cfg.Reps,
 	}
+	pmax := 1
+	for _, p := range rep.Threads {
+		if p > pmax {
+			pmax = p
+		}
+	}
 	for _, d := range phcdSuite(small) {
 		g := d.build()
 		core := coredecomp.Serial(g)
@@ -122,6 +127,12 @@ func PHCDBench(cfg Config) error {
 			}
 			k := k
 			measureSweep(&rep, d.name, "peel."+string(k), func(p int) { coredecomp.Peel(g, p, k) })
+			// Memory cells ride a separate measurement pass at the sweep's
+			// max thread count (the production configuration): peak heap
+			// and allocations per run, DeltaAdded against pre-memory
+			// journals, gated against refreshed ones.
+			rep.Cells = append(rep.Cells,
+				measureMemCells(d.name, "peel."+string(k), pmax, rep.Reps, 1, func() { coredecomp.Peel(g, pmax, k) })...)
 			rep.Scaling = append(rep.Scaling,
 				rep.buildScaling(d.name, "peel."+string(k), "peel.serial"))
 		}
@@ -133,6 +144,12 @@ func PHCDBench(cfg Config) error {
 			l := shellidx.Build(g, core, r, p)
 			core2.PHCDWithLayout(g, core, l, p)
 		})
+		rep.Cells = append(rep.Cells,
+			measureMemCells(d.name, "phcd", pmax, rep.Reps, 1, func() {
+				r := coredecomp.RankVertices(core, pmax)
+				l := shellidx.Build(g, core, r, pmax)
+				core2.PHCDWithLayout(g, core, l, pmax)
+			})...)
 		measureSweep(&rep, d.name, "phcd.layout", func(p int) { core2.PHCDWithLayout(g, core, lay, p) })
 		measureSweep(&rep, d.name, "layout", func(p int) {
 			r := coredecomp.RankVertices(core, p)
@@ -160,6 +177,16 @@ func PHCDBench(cfg Config) error {
 			cell.Phases = obs.MinPhases(runs)
 			rep.Cells = append(rep.Cells, cell)
 		}
+		rep.Cells = append(rep.Cells,
+			measureMemCells(d.name, "build.index", pmax, rep.Reps, 1, func() {
+				_, _, _, _, err := hcd.BuildAndIndexCtx(context.Background(), g, hcd.Options{Threads: pmax})
+				if err != nil {
+					buildErr = err
+				}
+			})...)
+		if buildErr != nil {
+			return fmt.Errorf("phcd: memory pass: %w", buildErr)
+		}
 
 		rep.Scaling = append(rep.Scaling,
 			rep.buildScaling(d.name, "phcd", "lcps"),
@@ -177,11 +204,11 @@ func printReport(cfg Config, rep Report) {
 	fmt.Fprintf(cfg.Out, "%s sweep, threads %v, min/median of %d reps\n", rep.Experiment, rep.Threads, rep.Reps)
 	fmt.Fprintf(cfg.Out, "%s\n", rep.Manifest.Describe())
 	tw := tabwriter.NewWriter(cfg.Out, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "Dataset\tKernel\tp\tmin s\tmedian s\tmad s")
+	fmt.Fprintln(tw, "Dataset\tKernel\tp\tmin\tmedian\tmad")
 	for _, c := range rep.Cells {
 		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\t%s\n",
 			c.Dataset, c.Kernel, c.Threads,
-			secs(time.Duration(c.MinNS)), secs(time.Duration(c.MedianNS)), secs(time.Duration(c.MADNS)))
+			fmtSample(c.MinNS, c.Unit), fmtSample(c.MedianNS, c.Unit), fmtSample(c.MADNS, c.Unit))
 	}
 	tw.Flush()
 	if len(rep.Scaling) == 0 {
@@ -193,7 +220,7 @@ func printReport(cfg Config, rep Report) {
 	for _, p := range rep.Threads {
 		fmt.Fprintf(tw, "\tS(p=%d)", p)
 	}
-	fmt.Fprintln(tw, "\tvs-base\tserial frac\tbottleneck")
+	fmt.Fprintln(tw, "\tvs-base\tserial frac\tbottleneck\thungriest")
 	for _, row := range rep.Scaling {
 		fmt.Fprintf(tw, "%s\t%s", row.Dataset, row.Kernel)
 		for _, s := range row.Speedup {
@@ -211,7 +238,11 @@ func printReport(cfg Config, rep Report) {
 		if bn == "" {
 			bn = "-"
 		}
-		fmt.Fprintf(tw, "\t%s\t%s\t%s\n", vsBase, sf, bn)
+		hg := row.Hungriest
+		if hg == "" {
+			hg = "-"
+		}
+		fmt.Fprintf(tw, "\t%s\t%s\t%s\t%s\n", vsBase, sf, bn, hg)
 		for _, ph := range row.Phases {
 			fmt.Fprintf(tw, "\t· %s", ph.Name)
 			for _, s := range ph.Speedup {
@@ -221,7 +252,11 @@ func printReport(cfg Config, rep Report) {
 			if ph.SerialFraction >= 0 {
 				psf = fmt.Sprintf("%.3f", ph.SerialFraction)
 			}
-			fmt.Fprintf(tw, "\t%.0f%% share\t%s\t\n", 100*ph.Share, psf)
+			alloc := "-"
+			if ph.AllocBytes > 0 {
+				alloc = fmt.Sprintf("%s (%.0f%%)", humanBytes(ph.AllocBytes), 100*ph.AllocShare)
+			}
+			fmt.Fprintf(tw, "\t%.0f%% share\t%s\t\t%s\n", 100*ph.Share, psf, alloc)
 		}
 	}
 	tw.Flush()

@@ -91,6 +91,18 @@ func SearchBench(cfg Config) error {
 				cell.Phases = obs.MinPhases(runs)
 				rep.Cells = append(rep.Cells, cell)
 			}
+			// Memory cells at the sweep's max thread count: the search
+			// kernels' peak heap and allocations per query, in a pass
+			// separate from the timing reps.
+			rep.Cells = append(rep.Cells,
+				measureMemCells(d.name, kernel, maxP, rep.Reps, 1, func() {
+					if _, _, err := ix.SearchReportCtx(context.Background(), kind.m, maxP); err != nil {
+						searchErr = err
+					}
+				})...)
+			if searchErr != nil {
+				return fmt.Errorf("search: memory pass %s: %w", kernel, searchErr)
+			}
 			rep.Scaling = append(rep.Scaling, rep.buildScaling(d.name, kernel, "bks."+kind.suffix))
 		}
 	}

@@ -177,6 +177,24 @@ func ServeBench(cfg Config) error {
 					quantCell(d.name, ep.kernel+".p99", p, perRep, 0.99))
 			}
 			rep.Scaling = append(rep.Scaling, rep.buildScaling(d.name, ep.kernel+".p50", ""))
+
+			// Memory cells: one storm at the max client count per rep, in a
+			// pass separate from the latency storms. Peak heap is dominated
+			// by the resident snapshot (the deterministic footprint baseline
+			// /stats reports); allocs-per-op is per served request, the
+			// number that catches an encoding or admission path starting to
+			// allocate.
+			perStorm := maxClients * perClient
+			var memErr error
+			rep.Cells = append(rep.Cells,
+				measureMemCells(d.name, ep.kernel, maxClients, rep.Reps, perStorm, func() {
+					if _, err := storm(ep.path, maxClients); err != nil {
+						memErr = err
+					}
+				})...)
+			if memErr != nil {
+				return fmt.Errorf("serve: memory pass %s: %w", ep.kernel, memErr)
+			}
 		}
 
 		// Queue-wait pressure stage: a second server with half the

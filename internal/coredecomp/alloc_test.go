@@ -1,0 +1,43 @@
+package coredecomp
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestFlushFrontierAllocFree pins the buffered publication path at zero
+// allocations: flushFrontier is the only cross-worker synchronisation
+// the buffered and h-index kernels execute per staging buffer, and a
+// single allocation here multiplies by frontier-size/peelBufCap × rounds
+// × workers. The staging buffer itself is a stack array at every call
+// site (var stage [peelBufCap]int32), so the whole adopt→stage→publish
+// hot path stays heap-silent.
+func TestFlushFrontierAllocFree(t *testing.T) {
+	dst := make([]int32, 8*peelBufCap)
+	var tail atomic.Int64
+	var stage [peelBufCap]int32
+	for i := range stage {
+		stage[i] = int32(i)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		tail.Store(0)
+		flushFrontier(dst, &tail, stage[:])
+	})
+	if allocs != 0 {
+		t.Fatalf("flushFrontier allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// BenchmarkFlushFrontierAllocs reports the publication path's per-op
+// cost with allocation accounting, for the perf-smoke and race-matrix
+// CI legs.
+func BenchmarkFlushFrontierAllocs(b *testing.B) {
+	dst := make([]int32, 8*peelBufCap)
+	var tail atomic.Int64
+	var stage [peelBufCap]int32
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tail.Store(0)
+		flushFrontier(dst, &tail, stage[:])
+	}
+}

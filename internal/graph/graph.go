@@ -52,6 +52,14 @@ func (g *Graph) Neighbors(v int32) []int32 {
 // per-vertex lists line up with the graph's.
 func (g *Graph) Offsets() []int64 { return g.offsets }
 
+// Bytes returns the CSR storage footprint in bytes, computed from the
+// array lengths: 8(n+1) for the offsets plus 4·2m for the adjacency.
+// Deterministic (no sampling), so a resident-footprint report never
+// jitters with GC timing.
+func (g *Graph) Bytes() int64 {
+	return int64(len(g.offsets))*8 + int64(len(g.adj))*4
+}
+
 // HasEdge reports whether the undirected edge (u, v) exists, by binary
 // search over the shorter adjacency list. O(log min(d(u), d(v))).
 func (g *Graph) HasEdge(u, v int32) bool {

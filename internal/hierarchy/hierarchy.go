@@ -44,6 +44,24 @@ func (h *HCD) NumNodes() int { return len(h.K) }
 // NumVertices returns the number of graph vertices the index covers.
 func (h *HCD) NumVertices() int { return len(h.TID) }
 
+// Bytes returns the forest's storage footprint in bytes, computed from
+// the array lengths (deterministic, no sampling): the flat per-node
+// arrays (K, Parent), the ragged Children and Vertices slices (24-byte
+// slice headers plus 4 bytes per element), and the per-vertex TID map.
+func (h *HCD) Bytes() int64 {
+	const sliceHeader = 24 // ptr + len + cap on 64-bit
+	b := int64(len(h.K))*4 + int64(len(h.Parent))*4 + int64(len(h.TID))*4
+	b += int64(len(h.Children)) * sliceHeader
+	for _, c := range h.Children {
+		b += int64(len(c)) * 4
+	}
+	b += int64(len(h.Vertices)) * sliceHeader
+	for _, vs := range h.Vertices {
+		b += int64(len(vs)) * 4
+	}
+	return b
+}
+
 // Roots returns the ids of all root nodes (one per connected component of
 // the graph).
 func (h *HCD) Roots() []NodeID {

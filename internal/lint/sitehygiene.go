@@ -7,7 +7,10 @@
 //	spans & fault sites   pkg.phase[.step]   e.g. "phcd.step2", "peel.round"
 //	                      segments: [a-z][a-z0-9]*, 1-3 of them, dot-separated
 //	metrics               prometheus style   e.g. "hcd_fault_fired_total"
-//	                      [a-z][a-z0-9_]*
+//	                      hcd_[a-z][a-z0-9_]* — the hcd_ namespace prefix
+//	                      is mandatory, so every exported series (the
+//	                      hcd_mem_* memory gauges included) is greppable
+//	                      and never collides with another exporter's
 //	phase stats           span grammar plus '+' fused-stage separators
 //	                      e.g. "rank+layout"; names legitimately repeat
 //	                      their StartPhase span, so no duplicate check
@@ -25,7 +28,7 @@ import (
 
 var (
 	siteNameRe   = regexp.MustCompile(`^[a-z][a-z0-9]*(\.[a-z][a-z0-9]*){0,2}$`)
-	metricNameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+	metricNameRe = regexp.MustCompile(`^hcd_[a-z][a-z0-9_]*$`)
 	phaseNameRe  = regexp.MustCompile(`^[a-z][a-z0-9]*([.+][a-z][a-z0-9]*){0,2}$`)
 )
 

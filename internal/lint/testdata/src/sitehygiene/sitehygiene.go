@@ -31,8 +31,10 @@ func Touch(name string) {
 
 	c := obs.NewCounter("Bad-Metric", "fixture")
 	c.Inc()
-	g := obs.NewGauge(obs.Name("fixture_gauge", "thread", name), "fixture")
+	g := obs.NewGauge(obs.Name("hcd_fixture_gauge", "thread", name), "fixture") // clean: literal base, hcd_ prefix
 	g.Set(1)
+	u := obs.NewCounter("fixture_unprefixed_total", "fixture") // grammar violation: missing hcd_ namespace
+	u.Inc()
 
 	_ = obs.NewPhaseStat("rank+layout", 0, obs.WorkerStats{})  // clean: '+' joins fused stages
 	_ = obs.NewPhaseStat("fixture.span", 0, obs.WorkerStats{}) // clean: repeating a span name is the point of a phase stat

@@ -1,0 +1,21 @@
+//go:build noobs
+
+package obs
+
+import "time"
+
+// ReadMem reports the zero point: with the instruments compiled out, a
+// phase's memory delta is zero and its JSON fields are omitted.
+func ReadMem() MemPoint { return MemPoint{} }
+
+// HeapLiveBytes always reports zero.
+func HeapLiveBytes() int64 { return 0 }
+
+// HeapObjectsBytes always reports zero.
+func HeapObjectsBytes() int64 { return 0 }
+
+// SampleMem is a no-op.
+func SampleMem() {}
+
+// StartMemSampler starts nothing and returns an idempotent no-op stop.
+func StartMemSampler(time.Duration) (stop func()) { return func() {} }

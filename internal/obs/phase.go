@@ -110,11 +110,35 @@ type PhaseStat struct {
 	MaxBusy    time.Duration `json:"max_busy_ns,omitempty"`
 	// Skew is WorkerStats.Skew at phase end (max/mean worker busy time).
 	Skew float64 `json:"skew,omitempty"`
+	// AllocBytes, AllocObjects, GCCycles and GCPause are the allocator
+	// movement across the phase (obs.MemDelta captured at the phase
+	// boundaries); zero — and omitted from JSON — under the noobs build,
+	// so journals stay byte-compatible across flavours.
+	AllocBytes   int64         `json:"alloc_bytes,omitempty"`
+	AllocObjects int64         `json:"alloc_objects,omitempty"`
+	GCCycles     int64         `json:"gc_cycles,omitempty"`
+	GCPause      time.Duration `json:"gc_pause_ns,omitempty"`
 }
 
 // WorkerStats reconstructs the embedded worker statistics.
 func (p PhaseStat) WorkerStats() WorkerStats {
 	return WorkerStats{Stints: p.Stints, MaxWorkers: p.MaxWorkers, Chunks: p.Chunks, Busy: p.Busy, MaxBusy: p.MaxBusy}
+}
+
+// WithMem returns p with the phase's allocator movement filled in. A
+// zero delta (the noobs build, or a phase that allocated nothing)
+// leaves every memory field zero, keeping the JSON unchanged.
+func (p PhaseStat) WithMem(d MemDelta) PhaseStat {
+	p.AllocBytes = d.AllocBytes
+	p.AllocObjects = d.AllocObjects
+	p.GCCycles = d.GCCycles
+	p.GCPause = d.GCPause
+	return p
+}
+
+// MemDelta reconstructs the embedded allocator movement.
+func (p PhaseStat) MemDelta() MemDelta {
+	return MemDelta{AllocBytes: p.AllocBytes, AllocObjects: p.AllocObjects, GCCycles: p.GCCycles, GCPause: p.GCPause}
 }
 
 // NewPhaseStat assembles a PhaseStat from a measured duration and the

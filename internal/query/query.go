@@ -57,6 +57,19 @@ func NewIndex(h *hierarchy.HCD) *Index {
 	return ix
 }
 
+// Bytes returns the binary-lifting table's storage footprint in bytes
+// (⌈log₂ depth⌉ levels of 4 bytes per node, plus slice headers),
+// computed from lengths. The hierarchy itself is owned by the caller
+// and excluded.
+func (ix *Index) Bytes() int64 {
+	const sliceHeader = 24 // ptr + len + cap on 64-bit
+	b := int64(len(ix.up)) * sliceHeader
+	for _, level := range ix.up {
+		b += int64(len(level)) * 4
+	}
+	return b
+}
+
 // NodeAt returns the tree node whose original core is the k-core
 // containing v: the deepest ancestor of tid(v) with level >= k. It returns
 // Nil when k > c(v) (no k-core contains v) or k < 0.

@@ -123,6 +123,19 @@ func NewIndexCtx(ctx context.Context, g *graph.Graph, core []int32, h *hierarchy
 // Hierarchy returns the HCD the index searches over.
 func (ix *Index) Hierarchy() *hierarchy.HCD { return ix.h }
 
+// Bytes returns the index's exclusive storage footprint in bytes: the
+// layout's reordered adjacency and count arrays when the index owns one,
+// plus the gt/eq preprocessing arrays when it had to build its own. With
+// a layout present gtK/eqK alias the layout's arrays (NewIndexCtx), so
+// only the layout side is counted — never both. The graph, coreness
+// array and hierarchy are owned by the caller and excluded.
+func (ix *Index) Bytes() int64 {
+	if ix.lay != nil {
+		return ix.lay.Bytes()
+	}
+	return int64(len(ix.gtK))*4 + int64(len(ix.eqK))*4
+}
+
 // Stats returns the whole-graph statistics metrics normalise by.
 func (ix *Index) Stats() metrics.GraphStats {
 	return metrics.GraphStats{N: int64(ix.g.NumVertices()), M: ix.g.NumEdges()}
@@ -204,6 +217,7 @@ func (ix *Index) SearchReportCtx(ctx context.Context, m metrics.Metric, threads 
 	}
 	// Phase durations use a local clock so they stay populated under the
 	// noobs build tag; only the worker statistics come from obs.
+	m0 := obs.ReadMem()
 	sp := obs.StartPhaseCtx(ctx, "search.primary")
 	//hcdlint:allow determinism phase timing for Report.Phases only; no influence on the Result
 	ps := time.Now()
@@ -216,10 +230,11 @@ func (ix *Index) SearchReportCtx(ctx context.Context, m metrics.Metric, threads 
 	}
 	pd := time.Since(ps)
 	sp.End()
-	rep.Phases = append(rep.Phases, obs.NewPhaseStat("search.primary", pd, sp.WorkerStats()))
+	rep.Phases = append(rep.Phases, obs.NewPhaseStat("search.primary", pd, sp.WorkerStats()).WithMem(obs.ReadMem().Sub(m0)))
 	if err != nil {
 		return Result{Node: hierarchy.Nil}, nil, err
 	}
+	m0 = obs.ReadMem()
 	sp = obs.StartPhaseCtx(ctx, "search.score")
 	//hcdlint:allow determinism phase timing for Report.Phases only; no influence on the Result
 	ps = time.Now()
@@ -229,7 +244,7 @@ func (ix *Index) SearchReportCtx(ctx context.Context, m metrics.Metric, threads 
 	if err != nil {
 		return Result{Node: hierarchy.Nil}, nil, err
 	}
-	rep.Phases = append(rep.Phases, obs.NewPhaseStat("search.score", pd, sp.WorkerStats()))
+	rep.Phases = append(rep.Phases, obs.NewPhaseStat("search.score", pd, sp.WorkerStats()).WithMem(obs.ReadMem().Sub(m0)))
 	rep.Elapsed = time.Since(start)
 	return r, rep, nil
 }

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestFootprintDeterministic pins the resident-footprint account: pure
+// arithmetic over array lengths, so repeated calls agree exactly, every
+// component of a published snapshot is populated, and the total is the
+// sum of the parts (aliased storage counted once).
+func TestFootprintDeterministic(t *testing.T) {
+	s := newTestServer(t, nil)
+	publish(t, s)
+	snap := s.cur.Load()
+	f1, f2 := snap.Footprint(), snap.Footprint()
+	if f1 != f2 {
+		t.Fatalf("footprint not deterministic: %+v vs %+v", f1, f2)
+	}
+	if f1.GraphBytes <= 0 || f1.CoreBytes <= 0 || f1.HierarchyBytes <= 0 ||
+		f1.IndexBytes <= 0 || f1.LocalBytes <= 0 {
+		t.Fatalf("zero component in a published snapshot: %+v", f1)
+	}
+	sum := f1.GraphBytes + f1.CoreBytes + f1.HierarchyBytes + f1.IndexBytes + f1.LocalBytes
+	if f1.TotalBytes != sum {
+		t.Fatalf("total %d != component sum %d", f1.TotalBytes, sum)
+	}
+	// The CSR arithmetic is exact: 8(n+1) offsets + 4·2m adjacency.
+	g := snap.Graph
+	wantGraph := int64(g.NumVertices()+1)*8 + g.NumEdges()*2*4
+	if f1.GraphBytes != wantGraph {
+		t.Fatalf("graph bytes = %d, want %d (8(n+1) + 8m)", f1.GraphBytes, wantGraph)
+	}
+}
+
+// TestStatsReportsFootprint checks /stats surfaces the footprint block
+// with the same numbers Snapshot.Footprint computes.
+func TestStatsReportsFootprint(t *testing.T) {
+	s := newTestServer(t, nil)
+	publish(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	status, body := get(t, ts, "/stats")
+	if status != http.StatusOK {
+		t.Fatalf("/stats: status %d", status)
+	}
+	fp, ok := body["footprint"].(map[string]any)
+	if !ok {
+		t.Fatalf("/stats missing footprint block: %v", body)
+	}
+	want := s.cur.Load().Footprint()
+	if got := int64(fp["total_bytes"].(float64)); got != want.TotalBytes {
+		t.Errorf("/stats total_bytes = %d, want %d", got, want.TotalBytes)
+	}
+	if got := int64(fp["graph_bytes"].(float64)); got != want.GraphBytes {
+		t.Errorf("/stats graph_bytes = %d, want %d", got, want.GraphBytes)
+	}
+}

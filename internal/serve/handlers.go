@@ -47,7 +47,7 @@ func (s *Server) gated(h func(http.ResponseWriter, *http.Request, *Snapshot)) ht
 		// CAS); when the request actually queues for a slot, admit opens
 		// the serve.request.wait span, so the trace shows the wait exactly
 		// when there is one.
-		release, wait, v := s.lim.admit(r.Context())
+		wait, v := s.lim.admit(r.Context())
 		if rec != nil {
 			rec.QueueWaitNS = wait.Nanoseconds()
 			rec.Epoch = snap.Epoch
@@ -63,7 +63,7 @@ func (s *Server) gated(h func(http.ResponseWriter, *http.Request, *Snapshot)) ht
 			shed(http.StatusServiceUnavailable, verdictShedCancel, errors.New("serve: request cancelled while queued"))
 			return
 		}
-		defer release()
+		defer s.lim.release()
 		// The queue wait rides back as a header so load generators (and
 		// the serve benchmark's queue-wait cells) can measure admission
 		// pressure without parsing logs.
@@ -228,15 +228,18 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request, snap 
 // statsResponse is the JSON body of /stats: service state plus the
 // published snapshot's shape, when one exists.
 type statsResponse struct {
-	Ready      bool          `json:"ready"`
-	Draining   bool          `json:"draining"`
-	Rebuilding bool          `json:"rebuilding"`
-	Epoch      uint64        `json:"epoch"`
-	BuiltAt    string        `json:"built_at,omitempty"`
-	Build      string        `json:"build,omitempty"`
-	Graph      *graphStats   `json:"graph,omitempty"`
-	Hierarchy  *forestStats  `json:"hierarchy,omitempty"`
-	Serve      serveCounters `json:"serve"`
+	Ready      bool         `json:"ready"`
+	Draining   bool         `json:"draining"`
+	Rebuilding bool         `json:"rebuilding"`
+	Epoch      uint64       `json:"epoch"`
+	BuiltAt    string       `json:"built_at,omitempty"`
+	Build      string       `json:"build,omitempty"`
+	Graph      *graphStats  `json:"graph,omitempty"`
+	Hierarchy  *forestStats `json:"hierarchy,omitempty"`
+	// Footprint is the published snapshot's deterministic resident-memory
+	// account (bytes per component, computed from array lengths).
+	Footprint *Footprint    `json:"footprint,omitempty"`
+	Serve     serveCounters `json:"serve"`
 	// SLO reports query availability and latency-threshold attainment
 	// over the sliding Config.SLOWindow. Under the noobs build the window
 	// is a stub and both ratios read 1 on a zero total.
@@ -306,6 +309,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Height: snap.Stats.Height,
 			KMax:   snap.Stats.KMax,
 		}
+		f := snap.Footprint()
+		resp.Footprint = &f
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -342,6 +347,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
 	if !s.Ready() {
 		status = http.StatusServiceUnavailable
+		// Not-ready carries Retry-After like every other 503 the service
+		// emits, so a probe loop backs off instead of hammering.
+		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, status, body)
 }

@@ -17,7 +17,9 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"sort"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -349,16 +351,65 @@ func (s *Server) logRequest(rec *RequestRecord, opsRoute bool) {
 	s.slog.Log(context.Background(), level, msg, attrs...)
 }
 
+// knownVerdicts enumerates every verdict the classifier can produce, for
+// validating the /debug/requests?verdict= filter: an unknown value is a
+// typo (or a stale runbook) and gets a 400 naming the valid set, never a
+// silently empty result.
+var knownVerdicts = map[string]bool{
+	verdictServed:      true,
+	verdictClientError: true,
+	verdictShedQueue:   true,
+	verdictShedWait:    true,
+	verdictShedCancel:  true,
+	verdictShedDrain:   true,
+	verdictShedNoSnap:  true,
+	verdictTimeout:     true,
+	verdictPanic:       true,
+	verdictError:       true,
+}
+
+// verdictNames returns the valid filter values, sorted, for error text.
+func verdictNames() []string {
+	names := make([]string, 0, len(knownVerdicts))
+	for v := range knownVerdicts {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // handleDebugRequests serves the completed-request ring, newest first —
-// the net/trace-style live view. ?limit=N truncates; the response is
-// valid (and empty) under the noobs build, where the ring is a stub.
+// the net/trace-style live view. ?limit=N truncates; ?verdict=panic (or
+// any other classifier verdict) filters to matching requests, with
+// unknown verdicts rejected as 400. The response is valid (and empty)
+// under the noobs build, where the ring is a stub.
 func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
 	limit, err := formInt(r.URL.Query().Get("limit"), "limit")
 	if err != nil || limit < 0 {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: bad limit", errBadRequest))
 		return
 	}
-	recs := s.ring.snapshot(int(limit))
+	verdict := r.URL.Query().Get("verdict")
+	if verdict != "" && !knownVerdicts[verdict] {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: unknown verdict %q (valid: %s)",
+			errBadRequest, verdict, strings.Join(verdictNames(), ", ")))
+		return
+	}
+	// Filter before truncating, so ?verdict=panic&limit=10 means "the 10
+	// newest panics", not "panics among the 10 newest requests".
+	recs := s.ring.snapshot(0)
+	if verdict != "" {
+		kept := recs[:0]
+		for _, rec := range recs {
+			if rec.Verdict == verdict {
+				kept = append(kept, rec)
+			}
+		}
+		recs = kept
+	}
+	if limit > 0 && int64(len(recs)) > limit {
+		recs = recs[:limit]
+	}
 	if recs == nil {
 		recs = []RequestRecord{}
 	}

@@ -265,6 +265,59 @@ func TestDebugRequestsLimit(t *testing.T) {
 	}
 }
 
+// TestDebugRequestsVerdictFilter checks ?verdict= narrows the ring to
+// matching records (filtering before the limit), and that an unknown
+// verdict is rejected with 400 naming the valid set.
+func TestDebugRequestsVerdictFilter(t *testing.T) {
+	s := newTestServer(t, nil)
+	publish(t, s)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get(t, ts, "/search?metric=average-degree") // served
+	get(t, ts, "/search?metric=bogus")          // client-error
+	waitFor(t, "both records in the ring", func() bool {
+		var served, clientErr bool
+		for _, r := range s.ring.snapshot(0) {
+			switch r.Verdict {
+			case verdictServed:
+				served = true
+			case verdictClientError:
+				clientErr = true
+			}
+		}
+		return served && clientErr
+	})
+
+	_, body := get(t, ts, "/debug/requests?verdict=client-error")
+	reqs := body["requests"].([]any)
+	if len(reqs) == 0 {
+		t.Fatal("verdict=client-error matched nothing")
+	}
+	for _, raw := range reqs {
+		rec := raw.(map[string]any)
+		if rec["verdict"] != verdictClientError {
+			t.Errorf("filtered result carries verdict %v, want %s", rec["verdict"], verdictClientError)
+		}
+	}
+
+	// Filter applies before the limit: limit=1 on a filtered view still
+	// returns a matching record, not "the newest request if it matches".
+	_, body = get(t, ts, "/debug/requests?verdict=client-error&limit=1")
+	reqs = body["requests"].([]any)
+	if len(reqs) != 1 || reqs[0].(map[string]any)["verdict"] != verdictClientError {
+		t.Errorf("verdict+limit returned %v", reqs)
+	}
+
+	status, body := get(t, ts, "/debug/requests?verdict=not-a-verdict")
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown verdict: status %d, want 400", status)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, verdictPanic) {
+		t.Errorf("400 body should name the valid verdicts, got %q", msg)
+	}
+}
+
 // TestSLOWindowMath pins the sliding-window arithmetic: availability
 // excludes errors, attainment excludes slow responses, idle reports 1,
 // and buckets age out of the window.

@@ -91,6 +91,22 @@ var (
 		"age of the published snapshot")
 	gRebuildLag = obs.NewGauge("hcd_serve_rebuild_lag_ns",
 		"elapsed time of the in-progress rebuild round, 0 when idle")
+
+	// Resident-footprint gauges: the published snapshot's deterministic
+	// per-component byte account (Snapshot.Footprint — array lengths, not
+	// heap sampling), refreshed with the other gauges at each scrape.
+	gFootTotal = obs.NewGauge("hcd_serve_footprint_bytes",
+		"published snapshot resident footprint, all components")
+	gFootGraph = obs.NewGauge("hcd_serve_footprint_graph_bytes",
+		"published snapshot footprint: CSR graph (offsets + adjacency)")
+	gFootCore = obs.NewGauge("hcd_serve_footprint_core_bytes",
+		"published snapshot footprint: coreness array")
+	gFootHier = obs.NewGauge("hcd_serve_footprint_hierarchy_bytes",
+		"published snapshot footprint: HCD forest")
+	gFootIndex = obs.NewGauge("hcd_serve_footprint_index_bytes",
+		"published snapshot footprint: search index (layout or gt/eq arrays)")
+	gFootLocal = obs.NewGauge("hcd_serve_footprint_local_bytes",
+		"published snapshot footprint: local-query ancestor table")
 )
 
 // Config tunes a Server. The zero value of every field except Load is
@@ -264,6 +280,13 @@ func (s *Server) refreshGauges() {
 	gEpoch.Set(int64(s.Epoch()))
 	if snap := s.cur.Load(); snap != nil {
 		gSnapAge.Set(time.Since(snap.BuiltAt).Nanoseconds())
+		f := snap.Footprint()
+		gFootTotal.Set(f.TotalBytes)
+		gFootGraph.Set(f.GraphBytes)
+		gFootCore.Set(f.CoreBytes)
+		gFootHier.Set(f.HierarchyBytes)
+		gFootIndex.Set(f.IndexBytes)
+		gFootLocal.Set(f.LocalBytes)
 	} else {
 		gSnapAge.Set(0)
 	}

@@ -377,7 +377,7 @@ func TestProtectContainsPanicsIntoJSON500(t *testing.T) {
 
 func TestAdmissionVerdicts(t *testing.T) {
 	l := newLimiter(1, 1, 50*time.Millisecond)
-	release1, _, v := l.admit(context.Background())
+	_, v := l.admit(context.Background())
 	if v != admitOK {
 		t.Fatalf("first admit: %v", v)
 	}
@@ -385,9 +385,9 @@ func TestAdmissionVerdicts(t *testing.T) {
 	// Occupy the single queue slot in the background.
 	queuedDone := make(chan verdict, 1)
 	go func() {
-		release, _, v := l.admit(context.Background())
-		if release != nil {
-			release()
+		_, v := l.admit(context.Background())
+		if v == admitOK {
+			l.release()
 		}
 		queuedDone <- v
 	}()
@@ -400,24 +400,23 @@ func TestAdmissionVerdicts(t *testing.T) {
 	}
 
 	// A third arrival overflows the queue and is shed immediately.
-	if _, _, v := l.admit(context.Background()); v != shedQueueFull {
+	if _, v := l.admit(context.Background()); v != shedQueueFull {
 		t.Fatalf("overflow arrival: %v, want shedQueueFull", v)
 	}
 
 	// Releasing the slot admits the queued waiter.
-	release1()
+	l.release()
 	if v := <-queuedDone; v != admitOK {
 		t.Fatalf("queued waiter: %v, want admitOK", v)
 	}
 
 	// With the slot held again and nothing releasing it, a queued
 	// request times out into shedWaitExpired.
-	release2, _, v := l.admit(context.Background())
-	if v != admitOK {
+	if _, v := l.admit(context.Background()); v != admitOK {
 		t.Fatalf("re-acquire: %v", v)
 	}
-	defer release2()
-	if _, wait, v := l.admit(context.Background()); v != shedWaitExpired {
+	defer l.release()
+	if wait, v := l.admit(context.Background()); v != shedWaitExpired {
 		t.Fatalf("starved waiter: %v, want shedWaitExpired", v)
 	} else if wait <= 0 {
 		t.Errorf("starved waiter reported wait %v, want > 0", wait)
@@ -426,7 +425,7 @@ func TestAdmissionVerdicts(t *testing.T) {
 	// A queued request whose client departs is shed as cancelled.
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() { time.Sleep(5 * time.Millisecond); cancel() }()
-	if _, _, v := l.admit(ctx); v != shedCancelled {
+	if _, v := l.admit(ctx); v != shedCancelled {
 		t.Fatalf("cancelled waiter: %v, want shedCancelled", v)
 	}
 }

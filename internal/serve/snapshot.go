@@ -153,6 +153,7 @@ func (s *Server) buildAndSwap(ctx context.Context, cause string) (err error) {
 	s.slog.Info("snapshot published",
 		"cause", cause, "epoch", snap.Epoch,
 		"n", g.NumVertices(), "m", g.NumEdges(), "nodes", snap.Stats.Nodes,
+		"footprint_bytes", snap.Footprint().TotalBytes,
 		"build", rep.Summary())
 	return nil
 }

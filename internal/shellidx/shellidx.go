@@ -95,6 +95,14 @@ func (l *Layout) GtCounts() []int32 { return l.gt }
 // Aliases the layout; read-only.
 func (l *Layout) EqCounts() []int32 { return l.eq }
 
+// Bytes returns the layout's exclusive storage footprint in bytes: the
+// reordered adjacency (4·2m) plus the gt/eq count arrays (4n each). The
+// offsets array is excluded — it aliases the graph's CSR offsets and is
+// already counted by graph.Bytes; summing the two never double-counts.
+func (l *Layout) Bytes() int64 {
+	return int64(len(l.adj))*4 + int64(len(l.gt))*4 + int64(len(l.eq))*4
+}
+
 // Build constructs the layout with the given number of threads
 // (0 = GOMAXPROCS). core must be g's core decomposition and r its vertex
 // ranking (coredecomp.RankVertices(core, ...)); the ranking is reused for
